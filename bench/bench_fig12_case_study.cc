@@ -1,0 +1,60 @@
+// Fig. 12: estimated vs actual travel time for 50 randomly sampled test
+// trips (travel time under one hour), per method — DeepOD's points should
+// hug the y = x reference line most closely.
+#include <cstdio>
+
+#include "bench/common.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+int main() {
+  bench::PrintBanner(
+      "Fig. 12 — estimated vs actual time, 50 random test trips per city");
+  const std::vector<std::string> methods = {"TEMP", "LR",    "GBM",
+                                            "STNN", "MURAT", "DeepOD"};
+  for (bench::City city : {bench::City::kChengdu, bench::City::kXian}) {
+    const auto& run = bench::GetStandardRun(city);
+    // Sample 50 trips under one hour.
+    util::Rng rng(2024);
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < run.truth.size(); ++i) {
+      if (run.truth[i] < 3600.0) candidates.push_back(i);
+    }
+    rng.Shuffle(candidates);
+    candidates.resize(std::min<size_t>(50, candidates.size()));
+
+    std::printf("\n--- %s (scatter series, 50 sampled trips) ---\n",
+                run.city.c_str());
+    for (const auto& name : methods) {
+      const auto& pred = run.Method(name).predictions;
+      std::printf("%s:", name.c_str());
+      for (size_t idx : candidates) {
+        std::printf(" (%.0f,%.0f)", run.truth[idx], pred[idx]);
+      }
+      std::printf("\n");
+    }
+    // Closeness to the y=x line: mean |estimate - actual| over the sample.
+    util::Table table({"method", "mean |est-actual| (s)", "corr(est, actual)"});
+    for (const auto& name : methods) {
+      const auto& pred = run.Method(name).predictions;
+      std::vector<double> sample_truth, sample_pred, abs_err;
+      for (size_t idx : candidates) {
+        sample_truth.push_back(run.truth[idx]);
+        sample_pred.push_back(pred[idx]);
+        abs_err.push_back(std::abs(pred[idx] - run.truth[idx]));
+      }
+      table.AddRow({name, util::Fmt(util::Mean(abs_err), 1),
+                    util::Fmt(util::Pearson(sample_truth, sample_pred), 3)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape check: DeepOD's points lie closest to the y = x line\n"
+      "(lowest mean deviation, highest correlation); LR's estimates are\n"
+      "nearly flat in actual time; errors grow with trip duration for all\n"
+      "methods but least for DeepOD.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 13: the 50 worst-performing test cases per method (ranked by MAPE) —
+// worst cases cluster at short actual times with large over-estimates.
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "bench/common.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+int main() {
+  bench::PrintBanner("Fig. 13 — worst-50 test cases per method (by MAPE)");
+  const std::vector<std::string> methods = {"TEMP", "LR",    "GBM",
+                                            "STNN", "MURAT", "DeepOD"};
+  for (bench::City city : {bench::City::kChengdu, bench::City::kXian}) {
+    const auto& run = bench::GetStandardRun(city);
+    std::printf("\n--- %s ---\n", run.city.c_str());
+    util::Table table({"method", "worst-50 mean MAPE (%)",
+                       "worst-50 max MAPE (%)", "mean actual (s)"});
+    for (const auto& name : methods) {
+      const auto& pred = run.Method(name).predictions;
+      auto ape = analysis::PerTripApe(run.truth, pred);
+      // Indices of the 50 largest APEs.
+      std::vector<size_t> order(ape.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::partial_sort(order.begin(),
+                        order.begin() + std::min<size_t>(50, order.size()),
+                        order.end(),
+                        [&](size_t a, size_t b) { return ape[a] > ape[b]; });
+      order.resize(std::min<size_t>(50, order.size()));
+      std::vector<double> worst_ape, worst_actual;
+      for (size_t idx : order) {
+        worst_ape.push_back(ape[idx]);
+        worst_actual.push_back(run.truth[idx]);
+      }
+      table.AddRow({name, util::Fmt(util::Mean(worst_ape), 1),
+                    util::Fmt(util::Max(worst_ape), 1),
+                    util::Fmt(util::Mean(worst_actual), 1)});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape check: DeepOD's worst cases are the mildest; TEMP has\n"
+      "extreme outliers (its neighbour-similarity heuristic breaks on odd\n"
+      "trips); worst cases concentrate on short actual travel times.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 8: validation MAPE & MARE of DeepOD as each hyper-parameter width
+// (d_s, d_t, d_m^1..d_m^9, d_h, d_traf) sweeps over four sizes. The paper
+// sweeps {32, 64, 128, 256}; the bench profile scales widths by 8, so the
+// sweep is {4, 8, 16, 32}.
+#include <cstdio>
+#include <functional>
+
+#include "analysis/metrics.h"
+#include "bench/common.h"
+#include "core/trainer.h"
+#include "core/deepod_model.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+namespace {
+
+struct Knob {
+  const char* name;
+  std::function<void(core::DeepOdConfig&, size_t)> set;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner(
+      "Fig. 8 — validation MAPE/MARE vs hyper-parameter widths (chengdu mini "
+      "profile; values are the paper's {32,64,128,256} / 8)");
+  const std::vector<Knob> knobs = {
+      {"ds", [](core::DeepOdConfig& c, size_t v) { c.ds = v; }},
+      {"dt", [](core::DeepOdConfig& c, size_t v) { c.dt = v; }},
+      {"dm1", [](core::DeepOdConfig& c, size_t v) { c.dm1 = v; }},
+      {"dm2", [](core::DeepOdConfig& c, size_t v) { c.dm2 = v; }},
+      {"dm3", [](core::DeepOdConfig& c, size_t v) { c.dm3 = v; }},
+      {"dm4/dm8",
+       [](core::DeepOdConfig& c, size_t v) { c.dm4 = c.dm8 = v; }},
+      {"dm5", [](core::DeepOdConfig& c, size_t v) { c.dm5 = v; }},
+      {"dm6", [](core::DeepOdConfig& c, size_t v) { c.dm6 = v; }},
+      {"dm7", [](core::DeepOdConfig& c, size_t v) { c.dm7 = v; }},
+      {"dm9", [](core::DeepOdConfig& c, size_t v) { c.dm9 = v; }},
+      {"dh", [](core::DeepOdConfig& c, size_t v) { c.dh = v; }},
+      {"dtraf", [](core::DeepOdConfig& c, size_t v) { c.dtraf = v; }},
+  };
+
+  const sim::Dataset ds = sim::BuildDataset(bench::MiniConfig(bench::City::kChengdu));
+  std::vector<double> val_truth;
+  for (const auto& t : ds.validation) val_truth.push_back(t.travel_time);
+
+  util::Table table({"knob", "width", "val MAPE (%)", "val MARE (%)"});
+  for (const auto& knob : knobs) {
+    for (size_t width : {4u, 8u, 16u, 32u}) {
+      core::DeepOdConfig config = bench::BenchModelConfig();
+      config.epochs = 3;
+      config.loss_weight_w = bench::BenchLossWeight(bench::City::kChengdu);
+      knob.set(config, width);
+      core::DeepOdModel model(config, ds);
+      core::DeepOdTrainer trainer(model, ds);
+      trainer.Train(nullptr, 1u << 30, 120);
+      const auto pred = trainer.PredictAll(ds.validation);
+      table.AddRow({knob.name, std::to_string(width),
+                    util::Fmt(analysis::Mape(val_truth, pred), 2),
+                    util::Fmt(analysis::Mare(val_truth, pred), 2)});
+      std::fprintf(stderr, "[bench] %s=%zu done\n", knob.name, width);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape check: each knob has a shallow optimum (errors vary by\n"
+      "a few points across widths); no knob is monotonically better with\n"
+      "larger widths at fixed data size.\n");
+  return 0;
+}

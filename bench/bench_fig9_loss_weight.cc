@@ -1,0 +1,60 @@
+// Fig. 9: distribution of per-mini-batch validation MAPE as the auxiliary
+// loss weight w sweeps 0.1..0.9 (box-plot statistics), per city.
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "bench/common.h"
+#include "core/deepod_model.h"
+#include "core/trainer.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+int main() {
+  bench::PrintBanner(
+      "Fig. 9 — validation MAPE vs auxiliary-loss weight w (box statistics "
+      "over mini-batches, mini profile)");
+  util::Table table({"city", "w", "q1", "median", "q3", "mean"});
+  for (bench::City city : bench::AllCities()) {
+    const sim::Dataset ds = sim::BuildDataset(bench::MiniConfig(city));
+    for (double w : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      core::DeepOdConfig config = bench::BenchModelConfig();
+      config.epochs = 5;
+      config.loss_weight_w = w;
+      core::DeepOdModel model(config, ds);
+      core::DeepOdTrainer trainer(model, ds);
+      trainer.Train(nullptr, 1u << 30, 120);
+
+      // Per-mini-batch MAPE over the validation split (batch 64 here so a
+      // mini dataset still yields enough boxes).
+      constexpr size_t kBatch = 64;
+      std::vector<double> batch_mapes;
+      std::vector<double> truth, pred;
+      for (const auto& trip : ds.validation) {
+        truth.push_back(trip.travel_time);
+        pred.push_back(model.Predict(trip.od));
+        if (truth.size() == kBatch) {
+          batch_mapes.push_back(analysis::Mape(truth, pred));
+          truth.clear();
+          pred.clear();
+        }
+      }
+      if (!truth.empty()) batch_mapes.push_back(analysis::Mape(truth, pred));
+      const auto box = util::Box(batch_mapes);
+      table.AddRow({bench::CityName(city), util::Fmt(w, 1),
+                    util::Fmt(box.q1, 2), util::Fmt(box.median, 2),
+                    util::Fmt(box.q3, 2),
+                    util::Fmt(util::Mean(batch_mapes), 2)});
+      std::fprintf(stderr, "[bench] %s w=%.1f done\n",
+                   bench::CityName(city).c_str(), w);
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape check: MAPE first improves as w grows from 0.1, then\n"
+      "worsens past a per-city optimum (the paper tunes w = 0.7 / 0.3 / 0.5\n"
+      "for Chengdu / Xi'an / Beijing; the optimum location is data-scale\n"
+      "dependent).\n");
+  return 0;
+}

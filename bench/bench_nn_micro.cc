@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) of the nn kernels that dominate
+// DeepOD's runtime: the LSTM step chain, the time-interval ResNet block,
+// the traffic CNN, and the embedding gather + MLP path.
+#include <benchmark/benchmark.h>
+
+#include "nn/conv.h"
+#include "nn/lstm.h"
+#include "nn/module.h"
+#include "nn/ops.h"
+#include "nn/optimizer.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace deepod;
+
+void BM_MatMul(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0);
+  nn::Tensor b = nn::Tensor::Randn({n, n}, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(16)->Arg(64);
+
+void BM_LstmForward(benchmark::State& state) {
+  const size_t seq_len = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  nn::Lstm lstm(24, 16, rng);
+  std::vector<nn::Tensor> inputs;
+  for (size_t i = 0; i < seq_len; ++i) {
+    inputs.push_back(nn::Tensor::Randn({24}, rng, 1.0));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lstm.Forward(inputs));
+  }
+}
+BENCHMARK(BM_LstmForward)->Arg(10)->Arg(40);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Lstm lstm(24, 16, rng);
+  std::vector<nn::Tensor> inputs;
+  for (size_t i = 0; i < 20; ++i) {
+    inputs.push_back(nn::Tensor::Randn({24}, rng, 1.0));
+  }
+  for (auto _ : state) {
+    nn::Tensor loss = nn::Sum(nn::Square(lstm.Forward(inputs)));
+    loss.Backward();
+    for (auto& p : lstm.Parameters()) p.ZeroGrad();
+  }
+}
+BENCHMARK(BM_LstmForwardBackward);
+
+void BM_ResNetTimeBlock(benchmark::State& state) {
+  const size_t delta_d = static_cast<size_t>(state.range(0));
+  util::Rng rng(4);
+  nn::ResNetTimeBlock block(rng);
+  nn::Tensor in = nn::Tensor::Randn({delta_d, 8}, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(block.Forward(in));
+  }
+}
+BENCHMARK(BM_ResNetTimeBlock)->Arg(1)->Arg(4);
+
+void BM_TrafficCnn(benchmark::State& state) {
+  util::Rng rng(5);
+  nn::TrafficCnn cnn(16, rng);
+  nn::Tensor in = nn::Tensor::Randn({1, 8, 8}, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cnn.Forward(in));
+  }
+}
+BENCHMARK(BM_TrafficCnn);
+
+void BM_EmbeddingGatherMlp(benchmark::State& state) {
+  util::Rng rng(6);
+  nn::Embedding emb(2016, 8, rng);
+  nn::Mlp2 mlp(16, 16, 8, rng);
+  for (auto _ : state) {
+    nn::Tensor x = nn::ConcatVec({emb.Forward(100), emb.Forward(101)});
+    benchmark::DoNotOptimize(mlp.Forward(x));
+  }
+}
+BENCHMARK(BM_EmbeddingGatherMlp);
+
+void BM_AdamStep(benchmark::State& state) {
+  util::Rng rng(7);
+  std::vector<nn::Tensor> params;
+  for (int i = 0; i < 10; ++i) {
+    nn::Tensor p = nn::Tensor::Randn({64, 64}, rng, 1.0);
+    p.set_requires_grad(true);
+    for (double& g : p.mutable_grad()) g = rng.Normal();
+    params.push_back(p);
+  }
+  nn::Adam adam(params, 0.01);
+  for (auto _ : state) {
+    adam.Step();
+  }
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Table 7: MAPE of the embedding-initialisation ablations — T-one (random
+// init for time slots), T-day (daily temporal graph), T-stamp (raw
+// timestamps), R-one (random init for road segments) — relative to DeepOD,
+// on all three cities.
+#include <cstdio>
+
+#include "analysis/metrics.h"
+#include "bench/common.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  core::TimeInit time_init;
+  core::RoadInit road_init;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintBanner("Table 7 — embedding ablations (MAPE %, Δ vs DeepOD)");
+  const std::vector<Variant> variants = {
+      {"T-one", core::TimeInit::kOneHot, core::RoadInit::kGraphEmbedding},
+      {"T-day", core::TimeInit::kDailyGraph, core::RoadInit::kGraphEmbedding},
+      {"T-stamp", core::TimeInit::kTimestamp, core::RoadInit::kGraphEmbedding},
+      {"R-one", core::TimeInit::kTemporalGraph, core::RoadInit::kOneHot},
+  };
+  util::Table table(
+      {"city", "DeepOD", "T-one", "T-day", "T-stamp", "R-one"});
+  for (bench::City city : bench::AllCities()) {
+    // Mini profile: one training per variant per city; the paper's claim is
+    // about the *relative* ordering of the variants.
+    const sim::Dataset ds = sim::BuildDataset(bench::MiniConfig(city));
+    std::vector<double> truth;
+    for (const auto& t : ds.test) truth.push_back(t.travel_time);
+
+    core::DeepOdConfig base = bench::BenchModelConfig();
+    base.epochs = 8;
+    base.loss_weight_w = bench::BenchLossWeight(city);
+    const auto full = bench::RunDeepOdVariant(ds, base, "DeepOD");
+    const double full_mape = analysis::Mape(truth, full.predictions);
+
+    std::vector<std::string> row = {bench::CityName(city),
+                                    util::Fmt(full_mape, 2)};
+    for (const auto& v : variants) {
+      core::DeepOdConfig config = base;
+      config.time_init = v.time_init;
+      config.road_init = v.road_init;
+      const auto result = bench::RunDeepOdVariant(ds, config, v.name);
+      const double mape = analysis::Mape(truth, result.predictions);
+      const double delta = 100.0 * (mape - full_mape) / full_mape;
+      row.push_back(util::Fmt(mape, 2) + " (" +
+                    (delta >= 0 ? "+" : "") + util::Fmt(delta, 1) + "%)");
+      std::fprintf(stderr, "[bench] %s %s done\n", bench::CityName(city).c_str(),
+                   v.name);
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape check: every ablation is worse than DeepOD; T-stamp is\n"
+      "by far the worst (raw timestamps dominate other features); T-one /\n"
+      "T-day / R-one deteriorate only mildly since the supervised fine-tune\n"
+      "partially recovers the lost initialisation.\n");
+  return 0;
+}

@@ -1,0 +1,266 @@
+#include "bench/common.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "baselines/gbm.h"
+#include "baselines/linear_regression.h"
+#include "baselines/murat.h"
+#include "baselines/stnn.h"
+#include "baselines/temp.h"
+#include "core/deepod_model.h"
+#include "core/trainer.h"
+#include "nn/serialize.h"
+#include "util/stopwatch.h"
+
+namespace deepod::bench {
+namespace {
+
+constexpr int kCacheVersion = 3;
+
+std::string CachePath(City city) {
+  return "deepod_bench_cache." + CityName(city) + ".txt";
+}
+
+bool LoadCache(City city, StandardRun* run) {
+  std::ifstream in(CachePath(city));
+  if (!in) return false;
+  int version = 0;
+  in >> version;
+  if (version != kCacheVersion) return false;
+  size_t num_truth = 0, num_methods = 0;
+  in >> num_truth >> num_methods;
+  run->city = CityName(city);
+  run->truth.resize(num_truth);
+  for (double& v : run->truth) in >> v;
+  run->methods.resize(num_methods);
+  for (auto& m : run->methods) {
+    in >> m.name >> m.train_seconds >> m.estimate_seconds_per_k >>
+        m.model_bytes >> m.convergence_steps;
+    m.predictions.resize(num_truth);
+    for (double& v : m.predictions) in >> v;
+  }
+  return static_cast<bool>(in);
+}
+
+void SaveCache(City city, const StandardRun& run) {
+  std::ofstream out(CachePath(city));
+  out.precision(12);
+  out << kCacheVersion << "\n";
+  out << run.truth.size() << " " << run.methods.size() << "\n";
+  for (double v : run.truth) out << v << " ";
+  out << "\n";
+  for (const auto& m : run.methods) {
+    out << m.name << " " << m.train_seconds << " " << m.estimate_seconds_per_k
+        << " " << m.model_bytes << " " << m.convergence_steps << "\n";
+    for (double v : m.predictions) out << v << " ";
+    out << "\n";
+  }
+}
+
+MethodResult RunBaseline(baselines::OdEstimator& estimator,
+                         const sim::Dataset& dataset) {
+  MethodResult result;
+  result.name = estimator.name();
+  util::Stopwatch sw;
+  estimator.Train(dataset);
+  result.train_seconds = sw.ElapsedSeconds();
+  sw.Reset();
+  result.predictions = estimator.PredictAll(dataset.test);
+  result.estimate_seconds_per_k = sw.ElapsedSeconds() * 1000.0 /
+                                  static_cast<double>(dataset.test.size());
+  result.model_bytes = estimator.ModelSizeBytes();
+  return result;
+}
+
+StandardRun ComputeStandardRun(City city) {
+  const sim::Dataset dataset = sim::BuildDataset(StandardConfig(city));
+  StandardRun run;
+  run.city = CityName(city);
+  for (const auto& trip : dataset.test) run.truth.push_back(trip.travel_time);
+
+  std::fprintf(stderr, "[bench] standard run for %s: %zu train / %zu test\n",
+               run.city.c_str(), dataset.train.size(), dataset.test.size());
+
+  {
+    baselines::TempEstimator temp;
+    run.methods.push_back(RunBaseline(temp, dataset));
+  }
+  {
+    baselines::LinearRegressionEstimator lr;
+    run.methods.push_back(RunBaseline(lr, dataset));
+  }
+  {
+    baselines::GbmEstimator gbm;
+    run.methods.push_back(RunBaseline(gbm, dataset));
+  }
+  {
+    baselines::StnnEstimator stnn;
+    run.methods.push_back(RunBaseline(stnn, dataset));
+  }
+  {
+    baselines::MuratEstimator murat;
+    run.methods.push_back(RunBaseline(murat, dataset));
+  }
+
+  // DeepOD ablation variants (§6.4.2) at a reduced epoch budget, then the
+  // full model.
+  const core::DeepOdConfig base = BenchModelConfig();
+  struct Variant {
+    const char* name;
+    core::Ablation ablation;
+  };
+  for (const Variant v : {Variant{"N-st", core::Ablation::kNoSt},
+                          Variant{"N-sp", core::Ablation::kNoSp},
+                          Variant{"N-tp", core::Ablation::kNoTp},
+                          Variant{"N-other", core::Ablation::kNoOther}}) {
+    core::DeepOdConfig config = base;
+    config.ablation = v.ablation;
+    config.loss_weight_w = BenchLossWeight(city);
+    config.epochs = std::max(4, base.epochs * 2 / 3);
+    run.methods.push_back(RunDeepOdVariant(dataset, config, v.name));
+    std::fprintf(stderr, "[bench]   %s done\n", v.name);
+  }
+  {
+    core::DeepOdConfig config = base;
+    config.loss_weight_w = BenchLossWeight(city);
+    run.methods.push_back(RunDeepOdVariant(dataset, config, "DeepOD"));
+    std::fprintf(stderr, "[bench]   DeepOD done\n");
+  }
+  return run;
+}
+
+}  // namespace
+
+std::string CityName(City city) {
+  switch (city) {
+    case City::kChengdu:
+      return "chengdu-sim";
+    case City::kXian:
+      return "xian-sim";
+    case City::kBeijing:
+      return "beijing-sim";
+  }
+  return "unknown";
+}
+
+std::vector<City> AllCities() {
+  return {City::kChengdu, City::kXian, City::kBeijing};
+}
+
+sim::DatasetConfig StandardConfig(City city) {
+  sim::DatasetConfig config;
+  switch (city) {
+    case City::kChengdu:
+      config.city = road::ChengduSimConfig();
+      config.city.rows = 11;
+      config.city.cols = 11;
+      config.trips_per_day = 240;
+      config.seed = 1001;
+      break;
+    case City::kXian:
+      config.city = road::XianSimConfig();
+      config.city.rows = 10;
+      config.city.cols = 10;
+      config.trips_per_day = 200;
+      config.seed = 2002;
+      break;
+    case City::kBeijing:
+      config.city = road::BeijingSimConfig();
+      config.city.rows = 13;
+      config.city.cols = 13;
+      config.trips_per_day = 280;
+      config.seed = 3003;
+      break;
+  }
+  config.num_days = 40;
+  return config;
+}
+
+sim::DatasetConfig MiniConfig(City city) {
+  sim::DatasetConfig config = StandardConfig(city);
+  config.city.rows = 8;
+  config.city.cols = 8;
+  config.city.river_rows = {4};
+  config.city.bridge_period = 4;
+  config.trips_per_day = 100;
+  config.num_days = 25;
+  return config;
+}
+
+core::DeepOdConfig BenchModelConfig() {
+  core::DeepOdConfig config = core::DeepOdConfig().Scaled(8);
+  config.epochs = 12;
+  config.batch_size = 16;
+  return config;
+}
+
+double BenchLossWeight(City city) {
+  // Fine-tuned per dataset, as the paper does in §6.3.
+  switch (city) {
+    case City::kChengdu:
+      return 0.3;
+    case City::kXian:
+      return 0.3;
+    case City::kBeijing:
+      return 0.3;
+  }
+  return 0.3;
+}
+
+const MethodResult& StandardRun::Method(const std::string& name) const {
+  for (const auto& m : methods) {
+    if (m.name == name) return m;
+  }
+  throw std::out_of_range("StandardRun: no method " + name);
+}
+
+MethodResult RunDeepOdVariant(const sim::Dataset& dataset,
+                              const core::DeepOdConfig& config,
+                              const std::string& name) {
+  MethodResult result;
+  result.name = name;
+  util::Stopwatch sw;
+  core::DeepOdModel model(config, dataset);
+  core::DeepOdTrainer trainer(model, dataset);
+  trainer.Train(nullptr, 1u << 30, 150);
+  result.train_seconds = sw.ElapsedSeconds();
+  result.convergence_steps = trainer.steps_taken();
+  sw.Reset();
+  result.predictions = trainer.PredictAll(dataset.test);
+  result.estimate_seconds_per_k = sw.ElapsedSeconds() * 1000.0 /
+                                  static_cast<double>(dataset.test.size());
+  result.model_bytes = nn::SerializedSize(model.Parameters());
+  return result;
+}
+
+const StandardRun& GetStandardRun(City city) {
+  static std::map<std::string, StandardRun> cache;
+  const std::string key = CityName(city);
+  auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  StandardRun run;
+  if (!LoadCache(city, &run)) {
+    run = ComputeStandardRun(city);
+    SaveCache(city, run);
+  } else {
+    std::fprintf(stderr, "[bench] loaded cached standard run for %s\n",
+                 key.c_str());
+  }
+  return cache.emplace(key, std::move(run)).first->second;
+}
+
+void PrintBanner(const std::string& experiment) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf(
+      "Substrate: synthetic traffic simulator (see DESIGN.md); absolute\n"
+      "numbers differ from the paper's real-taxi testbed, the comparison\n"
+      "shape (ordering / trends) is the reproduction target.\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace deepod::bench

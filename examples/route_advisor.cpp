@@ -1,0 +1,83 @@
+// Route advisor: the what-if extension of the library. For one OD pair it
+// enumerates alternative routes and asks the trained model for a per-route
+// ETA at several departure times (DeepOdModel::PredictForRoute — the
+// trajectory encoder evaluated on a pseudo spatio-temporal path). The
+// recommended route can flip between off-peak and rush hour, which is the
+// phenomenon Fig. 1 of the paper opens with.
+//
+// Build & run:  ./build/examples/route_advisor
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "core/deepod_model.h"
+#include "core/trainer.h"
+#include "road/routing.h"
+#include "sim/dataset.h"
+#include "util/table.h"
+
+using namespace deepod;
+
+int main() {
+  sim::DatasetConfig data_config;
+  data_config.city = road::ChengduSimConfig();
+  data_config.city.rows = 8;
+  data_config.city.cols = 8;
+  data_config.trips_per_day = 90;
+  data_config.num_days = 28;
+  data_config.seed = 41;
+  const sim::Dataset dataset = sim::BuildDataset(data_config);
+
+  std::printf("Training the model (this grounds the trajectory head)...\n");
+  core::DeepOdConfig model_config = core::DeepOdConfig().Scaled(8);
+  model_config.epochs = 7;
+  model_config.loss_weight_w = 0.3;  // the aux loss binds code <-> stcode
+  core::DeepOdModel model(model_config, dataset);
+  core::DeepOdTrainer trainer(model, dataset);
+  trainer.Train();
+
+  // Pick a test trip with route alternatives between its endpoints.
+  const auto& net = dataset.network;
+  for (const auto& trip : dataset.test) {
+    traj::OdInput od = trip.od;
+    const auto alternatives = road::AlternativeRoutes(
+        net, net.segment(od.origin_segment).to,
+        net.segment(od.dest_segment).from, road::FreeFlowCost, 3);
+    if (alternatives.size() < 2) continue;
+
+    std::printf("\nOD pair: (%.0f, %.0f) -> (%.0f, %.0f), %zu alternatives\n",
+                od.origin.x, od.origin.y, od.destination.x, od.destination.y,
+                alternatives.size());
+    util::Table table({"departure", "OD-only ETA (s)", "route A ETA (s)",
+                       "route B ETA (s)", "advice"});
+    for (double hour : {3.0, 8.0, 12.0, 18.0}) {
+      // Keep departures within the simulated horizon: reuse the trip's day.
+      const double day_start =
+          std::floor(od.departure_time / temporal::kSecondsPerDay) *
+          temporal::kSecondsPerDay;
+      od.departure_time = day_start + hour * temporal::kSecondsPerHour;
+
+      auto full_route = [&](const road::Route& r) {
+        std::vector<size_t> segments;
+        segments.push_back(od.origin_segment);
+        for (size_t sid : r.segment_ids) segments.push_back(sid);
+        segments.push_back(od.dest_segment);
+        segments.erase(std::unique(segments.begin(), segments.end()),
+                       segments.end());
+        return segments;
+      };
+      const double od_eta = model.Predict(od);
+      const double eta_a = model.PredictForRoute(od, full_route(alternatives[0]));
+      const double eta_b = model.PredictForRoute(od, full_route(alternatives[1]));
+      table.AddRow({util::Fmt(hour, 0) + ":00", util::Fmt(od_eta, 0),
+                    util::Fmt(eta_a, 0), util::Fmt(eta_b, 0),
+                    eta_a <= eta_b ? "take A" : "take B"});
+    }
+    table.Print();
+    std::printf(
+        "The OD-only ETA marginalises over routes; the per-route ETAs come\n"
+        "from the trajectory encoder and can re-rank across the day.\n");
+    break;
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "analysis/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::analysis {
+namespace {
+
+void CheckInput(const std::vector<double>& truth,
+                const std::vector<double>& pred) {
+  if (truth.size() != pred.size() || truth.empty()) {
+    throw std::invalid_argument("metrics: size mismatch or empty input");
+  }
+}
+
+}  // namespace
+
+double Mae(const std::vector<double>& truth, const std::vector<double>& pred) {
+  CheckInput(truth, pred);
+  double s = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) s += std::fabs(truth[i] - pred[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+double Mape(const std::vector<double>& truth, const std::vector<double>& pred) {
+  CheckInput(truth, pred);
+  double s = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] <= 0.0) throw std::invalid_argument("Mape: non-positive truth");
+    s += std::fabs(truth[i] - pred[i]) / truth[i];
+  }
+  return 100.0 * s / static_cast<double>(truth.size());
+}
+
+double Mare(const std::vector<double>& truth, const std::vector<double>& pred) {
+  CheckInput(truth, pred);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    num += std::fabs(truth[i] - pred[i]);
+    den += std::fabs(truth[i]);
+  }
+  if (den <= 0.0) throw std::invalid_argument("Mare: zero truth mass");
+  return 100.0 * num / den;
+}
+
+std::vector<double> PerTripApe(const std::vector<double>& truth,
+                               const std::vector<double>& pred) {
+  CheckInput(truth, pred);
+  std::vector<double> ape(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] <= 0.0) throw std::invalid_argument("PerTripApe: bad truth");
+    ape[i] = 100.0 * std::fabs(truth[i] - pred[i]) / truth[i];
+  }
+  return ape;
+}
+
+MetricTriple AllMetrics(const std::vector<double>& truth,
+                        const std::vector<double>& pred) {
+  return {Mae(truth, pred), Mape(truth, pred), Mare(truth, pred)};
+}
+
+}  // namespace deepod::analysis

@@ -1,0 +1,31 @@
+#ifndef DEEPOD_ANALYSIS_METRICS_H_
+#define DEEPOD_ANALYSIS_METRICS_H_
+
+#include <vector>
+
+namespace deepod::analysis {
+
+// The three evaluation metrics of §6.1:
+//   MAE  = (1/N) Σ |y_i - ŷ_i|
+//   MAPE = (1/N) Σ |y_i - ŷ_i| / y_i            (in %)
+//   MARE = Σ |y_i - ŷ_i| / Σ |y_i|              (in %)
+double Mae(const std::vector<double>& truth, const std::vector<double>& pred);
+double Mape(const std::vector<double>& truth, const std::vector<double>& pred);
+double Mare(const std::vector<double>& truth, const std::vector<double>& pred);
+
+// Per-sample absolute-percentage errors (drives Fig. 11's distribution and
+// Fig. 13's worst-case selection).
+std::vector<double> PerTripApe(const std::vector<double>& truth,
+                               const std::vector<double>& pred);
+
+struct MetricTriple {
+  double mae = 0.0;
+  double mape = 0.0;  // percent
+  double mare = 0.0;  // percent
+};
+MetricTriple AllMetrics(const std::vector<double>& truth,
+                        const std::vector<double>& pred);
+
+}  // namespace deepod::analysis
+
+#endif  // DEEPOD_ANALYSIS_METRICS_H_

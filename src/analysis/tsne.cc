@@ -1,0 +1,130 @@
+#include "analysis/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::analysis {
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> PerplexityCalibratedAffinities(
+    const std::vector<std::vector<double>>& points, double perplexity) {
+  const size_t n = points.size();
+  if (n < 2) throw std::invalid_argument("tsne: need at least 2 points");
+  const double target_entropy = std::log(perplexity);
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  std::vector<double> dist_row(n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      dist_row[j] = i == j ? 0.0 : SquaredDistance(points[i], points[j]);
+    }
+    // Binary search for beta = 1 / (2 sigma^2) matching the perplexity.
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+    for (int iter = 0; iter < 60; ++iter) {
+      double sum = 0.0, weighted = 0.0;
+      for (size_t j = 0; j < n; ++j) {
+        if (j == i) continue;
+        const double w = std::exp(-beta * dist_row[j]);
+        p[i][j] = w;
+        sum += w;
+        weighted += w * dist_row[j];
+      }
+      if (sum <= 0.0) {
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+        continue;
+      }
+      // Shannon entropy of the conditional distribution.
+      const double entropy = std::log(sum) + beta * weighted / sum;
+      if (std::fabs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e12 ? beta * 2.0 : (beta + beta_hi) / 2.0;
+      } else {
+        beta_hi = beta;
+        beta = (beta_lo + beta) / 2.0;
+      }
+    }
+    double sum = 0.0;
+    for (size_t j = 0; j < n; ++j) sum += p[i][j];
+    if (sum > 0.0) {
+      for (size_t j = 0; j < n; ++j) p[i][j] /= sum;
+    }
+  }
+  return p;
+}
+
+std::vector<double> Tsne1d(const std::vector<std::vector<double>>& points,
+                           const TsneOptions& options) {
+  const size_t n = points.size();
+  auto p = PerplexityCalibratedAffinities(
+      points, std::min(options.perplexity,
+                       static_cast<double>(n - 1) / 3.0));
+  // Symmetrise: P_ij = (p_{j|i} + p_{i|j}) / 2n, with early exaggeration.
+  std::vector<std::vector<double>> pij(n, std::vector<double>(n, 0.0));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      pij[i][j] = std::max(1e-12, (p[i][j] + p[j][i]) /
+                                      (2.0 * static_cast<double>(n)));
+    }
+  }
+
+  util::Rng rng(options.seed);
+  std::vector<double> y(n), velocity(n, 0.0), grad(n);
+  for (double& v : y) v = rng.Normal(0.0, 1e-2);
+
+  std::vector<double> q_num(n * n);
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    const double exaggeration =
+        iter < options.exaggeration_iters ? options.early_exaggeration : 1.0;
+    // Student-t affinities in the embedding.
+    double q_sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double d = y[i] - y[j];
+        const double w = 1.0 / (1.0 + d * d);
+        q_num[i * n + j] = w;
+        q_sum += 2.0 * w;
+      }
+    }
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const double w = q_num[i * n + j];
+        const double qij = std::max(1e-12, w / q_sum);
+        const double pp = exaggeration * pij[i][j];
+        const double mult = 4.0 * (pp - qij) * w;
+        const double d = y[i] - y[j];
+        grad[i] += mult * d;
+        grad[j] -= mult * d;
+      }
+    }
+    const double momentum = iter < options.momentum_switch_iter
+                                ? options.momentum
+                                : options.final_momentum;
+    for (size_t i = 0; i < n; ++i) {
+      velocity[i] = momentum * velocity[i] - options.learning_rate * grad[i];
+      y[i] += velocity[i];
+    }
+    // Re-centre.
+    double mean = 0.0;
+    for (double v : y) mean += v;
+    mean /= static_cast<double>(n);
+    for (double& v : y) v -= mean;
+  }
+  return y;
+}
+
+}  // namespace deepod::analysis

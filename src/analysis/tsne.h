@@ -1,0 +1,38 @@
+#ifndef DEEPOD_ANALYSIS_TSNE_H_
+#define DEEPOD_ANALYSIS_TSNE_H_
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepod::analysis {
+
+// Exact-gradient t-SNE (van der Maaten & Hinton 2008) to a 1-dimensional
+// embedding — the projection Fig. 14(b) applies to the trained time-slot
+// embeddings before drawing the weekly heat map. Exact pairwise gradients
+// are fine at our scale (≤ a few thousand points).
+struct TsneOptions {
+  double perplexity = 30.0;
+  int iterations = 300;
+  double learning_rate = 50.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 50;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 100;
+  uint64_t seed = 3;
+};
+
+// `points` is row-major n x d. Returns n 1-D coordinates.
+std::vector<double> Tsne1d(const std::vector<std::vector<double>>& points,
+                           const TsneOptions& options = {});
+
+// Binary-search calibration of per-point Gaussian bandwidths to match the
+// target perplexity; returns the row-normalised conditional probabilities
+// p_{j|i}. Exposed for testing.
+std::vector<std::vector<double>> PerplexityCalibratedAffinities(
+    const std::vector<std::vector<double>>& points, double perplexity);
+
+}  // namespace deepod::analysis
+
+#endif  // DEEPOD_ANALYSIS_TSNE_H_

@@ -1,0 +1,45 @@
+#ifndef DEEPOD_BASELINES_BASELINE_H_
+#define DEEPOD_BASELINES_BASELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/dataset.h"
+#include "traj/trajectory.h"
+
+namespace deepod::baselines {
+
+// Common interface of the five comparison methods of §6.1 (TEMP, LR, GBM,
+// STNN, MURAT). Each trains offline on the dataset's training split and
+// answers online OD queries; ModelSizeBytes feeds the Table 5 accounting.
+class OdEstimator {
+ public:
+  virtual ~OdEstimator() = default;
+
+  virtual std::string name() const = 0;
+
+  // Offline training on dataset.train (validation available for tuning).
+  virtual void Train(const sim::Dataset& dataset) = 0;
+
+  // Online estimation in seconds.
+  virtual double Predict(const traj::OdInput& od) const = 0;
+
+  // Memory footprint of the trained model (Table 5 "size").
+  virtual size_t ModelSizeBytes() const = 0;
+
+  // Convenience: predictions for a batch of trips.
+  std::vector<double> PredictAll(const std::vector<traj::TripRecord>& trips) const;
+};
+
+// Dense feature vector shared by the regression baselines (LR, GBM):
+// normalised OD coordinates, displacement, Euclidean distance, time-of-day
+// harmonics, day-of-week one-hot and the weather category. Exposed so tests
+// can pin the layout.
+std::vector<double> OdFeatures(const traj::OdInput& od,
+                               const road::RoadNetwork& net);
+size_t OdFeatureCount();
+
+}  // namespace deepod::baselines
+
+#endif  // DEEPOD_BASELINES_BASELINE_H_

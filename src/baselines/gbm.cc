@@ -1,0 +1,183 @@
+#include "baselines/gbm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace deepod::baselines {
+
+void RegressionTree::Fit(const std::vector<std::vector<double>>& features,
+                         const std::vector<double>& targets,
+                         const std::vector<size_t>& sample_indices,
+                         const Options& options) {
+  nodes_.clear();
+  std::vector<size_t> indices = sample_indices;
+  Build(features, targets, indices, 0, options);
+}
+
+int RegressionTree::Build(const std::vector<std::vector<double>>& features,
+                          const std::vector<double>& targets,
+                          std::vector<size_t>& indices, size_t depth,
+                          const Options& options) {
+  const int node_id = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  double sum = 0.0;
+  for (size_t i : indices) sum += targets[i];
+  const double mean =
+      indices.empty() ? 0.0 : sum / static_cast<double>(indices.size());
+  nodes_[node_id].value = mean;
+  if (depth >= options.max_depth ||
+      indices.size() < 2 * options.min_samples_leaf) {
+    return node_id;
+  }
+
+  // Exact greedy split: for each feature, sort samples and scan prefix
+  // sums; maximise variance reduction (equivalently sum-of-squares gain).
+  const size_t d = features.empty() ? 0 : features[0].size();
+  double parent_sq = 0.0;
+  for (size_t i : indices) parent_sq += targets[i] * targets[i];
+  const double parent_score =
+      sum * sum / static_cast<double>(indices.size());
+
+  int best_feature = -1;
+  double best_threshold = 0.0, best_gain = options.min_gain;
+  std::vector<size_t> sorted = indices;
+  for (size_t f = 0; f < d; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return features[a][f] < features[b][f];
+    });
+    double left_sum = 0.0;
+    for (size_t k = 0; k + 1 < sorted.size(); ++k) {
+      left_sum += targets[sorted[k]];
+      const size_t left_n = k + 1;
+      const size_t right_n = sorted.size() - left_n;
+      if (left_n < options.min_samples_leaf ||
+          right_n < options.min_samples_leaf) {
+        continue;
+      }
+      const double lo = features[sorted[k]][f];
+      const double hi = features[sorted[k + 1]][f];
+      if (hi - lo < 1e-12) continue;  // cannot split between equal values
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(left_n) +
+          right_sum * right_sum / static_cast<double>(right_n);
+      const double gain = score - parent_score;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = static_cast<int>(f);
+        best_threshold = 0.5 * (lo + hi);
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;
+
+  std::vector<size_t> left_idx, right_idx;
+  for (size_t i : indices) {
+    (features[i][static_cast<size_t>(best_feature)] <= best_threshold
+         ? left_idx
+         : right_idx)
+        .push_back(i);
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_id;
+  nodes_[node_id].feature = best_feature;
+  nodes_[node_id].threshold = best_threshold;
+  const int left = Build(features, targets, left_idx, depth + 1, options);
+  nodes_[node_id].left = left;
+  const int right = Build(features, targets, right_idx, depth + 1, options);
+  nodes_[node_id].right = right;
+  return node_id;
+}
+
+double RegressionTree::Predict(const std::vector<double>& features) const {
+  if (nodes_.empty()) return 0.0;
+  int node = 0;
+  while (nodes_[static_cast<size_t>(node)].feature >= 0) {
+    const auto& n = nodes_[static_cast<size_t>(node)];
+    node = features[static_cast<size_t>(n.feature)] <= n.threshold ? n.left
+                                                                   : n.right;
+  }
+  return nodes_[static_cast<size_t>(node)].value;
+}
+
+GbmEstimator::GbmEstimator() : GbmEstimator(Options{}) {}
+
+GbmEstimator::GbmEstimator(Options options) : options_(options) {}
+
+void GbmEstimator::Train(const sim::Dataset& dataset) {
+  net_ = &dataset.network;
+  trees_.clear();
+  const size_t n = dataset.train.size();
+  if (n == 0) return;
+  std::vector<std::vector<double>> features(n);
+  std::vector<double> labels(n);
+  for (size_t i = 0; i < n; ++i) {
+    features[i] = OdFeatures(dataset.train[i].od, *net_);
+    labels[i] = dataset.train[i].travel_time;
+  }
+  base_prediction_ =
+      std::accumulate(labels.begin(), labels.end(), 0.0) /
+      static_cast<double>(n);
+
+  std::vector<std::vector<double>> val_features(dataset.validation.size());
+  std::vector<double> val_labels(dataset.validation.size());
+  for (size_t i = 0; i < dataset.validation.size(); ++i) {
+    val_features[i] = OdFeatures(dataset.validation[i].od, *net_);
+    val_labels[i] = dataset.validation[i].travel_time;
+  }
+
+  std::vector<double> prediction(n, base_prediction_);
+  std::vector<double> val_prediction(val_labels.size(), base_prediction_);
+  std::vector<double> residual(n);
+  std::vector<size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+
+  double best_val_mae = std::numeric_limits<double>::infinity();
+  size_t best_round = 0;
+  for (size_t round = 0; round < options_.num_trees; ++round) {
+    for (size_t i = 0; i < n; ++i) residual[i] = labels[i] - prediction[i];
+    RegressionTree tree;
+    tree.Fit(features, residual, all, options_.tree);
+    for (size_t i = 0; i < n; ++i) {
+      prediction[i] += options_.learning_rate * tree.Predict(features[i]);
+    }
+    trees_.push_back(std::move(tree));
+    if (!val_labels.empty()) {
+      double mae = 0.0;
+      for (size_t i = 0; i < val_labels.size(); ++i) {
+        val_prediction[i] +=
+            options_.learning_rate * trees_.back().Predict(val_features[i]);
+        mae += std::fabs(val_prediction[i] - val_labels[i]);
+      }
+      mae /= static_cast<double>(val_labels.size());
+      if (mae < best_val_mae) {
+        best_val_mae = mae;
+        best_round = trees_.size();
+      } else if (trees_.size() - best_round >= options_.early_stop_rounds) {
+        trees_.resize(best_round);
+        break;
+      }
+    }
+  }
+}
+
+double GbmEstimator::PredictFeatures(const std::vector<double>& f) const {
+  double y = base_prediction_;
+  for (const auto& tree : trees_) y += options_.learning_rate * tree.Predict(f);
+  return y;
+}
+
+double GbmEstimator::Predict(const traj::OdInput& od) const {
+  if (net_ == nullptr) return 0.0;
+  return PredictFeatures(OdFeatures(od, *net_));
+}
+
+size_t GbmEstimator::ModelSizeBytes() const {
+  size_t nodes = 0;
+  for (const auto& t : trees_) nodes += t.num_nodes();
+  // feature + threshold + value + 2 child pointers per node.
+  return nodes * (sizeof(int) * 3 + sizeof(double) * 2) + sizeof(double);
+}
+
+}  // namespace deepod::baselines

@@ -1,0 +1,81 @@
+#ifndef DEEPOD_BASELINES_GBM_H_
+#define DEEPOD_BASELINES_GBM_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace deepod::baselines {
+
+// A single regression tree grown by exact greedy splitting on squared
+// error (the building block of the GBM baseline).
+class RegressionTree {
+ public:
+  struct Options {
+    size_t max_depth = 4;
+    size_t min_samples_leaf = 8;
+    double min_gain = 1e-7;
+  };
+
+  RegressionTree() = default;
+
+  // Fits on row-major features [n x d] and residual targets.
+  void Fit(const std::vector<std::vector<double>>& features,
+           const std::vector<double>& targets,
+           const std::vector<size_t>& sample_indices, const Options& options);
+
+  double Predict(const std::vector<double>& features) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    int feature = -1;       // -1 for leaves
+    double threshold = 0.0;
+    double value = 0.0;     // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+
+  int Build(const std::vector<std::vector<double>>& features,
+            const std::vector<double>& targets, std::vector<size_t>& indices,
+            size_t depth, const Options& options);
+
+  std::vector<Node> nodes_;
+};
+
+// GBM baseline (§6.1; the paper uses XGBoost): gradient boosting of
+// regression trees on the shared OD feature vector with squared loss —
+// each round fits a tree to the current residuals and adds it with
+// shrinkage. Early-stops on validation MAE.
+class GbmEstimator : public OdEstimator {
+ public:
+  struct Options {
+    size_t num_trees = 120;
+    double learning_rate = 0.1;
+    RegressionTree::Options tree;
+    size_t early_stop_rounds = 15;
+  };
+
+  GbmEstimator();
+  explicit GbmEstimator(Options options);
+
+  std::string name() const override { return "GBM"; }
+  void Train(const sim::Dataset& dataset) override;
+  double Predict(const traj::OdInput& od) const override;
+  size_t ModelSizeBytes() const override;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  double PredictFeatures(const std::vector<double>& f) const;
+
+  Options options_;
+  double base_prediction_ = 0.0;
+  std::vector<RegressionTree> trees_;
+  const road::RoadNetwork* net_ = nullptr;
+};
+
+}  // namespace deepod::baselines
+
+#endif  // DEEPOD_BASELINES_GBM_H_

@@ -1,0 +1,74 @@
+#include "baselines/linear_regression.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::baselines {
+
+LinearRegressionEstimator::LinearRegressionEstimator(double ridge_lambda)
+    : ridge_lambda_(ridge_lambda) {}
+
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n) throw std::invalid_argument("SolveLinearSystem: shape");
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    if (std::fabs(a[pivot][col]) < 1e-12) {
+      throw std::runtime_error("SolveLinearSystem: singular matrix");
+    }
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    const double inv = 1.0 / a[col][col];
+    for (size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r][col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t c = col; c < n; ++c) a[r][c] -= factor * a[col][c];
+      b[r] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (size_t row = n; row-- > 0;) {
+    double s = b[row];
+    for (size_t c = row + 1; c < n; ++c) s -= a[row][c] * x[c];
+    x[row] = s / a[row][row];
+  }
+  return x;
+}
+
+void LinearRegressionEstimator::Train(const sim::Dataset& dataset) {
+  net_ = &dataset.network;
+  const size_t d = OdFeatureCount();
+  std::vector<std::vector<double>> xtx(d, std::vector<double>(d, 0.0));
+  std::vector<double> xty(d, 0.0);
+  for (const auto& trip : dataset.train) {
+    const auto f = OdFeatures(trip.od, *net_);
+    for (size_t i = 0; i < d; ++i) {
+      xty[i] += f[i] * trip.travel_time;
+      for (size_t j = i; j < d; ++j) xtx[i][j] += f[i] * f[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    xtx[i][i] += ridge_lambda_ * std::max(1.0, xtx[i][i]);
+    for (size_t j = 0; j < i; ++j) xtx[i][j] = xtx[j][i];
+  }
+  weights_ = SolveLinearSystem(std::move(xtx), std::move(xty));
+}
+
+double LinearRegressionEstimator::Predict(const traj::OdInput& od) const {
+  if (weights_.empty() || net_ == nullptr) return 0.0;
+  const auto f = OdFeatures(od, *net_);
+  double y = 0.0;
+  for (size_t i = 0; i < f.size(); ++i) y += weights_[i] * f[i];
+  return y;
+}
+
+size_t LinearRegressionEstimator::ModelSizeBytes() const {
+  return weights_.size() * sizeof(double);
+}
+
+}  // namespace deepod::baselines

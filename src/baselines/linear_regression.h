@@ -1,0 +1,37 @@
+#ifndef DEEPOD_BASELINES_LINEAR_REGRESSION_H_
+#define DEEPOD_BASELINES_LINEAR_REGRESSION_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace deepod::baselines {
+
+// LR baseline (§6.1): ordinary least squares over the shared OD feature
+// vector, fit in closed form via the ridge-regularised normal equations
+// (the feature dimension is small, so a direct solve is exact and fast).
+class LinearRegressionEstimator : public OdEstimator {
+ public:
+  explicit LinearRegressionEstimator(double ridge_lambda = 1e-6);
+
+  std::string name() const override { return "LR"; }
+  void Train(const sim::Dataset& dataset) override;
+  double Predict(const traj::OdInput& od) const override;
+  size_t ModelSizeBytes() const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+
+ private:
+  double ridge_lambda_;
+  std::vector<double> weights_;
+  const road::RoadNetwork* net_ = nullptr;
+};
+
+// Solves (A + λI) x = b for a dense symmetric positive-definite system via
+// Gaussian elimination with partial pivoting. Exposed for testing.
+std::vector<double> SolveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b);
+
+}  // namespace deepod::baselines
+
+#endif  // DEEPOD_BASELINES_LINEAR_REGRESSION_H_

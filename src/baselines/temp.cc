@@ -1,0 +1,100 @@
+#include "baselines/temp.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "temporal/time_slot.h"
+
+namespace deepod::baselines {
+
+TempEstimator::TempEstimator() : TempEstimator(Options{}) {}
+
+TempEstimator::TempEstimator(Options options) : options_(options) {}
+
+int64_t TempEstimator::WeeklySlot(double t) const {
+  const double in_week = std::fmod(t, temporal::kSecondsPerWeek);
+  return static_cast<int64_t>(in_week / options_.slot_seconds);
+}
+
+void TempEstimator::Train(const sim::Dataset& dataset) {
+  slots_per_week_ = static_cast<int64_t>(
+      std::ceil(temporal::kSecondsPerWeek / options_.slot_seconds));
+  trips_.clear();
+  by_slot_.assign(static_cast<size_t>(slots_per_week_), {});
+  double time_sum = 0.0, speed_sum = 0.0;
+  size_t speed_count = 0;
+  for (const auto& trip : dataset.train) {
+    StoredTrip s;
+    s.origin = trip.od.origin;
+    s.destination = trip.od.destination;
+    s.weekly_slot = WeeklySlot(trip.od.departure_time);
+    s.travel_time = trip.travel_time;
+    s.od_distance = road::Distance(trip.od.origin, trip.od.destination);
+    by_slot_[static_cast<size_t>(s.weekly_slot)].push_back(trips_.size());
+    trips_.push_back(s);
+    time_sum += s.travel_time;
+    if (s.travel_time > 0.0) {
+      speed_sum += s.od_distance / s.travel_time;
+      ++speed_count;
+    }
+  }
+  if (!trips_.empty()) {
+    global_mean_ = time_sum / static_cast<double>(trips_.size());
+  }
+  if (speed_count > 0) {
+    global_mean_speed_ = speed_sum / static_cast<double>(speed_count);
+  }
+}
+
+double TempEstimator::Predict(const traj::OdInput& od) const {
+  if (trips_.empty()) return 0.0;
+  const int64_t query_slot = WeeklySlot(od.departure_time);
+  const double query_dist = road::Distance(od.origin, od.destination);
+
+  // Progressive widening: radius doubles; slot tolerance grows from exact
+  // slot to ±1, ±2 neighbouring weekly slots.
+  for (int64_t slot_tol = 0; slot_tol <= 2; ++slot_tol) {
+    for (double radius = options_.initial_radius_m;
+         radius <= options_.max_radius_m; radius *= 2.0) {
+      double weighted_sum = 0.0, weight_total = 0.0;
+      size_t count = 0;
+      for (int64_t ds = -slot_tol; ds <= slot_tol; ++ds) {
+        const int64_t slot =
+            ((query_slot + ds) % slots_per_week_ + slots_per_week_) %
+            slots_per_week_;
+        for (size_t idx : by_slot_[static_cast<size_t>(slot)]) {
+          const auto& s = trips_[idx];
+          const double d_origin = road::Distance(s.origin, od.origin);
+          if (d_origin > radius) continue;
+          const double d_dest = road::Distance(s.destination, od.destination);
+          if (d_dest > radius) continue;
+          // Scale the neighbour's time by the (clamped) distance ratio —
+          // the original method's correction for not-quite-identical OD
+          // pairs — and weight closer neighbours more.
+          const double scale = std::clamp(
+              s.od_distance > 1.0 ? query_dist / s.od_distance : 1.0, 0.6,
+              1.8);
+          const double weight = 1.0 / (100.0 + d_origin + d_dest);
+          weighted_sum += s.travel_time * scale * weight;
+          weight_total += weight;
+          ++count;
+        }
+      }
+      if (count >= options_.min_neighbors) {
+        return weighted_sum / weight_total;
+      }
+    }
+  }
+  // No neighbours anywhere: straight-line distance over the mean speed.
+  return query_dist / std::max(0.5, global_mean_speed_);
+}
+
+size_t TempEstimator::ModelSizeBytes() const {
+  // The stored historical trips are the model (Table 5 notes TEMP's size is
+  // proportional to the trip corpus).
+  return trips_.size() * sizeof(StoredTrip) +
+         by_slot_.size() * sizeof(std::vector<size_t>) +
+         trips_.size() * sizeof(size_t);
+}
+
+}  // namespace deepod::baselines

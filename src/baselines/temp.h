@@ -1,0 +1,57 @@
+#ifndef DEEPOD_BASELINES_TEMP_H_
+#define DEEPOD_BASELINES_TEMP_H_
+
+#include <vector>
+
+#include "baselines/baseline.h"
+
+namespace deepod::baselines {
+
+// TEMP (Wang et al., SIGSPATIAL 2016): temporally weighted nearest
+// neighbours. The travel time of a query OD pair is the average travel
+// time of historical trips whose origin and destination both lie within a
+// spatial radius and whose departure falls in the same weekly time slot;
+// if too few neighbours match, the spatial radius and then the temporal
+// tolerance are progressively widened (scaling the estimate by the ratio
+// of straight-line distances, as the original method does).
+class TempEstimator : public OdEstimator {
+ public:
+  struct Options {
+    double initial_radius_m = 400.0;
+    double max_radius_m = 3200.0;
+    size_t min_neighbors = 3;
+    // Weekly slot size used for temporal matching (seconds).
+    double slot_seconds = 1800.0;
+  };
+
+  TempEstimator();
+  explicit TempEstimator(Options options);
+
+  std::string name() const override { return "TEMP"; }
+  void Train(const sim::Dataset& dataset) override;
+  double Predict(const traj::OdInput& od) const override;
+  size_t ModelSizeBytes() const override;
+
+ private:
+  struct StoredTrip {
+    road::Point origin;
+    road::Point destination;
+    int64_t weekly_slot = 0;
+    double travel_time = 0.0;
+    double od_distance = 0.0;
+  };
+
+  int64_t WeeklySlot(double t) const;
+
+  Options options_;
+  std::vector<StoredTrip> trips_;
+  // Bucketed by weekly slot for the temporal filter.
+  std::vector<std::vector<size_t>> by_slot_;
+  int64_t slots_per_week_ = 0;
+  double global_mean_ = 0.0;
+  double global_mean_speed_ = 10.0;  // straight-line m/s fallback
+};
+
+}  // namespace deepod::baselines
+
+#endif  // DEEPOD_BASELINES_TEMP_H_

@@ -1,0 +1,28 @@
+#include "core/deepod_config.h"
+
+#include <algorithm>
+
+namespace deepod::core {
+
+DeepOdConfig DeepOdConfig::Scaled(size_t factor) const {
+  DeepOdConfig c = *this;
+  auto scale = [factor](size_t v) {
+    return std::max<size_t>(4, v / std::max<size_t>(1, factor));
+  };
+  c.ds = scale(ds);
+  c.dt = scale(dt);
+  c.dm1 = scale(dm1);
+  c.dm2 = scale(dm2);
+  c.dm3 = scale(dm3);
+  c.dm4 = scale(dm4);
+  c.dm5 = scale(dm5);
+  c.dm6 = scale(dm6);
+  c.dm7 = scale(dm7);
+  c.dm8 = scale(dm8);
+  c.dm9 = scale(dm9);
+  c.dh = scale(dh);
+  c.dtraf = scale(dtraf);
+  return c;
+}
+
+}  // namespace deepod::core

@@ -1,0 +1,256 @@
+#include "core/deepod_model.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "match/map_matcher.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "road/routing.h"
+#include "road/edge_graph.h"
+#include "temporal/temporal_graph.h"
+
+namespace deepod::core {
+namespace {
+
+// Initialises an embedding table from a graph embedding of `graph`, unless
+// `use_random` (the one-hot-init ablations replace pre-training with the
+// table's random initialisation).
+void InitEmbedding(nn::Embedding& table, const util::WeightedDigraph& graph,
+                   embed::EmbedMethod method, size_t dim, util::Rng& rng,
+                   bool use_random) {
+  if (use_random) return;  // keep the Embedding's own random init
+  embed::EmbedOptions options;
+  options.dim = dim;
+  // A denser walk corpus than the library defaults: the pre-training cost
+  // is one-off and a sharper initialisation measurably helps the small-data
+  // regime the benches run in.
+  options.walks_per_node = 8;
+  options.walk_length = 30;
+  options.window = 5;
+  options.epochs = 3;
+  const auto matrix = embed::EmbedGraph(graph, method, options, rng);
+  table.LoadPretrained(matrix);
+}
+
+}  // namespace
+
+DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset)
+    : config_(config),
+      dataset_(dataset),
+      slotter_(0.0, config.slot_seconds) {
+  if (config_.dm4 != config_.dm8) {
+    throw std::invalid_argument(
+        "DeepOdModel: dm4 (stcode) must equal dm8 (code), §4.6");
+  }
+  util::Rng rng(config_.seed);
+
+  // --- Embedding matrices (Algorithm 1 lines 1-4) --------------------------
+  road_embedding_ = std::make_unique<nn::Embedding>(
+      dataset.network.num_segments(), config_.ds, rng);
+  const bool road_random = config_.road_init == RoadInit::kOneHot;
+  if (!road_random) {
+    const auto edge_graph = road::BuildEdgeGraph(
+        dataset.network, dataset.TrainSegmentSequences());
+    InitEmbedding(*road_embedding_, edge_graph, config_.embed_method,
+                  config_.ds, rng, road_random);
+  }
+
+  const size_t num_slots =
+      config_.time_init == TimeInit::kDailyGraph
+          ? static_cast<size_t>(slotter_.slots_per_day())
+          : static_cast<size_t>(slotter_.slots_per_week());
+  time_slot_embedding_ =
+      std::make_unique<nn::Embedding>(num_slots, config_.dt, rng);
+  if (config_.time_init == TimeInit::kTemporalGraph) {
+    InitEmbedding(*time_slot_embedding_,
+                  temporal::BuildWeeklyTemporalGraph(slotter_),
+                  config_.embed_method, config_.dt, rng, false);
+  } else if (config_.time_init == TimeInit::kDailyGraph) {
+    InitEmbedding(*time_slot_embedding_,
+                  temporal::BuildDailyTemporalGraph(slotter_),
+                  config_.embed_method, config_.dt, rng, false);
+  }
+  // TimeInit::kOneHot and kTimestamp keep / ignore the random table.
+
+  // --- Modules --------------------------------------------------------------
+  trajectory_encoder_ = std::make_unique<TrajectoryEncoder>(
+      config_, slotter_, *road_embedding_, *time_slot_embedding_, rng);
+  external_encoder_ = std::make_unique<ExternalFeaturesEncoder>(config_, rng);
+  // Z9 = concat(Ds_1, Ds_n, Dt, ocode, r[1], r[-1], tr) — §4.6.
+  const size_t z9_dim = config_.ds * 2 + config_.dt + config_.dm6 + 3;
+  mlp1_ = std::make_unique<nn::Mlp2>(z9_dim, config_.dm7, config_.dm8, rng);
+  mlp2_ = std::make_unique<nn::Mlp2>(config_.dm8, config_.dm9, 1, rng);
+
+  // Default time scale: mean training travel time.
+  if (!dataset.train.empty()) {
+    double sum = 0.0;
+    for (const auto& t : dataset.train) sum += t.travel_time;
+    time_scale_ = sum / static_cast<double>(dataset.train.size());
+  }
+}
+
+nn::Tensor DeepOdModel::EncodeOd(const traj::OdInput& od) {
+  const bool use_sp = config_.ablation != Ablation::kNoSp;
+  const bool use_tp = config_.ablation != Ablation::kNoTp;
+  const bool use_other = config_.ablation != Ablation::kNoOther;
+
+  nn::Tensor ds1 = use_sp ? road_embedding_->Forward(od.origin_segment)
+                          : nn::Tensor::Zeros({config_.ds});
+  nn::Tensor dsn = use_sp ? road_embedding_->Forward(od.dest_segment)
+                          : nn::Tensor::Zeros({config_.ds});
+
+  nn::Tensor dt_vec;
+  double tr_norm = 0.0;
+  if (!use_tp) {
+    dt_vec = nn::Tensor::Zeros({config_.dt});
+  } else if (config_.time_init == TimeInit::kTimestamp) {
+    // T-stamp ablation: the raw departure timestamp as a scalar feature
+    // (in days; §6.5 notes large raw values dominate other features, which
+    // is exactly the failure mode this variant demonstrates).
+    dt_vec = nn::Tensor::Zeros({config_.dt});
+    dt_vec.set(0, od.departure_time / temporal::kSecondsPerDay);
+    tr_norm = 0.0;
+  } else {
+    const int64_t slot = slotter_.Slot(od.departure_time);
+    const int64_t node = config_.time_init == TimeInit::kDailyGraph
+                             ? slotter_.DailyNode(slot)
+                             : slotter_.WeeklyNode(slot);
+    dt_vec = time_slot_embedding_->Forward(static_cast<size_t>(node));
+    tr_norm = slotter_.Remainder(od.departure_time) / slotter_.slot_seconds();
+  }
+
+  nn::Tensor ocode;
+  if (use_other && dataset_.speed_matrices != nullptr) {
+    const auto matrix = dataset_.speed_matrices->MatrixAt(od.departure_time);
+    ocode = external_encoder_->Forward(od.weather_type, matrix,
+                                       dataset_.speed_matrices->rows(),
+                                       dataset_.speed_matrices->cols());
+  } else {
+    ocode = nn::Tensor::Zeros({config_.dm6});
+  }
+
+  const nn::Tensor extras = nn::Tensor::FromData(
+      {3}, {od.origin_ratio, od.dest_ratio, tr_norm});
+  const nn::Tensor z9 = nn::ConcatVec({ds1, dsn, dt_vec, ocode, extras});
+  return mlp1_->Forward(z9);  // Eq. 19 -> code
+}
+
+nn::Tensor DeepOdModel::EncodeTrajectory(
+    const traj::MatchedTrajectory& trajectory) {
+  return trajectory_encoder_->Forward(trajectory);
+}
+
+nn::Tensor DeepOdModel::EstimateFromCode(const nn::Tensor& code) {
+  return mlp2_->Forward(code);  // Eq. 20 (normalised units)
+}
+
+double DeepOdModel::Predict(const traj::OdInput& od) {
+  const nn::Tensor code = EncodeOd(od);
+  const nn::Tensor y = EstimateFromCode(code);
+  return y.item() * time_scale_;
+}
+
+double DeepOdModel::PredictForRoute(const traj::OdInput& od,
+                                    const std::vector<size_t>& route_segments) {
+  if (route_segments.empty()) {
+    throw std::invalid_argument("PredictForRoute: empty route");
+  }
+  if (route_segments.front() != od.origin_segment ||
+      route_segments.back() != od.dest_segment) {
+    throw std::invalid_argument(
+        "PredictForRoute: route must start/end at the OD's matched segments");
+  }
+  if (!road::IsConnectedPath(dataset_.network, route_segments)) {
+    throw std::invalid_argument("PredictForRoute: route is not connected");
+  }
+  // Pseudo spatio-temporal path: distribute a free-flow-expected duration
+  // over the route with the §2 linear interpolation.
+  double expected_seconds = 0.0;
+  for (size_t i = 0; i < route_segments.size(); ++i) {
+    const auto& s = dataset_.network.segment(route_segments[i]);
+    double fraction = 1.0;
+    if (route_segments.size() == 1) {
+      fraction = std::max(0.01, od.dest_ratio - od.origin_ratio);
+    } else if (i == 0) {
+      fraction = 1.0 - od.origin_ratio;
+    } else if (i + 1 == route_segments.size()) {
+      fraction = od.dest_ratio;
+    }
+    expected_seconds += fraction * s.length / s.free_flow_speed;
+  }
+  traj::MatchedTrajectory pseudo;
+  pseudo.origin_ratio = od.origin_ratio;
+  pseudo.dest_ratio = od.dest_ratio;
+  pseudo.path = match::InterpolateIntervals(
+      dataset_.network, route_segments, od.origin_ratio, od.dest_ratio,
+      od.departure_time, od.departure_time + expected_seconds);
+  const nn::Tensor stcode = EncodeTrajectory(pseudo);
+  return EstimateFromCode(stcode).item() * time_scale_;
+}
+
+nn::Tensor DeepOdModel::SampleLoss(const traj::TripRecord& record) {
+  const nn::Tensor code = EncodeOd(record.od);
+  const nn::Tensor estimate = EstimateFromCode(code);
+  const nn::Tensor target =
+      nn::Tensor::Scalar(record.travel_time / time_scale_);
+  // mainloss is the MAE in *seconds* (Algorithm 1 line 11): the head works
+  // in normalised units for conditioning, and the loss rescales back so the
+  // paper's balance between mainloss (hundreds) and auxiliaryloss (O(1)
+  // embedding distance) is preserved — that balance is what makes the w
+  // sweep of Fig. 9 behave gently.
+  const nn::Tensor main_loss =
+      nn::Scale(nn::MaeLoss(estimate, target), time_scale_);
+  const bool use_aux = config_.ablation != Ablation::kNoSt &&
+                       !record.trajectory.empty() && config_.loss_weight_w > 0.0;
+  if (!use_aux) return main_loss;
+  const nn::Tensor stcode = EncodeTrajectory(record.trajectory);
+  const nn::Tensor aux_loss = nn::EuclideanDistance(code, stcode);
+  const double w = config_.loss_weight_w;
+  nn::Tensor grounded_main = main_loss;
+  if (config_.supervise_stcode) {
+    // Keep stcode anchored to the label (see DeepOdConfig::supervise_stcode).
+    const nn::Tensor st_estimate = EstimateFromCode(stcode);
+    grounded_main = nn::Scale(
+        nn::Add(main_loss, nn::MaeLoss(st_estimate, target)), 0.5);
+  }
+  return nn::Add(nn::Scale(aux_loss, w), nn::Scale(grounded_main, 1.0 - w));
+}
+
+void DeepOdModel::Save(const std::string& path) {
+  // Append the time scale as one extra parameter tensor so a single file
+  // captures everything Predict needs.
+  auto params = Parameters();
+  params.push_back(nn::Tensor::Scalar(time_scale_));
+  nn::SaveParameters(path, params);
+}
+
+void DeepOdModel::Load(const std::string& path) {
+  auto params = Parameters();
+  nn::Tensor scale = nn::Tensor::Scalar(0.0);
+  params.push_back(scale);
+  nn::LoadParameters(path, params);
+  time_scale_ = scale.item();
+}
+
+std::vector<nn::Tensor> DeepOdModel::Parameters() {
+  std::vector<nn::Tensor> params;
+  auto append = [&params](std::vector<nn::Tensor> p) {
+    params.insert(params.end(), p.begin(), p.end());
+  };
+  append(road_embedding_->Parameters());
+  append(time_slot_embedding_->Parameters());
+  append(trajectory_encoder_->Parameters());
+  append(external_encoder_->Parameters());
+  append(mlp1_->Parameters());
+  append(mlp2_->Parameters());
+  return params;
+}
+
+void DeepOdModel::SetTraining(bool training) {
+  Module::SetTraining(training);
+  trajectory_encoder_->SetTraining(training);
+  external_encoder_->SetTraining(training);
+}
+
+}  // namespace deepod::core

@@ -1,0 +1,95 @@
+#ifndef DEEPOD_CORE_DEEPOD_MODEL_H_
+#define DEEPOD_CORE_DEEPOD_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/deepod_config.h"
+#include "core/encoders.h"
+#include "nn/module.h"
+#include "sim/dataset.h"
+#include "temporal/time_slot.h"
+#include "traj/trajectory.h"
+
+namespace deepod::core {
+
+// The DeepOD architecture (Fig. 3): the OD encoder M_O, the trajectory
+// encoder M_T and the travel-time estimator M_E over shared road-segment
+// and time-slot embedding matrices. Construction initialises the embedding
+// matrices from unsupervised graph embeddings (Algorithm 1 lines 1-5)
+// unless the config's ablations say otherwise.
+//
+// Travel times are modelled in normalised units y / time_scale (the mean
+// training travel time); this keeps mainloss and auxiliaryloss on the same
+// O(1) scale so the paper's weighted combination behaves as described.
+class DeepOdModel : public nn::Module {
+ public:
+  // `dataset` provides the road network, the temporal slotter and the
+  // training trajectories used for edge-graph co-occurrence weights.
+  DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset);
+
+  // --- Forward pieces ------------------------------------------------------
+
+  // M_O: hidden representation `code` of an OD input (Eq. 19).
+  nn::Tensor EncodeOd(const traj::OdInput& od);
+
+  // M_T: spatio-temporal representation `stcode` of a trajectory (Eq. 17).
+  nn::Tensor EncodeTrajectory(const traj::MatchedTrajectory& trajectory);
+
+  // M_E: normalised travel-time estimate from `code` (Eq. 20).
+  nn::Tensor EstimateFromCode(const nn::Tensor& code);
+
+  // Online estimation (Algorithm 1, Estimation): seconds for an OD input.
+  double Predict(const traj::OdInput& od);
+
+  // Extension: what-if ETA for a concrete candidate route. §4.4 notes that
+  // generating `code` "is analogous to generating a proper trajectory"; this
+  // runs the reverse direction explicitly — it builds a pseudo
+  // spatio-temporal path for `route_segments` (intervals from free-flow
+  // expectations via the §2 linear interpolation), encodes it with M_T and
+  // reads the time from M_E. Requires supervise_stcode (the default), which
+  // grounds M_E on trajectory representations during training. The route
+  // must be a connected path from od.origin_segment to od.dest_segment.
+  double PredictForRoute(const traj::OdInput& od,
+                         const std::vector<size_t>& route_segments);
+
+  // --- Training support ----------------------------------------------------
+
+  // Combined per-sample loss (Algorithm 1 lines 7-12):
+  //   w · ||code - stcode||₂ + (1-w) · |ŷ - y| / time_scale.
+  // For the N-st ablation the auxiliary term is dropped.
+  nn::Tensor SampleLoss(const traj::TripRecord& record);
+
+  double time_scale() const { return time_scale_; }
+  void set_time_scale(double scale) { time_scale_ = scale; }
+
+  // Checkpointing: writes / restores every parameter plus the time scale.
+  // The model must be constructed with the same config and dataset shape
+  // (same embedding table sizes) before Load.
+  void Save(const std::string& path);
+  void Load(const std::string& path);
+
+  std::vector<nn::Tensor> Parameters() override;
+  void SetTraining(bool training) override;
+
+  const DeepOdConfig& config() const { return config_; }
+  nn::Embedding& road_embedding() { return *road_embedding_; }
+  nn::Embedding& time_slot_embedding() { return *time_slot_embedding_; }
+
+ private:
+  DeepOdConfig config_;
+  const sim::Dataset& dataset_;
+  temporal::TimeSlotter slotter_;
+  double time_scale_ = 1.0;
+
+  std::unique_ptr<nn::Embedding> road_embedding_;       // Ws
+  std::unique_ptr<nn::Embedding> time_slot_embedding_;  // Wt
+  std::unique_ptr<TrajectoryEncoder> trajectory_encoder_;
+  std::unique_ptr<ExternalFeaturesEncoder> external_encoder_;
+  std::unique_ptr<nn::Mlp2> mlp1_;  // Eq. 19: Z9 -> code
+  std::unique_ptr<nn::Mlp2> mlp2_;  // Eq. 20: code -> y
+};
+
+}  // namespace deepod::core
+
+#endif  // DEEPOD_CORE_DEEPOD_MODEL_H_

@@ -1,0 +1,100 @@
+#include "core/trainer.h"
+
+#include <cmath>
+#include <limits>
+
+#include "nn/ops.h"
+#include "nn/serialize.h"
+#include "util/rng.h"
+
+namespace deepod::core {
+
+DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
+    : model_(model),
+      dataset_(dataset),
+      optimizer_(model.Parameters(), model.config().learning_rate) {}
+
+double DeepOdTrainer::ValidationMae(size_t max_samples) {
+  model_.SetTraining(false);
+  const size_t n = std::min(max_samples, dataset_.validation.size());
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const auto& trip = dataset_.validation[i];
+    sum += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+  }
+  model_.SetTraining(true);
+  return sum / static_cast<double>(n);
+}
+
+double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
+                            size_t max_val_samples) {
+  const auto& config = model_.config();
+  util::Rng rng(config.seed ^ 0xbadc0ffeull);
+  std::vector<size_t> order(dataset_.train.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  model_.SetTraining(true);
+  const size_t bs = std::max<size_t>(1, config.batch_size);
+  auto params = model_.Parameters();
+  std::vector<uint8_t> best_checkpoint;
+  double best_val = std::numeric_limits<double>::infinity();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // §6.1: learning rate reduced by the decay factor every 2 epochs.
+    const double lr =
+        config.learning_rate *
+        std::pow(config.lr_decay_factor,
+                 static_cast<double>(epoch / config.lr_decay_epochs));
+    optimizer_.set_learning_rate(lr);
+    rng.Shuffle(order);  // Algorithm 1, ModelTrain line 2
+    size_t in_batch = 0;
+    optimizer_.ZeroGrad();
+    for (size_t idx : order) {
+      // Per-sample backward accumulates gradients; scaling by 1/bs makes
+      // the accumulated gradient the mini-batch mean (Algorithm 1 trains
+      // on mini-batches).
+      nn::Tensor loss =
+          nn::Scale(model_.SampleLoss(dataset_.train[idx]),
+                    1.0 / static_cast<double>(bs));
+      loss.Backward();
+      if (++in_batch == bs) {
+        optimizer_.ClipGradNorm(config.grad_clip);
+        optimizer_.Step();
+        optimizer_.ZeroGrad();
+        in_batch = 0;
+        ++step_;
+        if (callback && step_ % eval_every == 0) {
+          callback(step_, ValidationMae(max_val_samples));
+        }
+      }
+    }
+    if (in_batch > 0) {
+      optimizer_.ClipGradNorm(config.grad_clip);
+      optimizer_.Step();
+      optimizer_.ZeroGrad();
+      ++step_;
+    }
+    // End-of-epoch validation checkpoint; best epoch is restored below.
+    const double epoch_val = ValidationMae(max_val_samples);
+    if (epoch_val < best_val) {
+      best_val = epoch_val;
+      best_checkpoint = nn::SerializeParameters(params);
+    }
+  }
+  if (!best_checkpoint.empty()) {
+    nn::DeserializeParameters(best_checkpoint, params);
+  }
+  model_.SetTraining(false);
+  return ValidationMae(max_val_samples);
+}
+
+std::vector<double> DeepOdTrainer::PredictAll(
+    const std::vector<traj::TripRecord>& trips) {
+  model_.SetTraining(false);
+  std::vector<double> out;
+  out.reserve(trips.size());
+  for (const auto& trip : trips) out.push_back(model_.Predict(trip.od));
+  return out;
+}
+
+}  // namespace deepod::core

@@ -1,0 +1,48 @@
+#ifndef DEEPOD_CORE_TRAINER_H_
+#define DEEPOD_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/deepod_model.h"
+#include "nn/optimizer.h"
+#include "sim/dataset.h"
+
+namespace deepod::core {
+
+// Offline training / online estimation driver implementing Algorithm 1's
+// ModelTrain and Estimation procedures for DeepOD.
+class DeepOdTrainer {
+ public:
+  // Invoked every `eval_every` optimisation steps with (step, validation
+  // MAE in seconds). Drives the Fig. 10 convergence curves.
+  using StepCallback = std::function<void(size_t step, double val_mae)>;
+
+  DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset);
+
+  // Trains for model.config().epochs epochs; returns the best validation
+  // MAE (seconds). `callback` may be null. Validation is evaluated on at
+  // most `max_val_samples` trips for speed. Parameters are checkpointed at
+  // every end-of-epoch validation and the best checkpoint is restored at
+  // the end (the paper tunes on the validation split, §6.1).
+  double Train(const StepCallback& callback = nullptr, size_t eval_every = 25,
+               size_t max_val_samples = 200);
+
+  // Mean validation MAE in seconds over up to `max_samples` trips.
+  double ValidationMae(size_t max_samples = 200);
+
+  // Predicted travel time (seconds) for every test trip.
+  std::vector<double> PredictAll(const std::vector<traj::TripRecord>& trips);
+
+  size_t steps_taken() const { return step_; }
+
+ private:
+  DeepOdModel& model_;
+  const sim::Dataset& dataset_;
+  nn::Adam optimizer_;
+  size_t step_ = 0;
+};
+
+}  // namespace deepod::core
+
+#endif  // DEEPOD_CORE_TRAINER_H_

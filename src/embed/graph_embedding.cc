@@ -1,0 +1,158 @@
+#include "embed/graph_embedding.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "embed/random_walk.h"
+#include "util/alias_sampler.h"
+
+namespace deepod::embed {
+namespace {
+
+// One half of LINE: optimises either first-order proximity (node-node
+// symmetric) or second-order proximity (node-context) by sampling arcs
+// proportional to weight with negative sampling.
+EmbeddingMatrix LineHalf(const util::WeightedDigraph& graph, size_t dim,
+                         bool second_order, size_t samples_per_arc,
+                         util::Rng& rng) {
+  const size_t n = graph.num_nodes();
+  EmbeddingMatrix vertex(n, std::vector<double>(dim));
+  EmbeddingMatrix context(n, std::vector<double>(dim, 0.0));
+  const double init_scale = 0.5 / static_cast<double>(dim);
+  for (auto& row : vertex) {
+    for (double& x : row) x = rng.Uniform(-init_scale, init_scale);
+  }
+  // Flatten arcs with weights for alias sampling.
+  std::vector<std::pair<size_t, size_t>> arcs;
+  std::vector<double> weights;
+  std::vector<double> degree(n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    for (const auto& a : graph.OutArcs(v)) {
+      arcs.emplace_back(v, a.to);
+      weights.push_back(a.weight);
+      degree[a.to] += a.weight;
+    }
+  }
+  if (arcs.empty()) return vertex;
+  const util::AliasSampler arc_sampler(weights);
+  for (double& d : degree) d = std::pow(d + 1e-3, 0.75);
+  const util::AliasSampler negative_sampler(degree);
+
+  const size_t total = arcs.size() * samples_per_arc;
+  auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+  std::vector<double> grad(dim);
+  constexpr size_t kNegatives = 4;
+  for (size_t step = 0; step < total; ++step) {
+    const double lr =
+        std::max(1e-4, 0.025 * (1.0 - static_cast<double>(step) /
+                                          static_cast<double>(total)));
+    const auto [src, dst] = arcs[arc_sampler.Sample(rng)];
+    auto& v = vertex[src];
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (size_t k = 0; k <= kNegatives; ++k) {
+      size_t target = k == 0 ? dst : negative_sampler.Sample(rng);
+      if (k > 0 && target == dst) continue;
+      const double label = k == 0 ? 1.0 : 0.0;
+      auto& u = second_order ? context[target] : vertex[target];
+      double dot = 0.0;
+      for (size_t j = 0; j < dim; ++j) dot += v[j] * u[j];
+      const double g = (sigmoid(dot) - label) * lr;
+      for (size_t j = 0; j < dim; ++j) {
+        grad[j] += g * u[j];
+        u[j] -= g * v[j];
+      }
+    }
+    for (size_t j = 0; j < dim; ++j) v[j] -= grad[j];
+  }
+  return vertex;
+}
+
+}  // namespace
+
+std::string EmbedMethodName(EmbedMethod method) {
+  switch (method) {
+    case EmbedMethod::kDeepWalk:
+      return "DeepWalk";
+    case EmbedMethod::kNode2Vec:
+      return "node2vec";
+    case EmbedMethod::kLine:
+      return "LINE";
+    case EmbedMethod::kRandom:
+      return "random";
+  }
+  return "unknown";
+}
+
+EmbeddingMatrix EmbedLine(const util::WeightedDigraph& graph,
+                          const EmbedOptions& options, util::Rng& rng) {
+  const size_t half = std::max<size_t>(1, options.dim / 2);
+  const size_t rest = options.dim - half;
+  EmbeddingMatrix first =
+      LineHalf(graph, half, false, options.line_samples_per_arc, rng);
+  EmbeddingMatrix second =
+      rest > 0 ? LineHalf(graph, rest, true, options.line_samples_per_arc, rng)
+               : EmbeddingMatrix(graph.num_nodes());
+  EmbeddingMatrix out(graph.num_nodes());
+  for (size_t v = 0; v < graph.num_nodes(); ++v) {
+    out[v] = first[v];
+    out[v].insert(out[v].end(), second[v].begin(), second[v].end());
+  }
+  return out;
+}
+
+EmbeddingMatrix EmbedGraph(const util::WeightedDigraph& graph,
+                           EmbedMethod method, const EmbedOptions& options,
+                           util::Rng& rng) {
+  if (graph.num_nodes() == 0) {
+    throw std::invalid_argument("EmbedGraph: empty graph");
+  }
+  switch (method) {
+    case EmbedMethod::kRandom: {
+      EmbeddingMatrix out(graph.num_nodes(), std::vector<double>(options.dim));
+      const double s = 0.5 / static_cast<double>(options.dim);
+      for (auto& row : out) {
+        for (double& x : row) x = rng.Uniform(-s, s);
+      }
+      return out;
+    }
+    case EmbedMethod::kLine:
+      return EmbedLine(graph, options, rng);
+    case EmbedMethod::kDeepWalk:
+    case EmbedMethod::kNode2Vec: {
+      RandomWalker::Options walk_options;
+      walk_options.walk_length = options.walk_length;
+      walk_options.walks_per_node = options.walks_per_node;
+      if (method == EmbedMethod::kNode2Vec) {
+        walk_options.p = options.p;
+        walk_options.q = options.q;
+      }
+      RandomWalker walker(graph, walk_options);
+      const auto corpus = walker.Corpus(rng);
+      SkipGramTrainer::Options sg_options;
+      sg_options.dim = options.dim;
+      sg_options.window = options.window;
+      sg_options.negatives = options.negatives;
+      sg_options.epochs = options.epochs;
+      SkipGramTrainer trainer(graph.num_nodes(), sg_options);
+      return trainer.Train(corpus, rng);
+    }
+  }
+  throw std::invalid_argument("EmbedGraph: unknown method");
+}
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("CosineSimilarity: size mismatch");
+  }
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+}  // namespace deepod::embed

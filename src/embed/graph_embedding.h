@@ -1,0 +1,52 @@
+#ifndef DEEPOD_EMBED_GRAPH_EMBEDDING_H_
+#define DEEPOD_EMBED_GRAPH_EMBEDDING_H_
+
+#include <string>
+
+#include "embed/skipgram.h"
+#include "util/rng.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::embed {
+
+// The three unsupervised graph-embedding methods the paper compares for
+// initialising Ws and Wt (§5: "we tried three graph embedding methods
+// (DeepWalk, LINE, node2vec), and node2vec achieves the best result").
+enum class EmbedMethod { kDeepWalk, kNode2Vec, kLine, kRandom };
+
+std::string EmbedMethodName(EmbedMethod method);
+
+struct EmbedOptions {
+  size_t dim = 64;
+  // Walk/corpus parameters (DeepWalk & node2vec).
+  size_t walk_length = 20;
+  size_t walks_per_node = 4;
+  size_t window = 4;
+  size_t negatives = 4;
+  size_t epochs = 2;
+  // node2vec bias.
+  double p = 1.0;
+  double q = 0.5;
+  // LINE: number of edge-sampling updates per arc.
+  size_t line_samples_per_arc = 200;
+};
+
+// Embeds every node of the graph with the chosen method. kRandom returns
+// small uniform vectors (the one-hot-init ablations T-one / R-one of
+// Table 7 start from this).
+EmbeddingMatrix EmbedGraph(const util::WeightedDigraph& graph,
+                           EmbedMethod method, const EmbedOptions& options,
+                           util::Rng& rng);
+
+// LINE (Tang et al. 2015) with first+second order proximity halves
+// concatenated (dim/2 each). Exposed for direct testing.
+EmbeddingMatrix EmbedLine(const util::WeightedDigraph& graph,
+                          const EmbedOptions& options, util::Rng& rng);
+
+// Cosine similarity between two embedding rows (test/analysis helper).
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+}  // namespace deepod::embed
+
+#endif  // DEEPOD_EMBED_GRAPH_EMBEDDING_H_

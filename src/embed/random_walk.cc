@@ -1,0 +1,91 @@
+#include "embed/random_walk.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace deepod::embed {
+
+RandomWalker::RandomWalker(const util::WeightedDigraph& graph, Options options)
+    : graph_(graph), options_(options) {
+  if (options_.walk_length == 0) {
+    throw std::invalid_argument("RandomWalker: zero walk length");
+  }
+  second_order_ = options_.p != 1.0 || options_.q != 1.0;
+  node_alias_.reserve(graph.num_nodes());
+  for (size_t v = 0; v < graph.num_nodes(); ++v) {
+    const auto& arcs = graph.OutArcs(v);
+    if (arcs.empty()) {
+      node_alias_.emplace_back();
+      continue;
+    }
+    std::vector<double> weights;
+    weights.reserve(arcs.size());
+    for (const auto& a : arcs) weights.push_back(a.weight);
+    node_alias_.emplace_back(weights);
+  }
+}
+
+size_t RandomWalker::NextFirstOrder(size_t cur, util::Rng& rng) {
+  const auto& sampler = node_alias_[cur];
+  if (sampler.empty()) return static_cast<size_t>(-1);
+  return graph_.OutArcs(cur)[sampler.Sample(rng)].to;
+}
+
+size_t RandomWalker::NextSecondOrder(size_t prev, size_t cur, util::Rng& rng) {
+  const auto& arcs = graph_.OutArcs(cur);
+  if (arcs.empty()) return static_cast<size_t>(-1);
+  const uint64_t key = (static_cast<uint64_t>(prev) << 32) | cur;
+  if (const auto it = edge_alias_.find(key); it != edge_alias_.end()) {
+    return arcs[it->second.Sample(rng)].to;
+  }
+  // Build the biased distribution: weight / p when returning to prev,
+  // weight when the target is a neighbour of prev (distance 1), weight / q
+  // otherwise (distance 2) — the node2vec search bias.
+  std::vector<double> weights;
+  weights.reserve(arcs.size());
+  for (const auto& a : arcs) {
+    double w = a.weight;
+    if (a.to == prev) {
+      w /= options_.p;
+    } else if (!graph_.HasArc(prev, a.to)) {
+      w /= options_.q;
+    }
+    weights.push_back(w);
+  }
+  auto [it, inserted] = edge_alias_.emplace(key, util::AliasSampler(weights));
+  return arcs[it->second.Sample(rng)].to;
+}
+
+std::vector<size_t> RandomWalker::Walk(size_t start, util::Rng& rng) {
+  if (start >= graph_.num_nodes()) {
+    throw std::out_of_range("RandomWalker::Walk: start node out of range");
+  }
+  std::vector<size_t> walk;
+  walk.reserve(options_.walk_length);
+  walk.push_back(start);
+  while (walk.size() < options_.walk_length) {
+    size_t next;
+    if (walk.size() == 1 || !second_order_) {
+      next = NextFirstOrder(walk.back(), rng);
+    } else {
+      next = NextSecondOrder(walk[walk.size() - 2], walk.back(), rng);
+    }
+    if (next == static_cast<size_t>(-1)) break;  // sink
+    walk.push_back(next);
+  }
+  return walk;
+}
+
+std::vector<std::vector<size_t>> RandomWalker::Corpus(util::Rng& rng) {
+  std::vector<size_t> order(graph_.num_nodes());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<std::vector<size_t>> corpus;
+  corpus.reserve(order.size() * options_.walks_per_node);
+  for (size_t round = 0; round < options_.walks_per_node; ++round) {
+    rng.Shuffle(order);
+    for (size_t start : order) corpus.push_back(Walk(start, rng));
+  }
+  return corpus;
+}
+
+}  // namespace deepod::embed

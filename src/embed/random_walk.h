@@ -1,0 +1,50 @@
+#ifndef DEEPOD_EMBED_RANDOM_WALK_H_
+#define DEEPOD_EMBED_RANDOM_WALK_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::embed {
+
+// Random-walk corpus generation over a weighted digraph, supporting both
+// DeepWalk (uniform-by-weight first-order walks) and node2vec (second-order
+// walks biased by the return parameter p and in-out parameter q, sampled in
+// O(1) via per-(prev,cur) alias tables built lazily).
+class RandomWalker {
+ public:
+  struct Options {
+    size_t walk_length = 20;
+    size_t walks_per_node = 4;
+    // node2vec bias parameters; p = q = 1 reduces to DeepWalk.
+    double p = 1.0;
+    double q = 1.0;
+  };
+
+  RandomWalker(const util::WeightedDigraph& graph, Options options);
+
+  // One walk starting at `start`; may terminate early at a sink node.
+  std::vector<size_t> Walk(size_t start, util::Rng& rng);
+
+  // walks_per_node walks from every node, in shuffled node order.
+  std::vector<std::vector<size_t>> Corpus(util::Rng& rng);
+
+ private:
+  size_t NextFirstOrder(size_t cur, util::Rng& rng);
+  size_t NextSecondOrder(size_t prev, size_t cur, util::Rng& rng);
+
+  const util::WeightedDigraph& graph_;
+  Options options_;
+  // First-order alias table per node.
+  std::vector<util::AliasSampler> node_alias_;
+  // Second-order alias tables keyed by (prev << 32 | cur), built lazily.
+  std::unordered_map<uint64_t, util::AliasSampler> edge_alias_;
+  bool second_order_ = false;
+};
+
+}  // namespace deepod::embed
+
+#endif  // DEEPOD_EMBED_RANDOM_WALK_H_

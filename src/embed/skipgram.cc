@@ -1,0 +1,92 @@
+#include "embed/skipgram.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/alias_sampler.h"
+
+namespace deepod::embed {
+
+SkipGramTrainer::SkipGramTrainer(size_t num_nodes, Options options)
+    : num_nodes_(num_nodes), options_(options) {
+  if (num_nodes == 0) throw std::invalid_argument("SkipGramTrainer: no nodes");
+  if (options_.dim == 0) throw std::invalid_argument("SkipGramTrainer: dim 0");
+}
+
+EmbeddingMatrix SkipGramTrainer::Train(
+    const std::vector<std::vector<size_t>>& corpus, util::Rng& rng) {
+  const size_t d = options_.dim;
+  // Input (center) and output (context) embeddings.
+  EmbeddingMatrix in(num_nodes_, std::vector<double>(d));
+  EmbeddingMatrix out(num_nodes_, std::vector<double>(d, 0.0));
+  const double init_scale = 0.5 / static_cast<double>(d);
+  for (auto& row : in) {
+    for (double& x : row) x = rng.Uniform(-init_scale, init_scale);
+  }
+
+  // Negative-sampling distribution: frequency^0.75 over corpus occurrences.
+  std::vector<double> freq(num_nodes_, 0.0);
+  size_t total_tokens = 0;
+  for (const auto& walk : corpus) {
+    for (size_t node : walk) {
+      if (node >= num_nodes_) {
+        throw std::out_of_range("SkipGramTrainer: node id out of range");
+      }
+      freq[node] += 1.0;
+      ++total_tokens;
+    }
+  }
+  if (total_tokens == 0) throw std::invalid_argument("SkipGramTrainer: empty corpus");
+  for (double& f : freq) f = std::pow(f + 1e-3, options_.negative_power);
+  const util::AliasSampler negative_sampler(freq);
+
+  const size_t total_steps = options_.epochs * total_tokens;
+  size_t step = 0;
+  std::vector<double> grad_center(d);
+  auto sigmoid = [](double x) { return 1.0 / (1.0 + std::exp(-x)); };
+
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    for (const auto& walk : corpus) {
+      for (size_t pos = 0; pos < walk.size(); ++pos) {
+        const double progress =
+            static_cast<double>(step) / static_cast<double>(total_steps);
+        const double lr = std::max(
+            options_.min_lr, options_.initial_lr * (1.0 - progress));
+        ++step;
+        const size_t center = walk[pos];
+        auto& v = in[center];
+        const size_t lo = pos >= options_.window ? pos - options_.window : 0;
+        const size_t hi = std::min(walk.size() - 1, pos + options_.window);
+        for (size_t cpos = lo; cpos <= hi; ++cpos) {
+          if (cpos == pos) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          // One positive plus `negatives` negative updates.
+          for (size_t k = 0; k <= options_.negatives; ++k) {
+            size_t target;
+            double label;
+            if (k == 0) {
+              target = walk[cpos];
+              label = 1.0;
+            } else {
+              target = negative_sampler.Sample(rng);
+              if (target == walk[cpos]) continue;
+              label = 0.0;
+            }
+            auto& u = out[target];
+            double dot = 0.0;
+            for (size_t j = 0; j < d; ++j) dot += v[j] * u[j];
+            const double g = (sigmoid(dot) - label) * lr;
+            for (size_t j = 0; j < d; ++j) {
+              grad_center[j] += g * u[j];
+              u[j] -= g * v[j];
+            }
+          }
+          for (size_t j = 0; j < d; ++j) v[j] -= grad_center[j];
+        }
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace deepod::embed

@@ -1,0 +1,45 @@
+#ifndef DEEPOD_EMBED_SKIPGRAM_H_
+#define DEEPOD_EMBED_SKIPGRAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepod::embed {
+
+// A trained node-embedding table: row i is the vector of node i.
+using EmbeddingMatrix = std::vector<std::vector<double>>;
+
+// Skip-gram with negative sampling (SGNS) over random-walk corpora — the
+// learning core shared by DeepWalk and node2vec (the paper initialises both
+// Ws and Wt this way, Algorithm 1 lines 1-4). For each (center, context)
+// pair within the window, maximises log σ(u·v) plus `negatives` sampled
+// log σ(-u·v_neg) terms; trained by SGD with linear learning-rate decay.
+class SkipGramTrainer {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t window = 4;
+    size_t negatives = 4;
+    size_t epochs = 2;
+    double initial_lr = 0.025;
+    double min_lr = 1e-4;
+    // Unigram^0.75 negative-sampling distribution, as in word2vec.
+    double negative_power = 0.75;
+  };
+
+  SkipGramTrainer(size_t num_nodes, Options options);
+
+  // Trains on the walk corpus; returns the input-side embeddings.
+  EmbeddingMatrix Train(const std::vector<std::vector<size_t>>& corpus,
+                        util::Rng& rng);
+
+ private:
+  size_t num_nodes_;
+  Options options_;
+};
+
+}  // namespace deepod::embed
+
+#endif  // DEEPOD_EMBED_SKIPGRAM_H_

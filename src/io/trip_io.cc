@@ -1,0 +1,191 @@
+#include "io/trip_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "road/spatial_index.h"
+
+namespace deepod::io {
+namespace {
+
+std::vector<std::string> SplitCsvLine(const std::string& line, char sep = ',') {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, sep)) fields.push_back(field);
+  // A trailing separator yields an implicit final empty field.
+  if (!line.empty() && line.back() == sep) fields.emplace_back();
+  return fields;
+}
+
+double ParseDouble(const std::string& s, const char* what) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(s, &pos);
+    if (pos != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error(std::string("trip_io: bad number for ") + what +
+                             ": '" + s + "'");
+  }
+}
+
+size_t ParseIndex(const std::string& s, const char* what) {
+  const double v = ParseDouble(s, what);
+  if (v < 0 || v != static_cast<double>(static_cast<size_t>(v))) {
+    throw std::runtime_error(std::string("trip_io: bad index for ") + what);
+  }
+  return static_cast<size_t>(v);
+}
+
+std::ofstream OpenOut(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trip_io: cannot open " + path);
+  return out;
+}
+
+std::ifstream OpenIn(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trip_io: cannot open " + path);
+  return in;
+}
+
+}  // namespace
+
+void WriteNetworkCsv(const road::RoadNetwork& net, std::ostream& out) {
+  out.precision(15);
+  out << "vertices\n";
+  out << "id,x,y\n";
+  for (size_t v = 0; v < net.num_vertices(); ++v) {
+    const auto& vertex = net.vertex(v);
+    out << v << "," << vertex.pos.x << "," << vertex.pos.y << "\n";
+  }
+  out << "segments\n";
+  out << "id,from,to,length,speed,class\n";
+  for (const auto& s : net.segments()) {
+    out << s.id << "," << s.from << "," << s.to << "," << s.length << ","
+        << s.free_flow_speed << "," << static_cast<int>(s.road_class) << "\n";
+  }
+}
+
+void WriteNetworkCsv(const road::RoadNetwork& net, const std::string& path) {
+  auto out = OpenOut(path);
+  WriteNetworkCsv(net, out);
+}
+
+road::RoadNetwork ReadNetworkCsv(std::istream& in) {
+  road::RoadNetwork net;
+  std::string line;
+  if (!std::getline(in, line) || line != "vertices") {
+    throw std::runtime_error("trip_io: expected 'vertices' section");
+  }
+  std::getline(in, line);  // header
+  while (std::getline(in, line) && line != "segments") {
+    const auto f = SplitCsvLine(line);
+    if (f.size() != 3) throw std::runtime_error("trip_io: bad vertex row");
+    net.AddVertex({ParseDouble(f[1], "x"), ParseDouble(f[2], "y")});
+  }
+  if (line != "segments") {
+    throw std::runtime_error("trip_io: expected 'segments' section");
+  }
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = SplitCsvLine(line);
+    if (f.size() != 6) throw std::runtime_error("trip_io: bad segment row");
+    net.AddSegment(ParseIndex(f[1], "from"), ParseIndex(f[2], "to"),
+                   ParseDouble(f[4], "speed"),
+                   static_cast<road::RoadClass>(
+                       static_cast<int>(ParseDouble(f[5], "class"))),
+                   ParseDouble(f[3], "length"));
+  }
+  net.Finalize();
+  return net;
+}
+
+road::RoadNetwork ReadNetworkCsv(const std::string& path) {
+  auto in = OpenIn(path);
+  return ReadNetworkCsv(in);
+}
+
+void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
+                   std::ostream& out) {
+  out.precision(15);
+  out << "depart,origin_x,origin_y,dest_x,dest_y,weather,travel_time,route\n";
+  for (const auto& trip : trips) {
+    out << trip.od.departure_time << "," << trip.od.origin.x << ","
+        << trip.od.origin.y << "," << trip.od.destination.x << ","
+        << trip.od.destination.y << "," << trip.od.weather_type << ","
+        << trip.travel_time << ",";
+    for (size_t i = 0; i < trip.trajectory.path.size(); ++i) {
+      const auto& e = trip.trajectory.path[i];
+      if (i) out << "|";
+      out << e.segment_id << ":" << e.enter << ":" << e.exit;
+    }
+    out << "\n";
+  }
+}
+
+void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
+                   const std::string& path) {
+  auto out = OpenOut(path);
+  WriteTripsCsv(trips, out);
+}
+
+std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
+                                           std::istream& in) {
+  const road::SpatialIndex index(net);
+  std::vector<traj::TripRecord> trips;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto f = SplitCsvLine(line);
+    if (f.size() != 8) throw std::runtime_error("trip_io: bad trip row");
+    traj::TripRecord trip;
+    trip.od.departure_time = ParseDouble(f[0], "depart");
+    trip.od.origin = {ParseDouble(f[1], "origin_x"),
+                      ParseDouble(f[2], "origin_y")};
+    trip.od.destination = {ParseDouble(f[3], "dest_x"),
+                           ParseDouble(f[4], "dest_y")};
+    trip.od.weather_type = static_cast<int>(ParseDouble(f[5], "weather"));
+    trip.travel_time = ParseDouble(f[6], "travel_time");
+    // Route, if present.
+    if (!f[7].empty()) {
+      for (const auto& triplet : SplitCsvLine(f[7], '|')) {
+        const auto parts = SplitCsvLine(triplet, ':');
+        if (parts.size() != 3) throw std::runtime_error("trip_io: bad route");
+        traj::PathElement e;
+        e.segment_id = ParseIndex(parts[0], "segment");
+        if (e.segment_id >= net.num_segments()) {
+          throw std::runtime_error("trip_io: segment id out of range");
+        }
+        e.enter = ParseDouble(parts[1], "enter");
+        e.exit = ParseDouble(parts[2], "exit");
+        trip.trajectory.path.push_back(e);
+      }
+    }
+    // Re-derive the OD input's matched representation (and the trajectory's
+    // position ratios) by projecting the raw points.
+    const auto origin_proj = index.Nearest(trip.od.origin);
+    const auto dest_proj = index.Nearest(trip.od.destination);
+    trip.od.origin_segment = origin_proj.segment_id;
+    trip.od.origin_ratio = origin_proj.ratio;
+    trip.od.dest_segment = dest_proj.segment_id;
+    trip.od.dest_ratio = dest_proj.ratio;
+    trip.trajectory.origin_ratio = origin_proj.ratio;
+    trip.trajectory.dest_ratio = dest_proj.ratio;
+    trips.push_back(std::move(trip));
+  }
+  return trips;
+}
+
+std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
+                                           const std::string& path) {
+  auto in = OpenIn(path);
+  return ReadTripsCsv(net, in);
+}
+
+}  // namespace deepod::io

@@ -1,0 +1,184 @@
+#include "match/map_matcher.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deepod::match {
+namespace {
+
+// Length of the sub-route between two projections on a candidate route:
+// used to form the transition cost.
+struct Candidate {
+  road::Projection proj;
+  double best_cost = std::numeric_limits<double>::infinity();
+  int back_pointer = -1;
+  std::vector<size_t> route_from_prev;  // segments connecting prev -> this
+};
+
+}  // namespace
+
+MapMatcher::MapMatcher(const road::RoadNetwork& net)
+    : MapMatcher(net, Options{}) {}
+
+MapMatcher::MapMatcher(const road::RoadNetwork& net, Options options)
+    : net_(net), options_(options), index_(net) {}
+
+road::Projection MapMatcher::SnapPoint(const road::Point& p) const {
+  return index_.Nearest(p);
+}
+
+traj::MatchedTrajectory MapMatcher::Match(const traj::RawTrajectory& raw) const {
+  traj::MatchedTrajectory result;
+  if (raw.points.size() < 2) return result;
+
+  // Candidate generation per GPS point.
+  std::vector<std::vector<Candidate>> layers(raw.points.size());
+  for (size_t i = 0; i < raw.points.size(); ++i) {
+    auto within = index_.Within(raw.points[i].pos, options_.candidate_radius);
+    if (within.empty()) within = {index_.Nearest(raw.points[i].pos)};
+    if (within.size() > options_.max_candidates) {
+      within.resize(options_.max_candidates);
+    }
+    for (const auto& proj : within) {
+      layers[i].push_back(
+          {proj, std::numeric_limits<double>::infinity(), -1, {}});
+    }
+  }
+
+  // Viterbi over candidate layers. Emission cost: squared snap distance
+  // scaled by gps_sigma. Transition cost: route detour vs straight line.
+  const double sigma_sq = options_.gps_sigma * options_.gps_sigma;
+  for (auto& c : layers[0]) {
+    c.best_cost = c.proj.distance * c.proj.distance / sigma_sq;
+  }
+  for (size_t i = 1; i < layers.size(); ++i) {
+    const double straight =
+        road::Distance(raw.points[i - 1].pos, raw.points[i].pos);
+    for (auto& cur : layers[i]) {
+      const double emission =
+          cur.proj.distance * cur.proj.distance / sigma_sq;
+      for (size_t j = 0; j < layers[i - 1].size(); ++j) {
+        const auto& prev = layers[i - 1][j];
+        if (!std::isfinite(prev.best_cost)) continue;
+        // Route between the two projected positions.
+        std::vector<size_t> connecting;
+        double route_len = 0.0;
+        const auto& ps = net_.segment(prev.proj.segment_id);
+        const auto& cs = net_.segment(cur.proj.segment_id);
+        if (prev.proj.segment_id == cur.proj.segment_id) {
+          const double delta = (cur.proj.ratio - prev.proj.ratio) * ps.length;
+          if (delta < -options_.backward_slack_m) continue;  // backwards
+          route_len = std::max(0.0, delta);
+        } else {
+          const auto route = road::ShortestRoute(
+              net_, ps.to, cs.from, road::FreeFlowCost);
+          if (route.segment_ids.empty() && ps.to != cs.from) continue;
+          connecting = route.segment_ids;
+          route_len = ps.length * (1.0 - prev.proj.ratio);
+          for (size_t sid : connecting) route_len += net_.segment(sid).length;
+          route_len += cs.length * cur.proj.ratio;
+        }
+        double transition =
+            options_.transition_beta * std::fabs(route_len - straight);
+        if (cur.proj.segment_id != prev.proj.segment_id &&
+            cs.from == ps.to && cs.to == ps.from) {
+          transition += options_.u_turn_penalty;  // reverse carriageway
+        }
+        const double total = prev.best_cost + emission + transition;
+        if (total < cur.best_cost) {
+          cur.best_cost = total;
+          cur.back_pointer = static_cast<int>(j);
+          cur.route_from_prev = std::move(connecting);
+        }
+      }
+    }
+  }
+
+  // Pick the best final candidate and trace back.
+  const auto& last_layer = layers.back();
+  int best = -1;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (size_t j = 0; j < last_layer.size(); ++j) {
+    if (last_layer[j].best_cost < best_cost) {
+      best_cost = last_layer[j].best_cost;
+      best = static_cast<int>(j);
+    }
+  }
+  if (best < 0) return result;
+
+  std::vector<const Candidate*> chain(layers.size());
+  int idx = best;
+  for (size_t i = layers.size(); i-- > 0;) {
+    chain[i] = &layers[i][static_cast<size_t>(idx)];
+    idx = chain[i]->back_pointer;
+    if (idx < 0 && i > 0) return result;  // broken chain (shouldn't happen)
+  }
+
+  // Assemble the full segment route.
+  std::vector<size_t> route;
+  route.push_back(chain[0]->proj.segment_id);
+  for (size_t i = 1; i < chain.size(); ++i) {
+    for (size_t sid : chain[i]->route_from_prev) route.push_back(sid);
+    if (chain[i]->proj.segment_id != route.back()) {
+      route.push_back(chain[i]->proj.segment_id);
+    }
+  }
+  // Collapse accidental immediate repeats.
+  route.erase(std::unique(route.begin(), route.end()), route.end());
+  if (!road::IsConnectedPath(net_, route)) return result;
+
+  const double origin_ratio = chain.front()->proj.ratio;
+  const double dest_ratio = chain.back()->proj.ratio;
+  result.path = InterpolateIntervals(net_, route, origin_ratio, dest_ratio,
+                                     raw.departure_time(), raw.arrival_time());
+  result.origin_ratio = origin_ratio;
+  result.dest_ratio = dest_ratio;
+  return result;
+}
+
+std::vector<traj::PathElement> InterpolateIntervals(
+    const road::RoadNetwork& net, const std::vector<size_t>& route,
+    double origin_ratio, double dest_ratio, temporal::Timestamp depart,
+    temporal::Timestamp arrive) {
+  if (route.empty()) {
+    throw std::invalid_argument("InterpolateIntervals: empty route");
+  }
+  if (arrive < depart) {
+    throw std::invalid_argument("InterpolateIntervals: arrive < depart");
+  }
+  // Weight of each element: free-flow traversal time of the travelled
+  // portion. Time is then distributed proportionally.
+  std::vector<double> weights(route.size());
+  for (size_t i = 0; i < route.size(); ++i) {
+    const auto& s = net.segment(route[i]);
+    double fraction = 1.0;
+    if (route.size() == 1) {
+      fraction = std::max(0.0, dest_ratio - origin_ratio);
+    } else if (i == 0) {
+      fraction = 1.0 - origin_ratio;
+    } else if (i + 1 == route.size()) {
+      fraction = dest_ratio;
+    }
+    weights[i] = fraction * s.length / s.free_flow_speed;
+  }
+  double total_weight = 0.0;
+  for (double w : weights) total_weight += w;
+  const double duration = arrive - depart;
+  std::vector<traj::PathElement> path(route.size());
+  double t = depart;
+  for (size_t i = 0; i < route.size(); ++i) {
+    path[i].segment_id = route[i];
+    path[i].enter = t;
+    const double share =
+        total_weight > 0.0 ? weights[i] / total_weight
+                           : 1.0 / static_cast<double>(route.size());
+    t += share * duration;
+    path[i].exit = t;
+  }
+  path.back().exit = arrive;  // absorb rounding
+  return path;
+}
+
+}  // namespace deepod::match

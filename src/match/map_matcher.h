@@ -1,0 +1,75 @@
+#ifndef DEEPOD_MATCH_MAP_MATCHER_H_
+#define DEEPOD_MATCH_MAP_MATCHER_H_
+
+#include <vector>
+
+#include "road/road_network.h"
+#include "road/routing.h"
+#include "road/spatial_index.h"
+#include "traj/trajectory.h"
+
+namespace deepod::match {
+
+// Aligns raw GPS trajectories onto the road network, producing the
+// spatio-temporal path + position-ratio representation of Def. 1
+// (the role Valhalla plays in the paper's pipeline, §6.1).
+//
+// Algorithm: each GPS point is snapped to candidate segments within
+// `candidate_radius`; candidates are scored by emission (distance) and
+// transition (route continuity) costs and the best chain is selected by
+// dynamic programming over a small candidate set — a compact
+// HMM-map-matching formulation (Newson & Krumm style). Segment entry/exit
+// timestamps are recovered by linear interpolation along the matched route,
+// exactly as §2 prescribes.
+class MapMatcher {
+ public:
+  struct Options {
+    double candidate_radius = 60.0;   // metres around each GPS fix
+    size_t max_candidates = 8;        // per GPS point (two-way
+    // streets contribute both directions, so the budget must cover several
+    // physical streets)
+    double gps_sigma = 15.0;          // emission noise scale (metres)
+    // Transition cost weight on |route length - straight-line distance|.
+    double transition_beta = 1.5;
+    // Stiff extra cost for transitioning onto the reverse carriageway of
+    // the previous segment. The two directions of a two-way street project
+    // identically, so without this the chain can flip-flop into spurious
+    // U-turns that inflate the matched route.
+    double u_turn_penalty = 12.0;
+    // Same-segment transitions may move this many metres backwards before
+    // being pruned: GPS noise on a slow/stationary vehicle jitters the
+    // projection backwards, and rejecting it outright would force a
+    // spurious flip onto the reverse carriageway.
+    double backward_slack_m = 35.0;
+  };
+
+  explicit MapMatcher(const road::RoadNetwork& net);
+  MapMatcher(const road::RoadNetwork& net, Options options);
+
+  // Matches a raw trajectory. Returns an empty MatchedTrajectory when the
+  // input has fewer than two points or no candidate chain exists.
+  traj::MatchedTrajectory Match(const traj::RawTrajectory& raw) const;
+
+  // Snaps a single point to its most plausible segment (used for OD inputs,
+  // which are bare points).
+  road::Projection SnapPoint(const road::Point& p) const;
+
+ private:
+  const road::RoadNetwork& net_;
+  Options options_;
+  road::SpatialIndex index_;
+};
+
+// Interpolates per-segment entry/exit timestamps for a known route given
+// departure/arrival times: time is distributed proportionally to the
+// free-flow traversal time of each (possibly partial) segment. This is the
+// linear-interpolation step of §2 and is also used directly by the
+// simulator, which knows its ground-truth route.
+std::vector<traj::PathElement> InterpolateIntervals(
+    const road::RoadNetwork& net, const std::vector<size_t>& route,
+    double origin_ratio, double dest_ratio, temporal::Timestamp depart,
+    temporal::Timestamp arrive);
+
+}  // namespace deepod::match
+
+#endif  // DEEPOD_MATCH_MAP_MATCHER_H_

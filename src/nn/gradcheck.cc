@@ -1,0 +1,47 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace deepod::nn {
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               std::vector<Tensor> params, double step,
+                               double abs_tol, double rel_tol) {
+  GradCheckResult result;
+
+  // Analytic gradients from one backward pass.
+  for (auto& p : params) p.ZeroGrad();
+  Tensor loss = loss_fn();
+  loss.Backward();
+  std::vector<std::vector<double>> analytic;
+  analytic.reserve(params.size());
+  for (auto& p : params) analytic.push_back(p.grad());
+
+  // Numeric gradients by central differences.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    auto& data = params[pi].data();
+    for (size_t ei = 0; ei < data.size(); ++ei) {
+      const double saved = data[ei];
+      data[ei] = saved + step;
+      const double plus = loss_fn().item();
+      data[ei] = saved - step;
+      const double minus = loss_fn().item();
+      data[ei] = saved;
+      const double numeric = (plus - minus) / (2.0 * step);
+      const double a = analytic[pi][ei];
+      const double abs_err = std::fabs(a - numeric);
+      const double denom = std::max(1.0, std::max(std::fabs(a), std::fabs(numeric)));
+      const double rel_err = abs_err / denom;
+      if (abs_err > result.max_abs_error) {
+        result.max_abs_error = abs_err;
+        result.worst_param = pi;
+        result.worst_elem = ei;
+      }
+      result.max_rel_error = std::max(result.max_rel_error, rel_err);
+      if (abs_err > abs_tol && rel_err > rel_tol) result.ok = false;
+    }
+  }
+  return result;
+}
+
+}  // namespace deepod::nn

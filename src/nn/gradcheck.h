@@ -1,0 +1,31 @@
+#ifndef DEEPOD_NN_GRADCHECK_H_
+#define DEEPOD_NN_GRADCHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepod::nn {
+
+// Finite-difference gradient verification harness used by the property
+// tests: for each parameter entry, compares the autograd gradient with a
+// central difference of the scalar loss function.
+struct GradCheckResult {
+  bool ok = true;
+  double max_abs_error = 0.0;
+  double max_rel_error = 0.0;
+  // Location of the worst entry (parameter index, flat element index).
+  size_t worst_param = 0;
+  size_t worst_elem = 0;
+};
+
+// `loss_fn` must rebuild the graph from scratch on each call (it is invoked
+// 2 * total-parameter-count + 1 times). `params` are the leaves to check.
+GradCheckResult CheckGradients(
+    const std::function<Tensor()>& loss_fn, std::vector<Tensor> params,
+    double step = 1e-5, double abs_tol = 1e-6, double rel_tol = 1e-4);
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_GRADCHECK_H_

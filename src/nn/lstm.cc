@@ -1,0 +1,65 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::nn {
+
+Lstm::Lstm(size_t input_dim, size_t hidden_dim, util::Rng& rng)
+    : input_dim_(input_dim), hidden_dim_(hidden_dim) {
+  const size_t concat_dim = input_dim + hidden_dim;
+  const double bound = 1.0 / std::sqrt(static_cast<double>(concat_dim));
+  auto make_w = [&] {
+    Tensor t = Tensor::RandUniform({hidden_dim, concat_dim}, rng, -bound, bound);
+    t.set_requires_grad(true);
+    return t;
+  };
+  auto make_b = [&](double init) {
+    Tensor t = Tensor::Full({hidden_dim}, init);
+    t.set_requires_grad(true);
+    return t;
+  };
+  wf_ = make_w();
+  wi_ = make_w();
+  wo_ = make_w();
+  wc_ = make_w();
+  // Forget-gate bias starts at 1 (standard trick for gradient flow on long
+  // sequences); the paper does not specify, this matches PyTorch folklore.
+  bf_ = make_b(1.0);
+  bi_ = make_b(0.0);
+  bo_ = make_b(0.0);
+  bc_ = make_b(0.0);
+}
+
+std::vector<Tensor> Lstm::ForwardAll(const std::vector<Tensor>& inputs) const {
+  if (inputs.empty()) throw std::invalid_argument("Lstm::Forward: empty sequence");
+  Tensor h = Tensor::Zeros({hidden_dim_});
+  Tensor c = Tensor::Zeros({hidden_dim_});
+  std::vector<Tensor> hidden_states;
+  hidden_states.reserve(inputs.size());
+  for (const Tensor& x : inputs) {
+    if (x.ndim() != 1 || x.dim(0) != input_dim_) {
+      throw std::invalid_argument("Lstm::Forward: bad input shape " +
+                                  x.ShapeString());
+    }
+    const Tensor xh = ConcatVec({x, h});
+    const Tensor f = Sigmoid(Affine(wf_, xh, bf_));   // Eq. 12
+    const Tensor i = Sigmoid(Affine(wi_, xh, bi_));   // Eq. 13
+    const Tensor o = Sigmoid(Affine(wo_, xh, bo_));   // Eq. 14
+    const Tensor g = Tanh(Affine(wc_, xh, bc_));
+    c = Add(Mul(f, c), Mul(i, g));                    // Eq. 15
+    h = Mul(o, Tanh(c));                              // Eq. 16
+    hidden_states.push_back(h);
+  }
+  return hidden_states;
+}
+
+Tensor Lstm::Forward(const std::vector<Tensor>& inputs) const {
+  return ForwardAll(inputs).back();
+}
+
+std::vector<Tensor> Lstm::Parameters() {
+  return {wf_, wi_, wo_, wc_, bf_, bi_, bo_, bc_};
+}
+
+}  // namespace deepod::nn

@@ -1,0 +1,41 @@
+#ifndef DEEPOD_NN_LSTM_H_
+#define DEEPOD_NN_LSTM_H_
+
+#include <vector>
+
+#include "nn/module.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace deepod::nn {
+
+// Long Short-Term Memory sequence encoder exactly as written in the paper's
+// Eq. 12-16: gates f/i/o and cell update computed from [x_j, h_{j-1}] with
+// shared weights across steps; initial states h_0 = c_0 = 0. Forward over a
+// sequence returns the final hidden state h_n.
+class Lstm : public Module {
+ public:
+  Lstm(size_t input_dim, size_t hidden_dim, util::Rng& rng);
+
+  // Runs the recurrence over `inputs` (each a 1-D tensor of input_dim) and
+  // returns h_n [hidden_dim]. Requires a non-empty sequence.
+  Tensor Forward(const std::vector<Tensor>& inputs) const;
+
+  // Runs the recurrence and returns every hidden state h_1..h_n.
+  std::vector<Tensor> ForwardAll(const std::vector<Tensor>& inputs) const;
+
+  std::vector<Tensor> Parameters() override;
+
+  size_t input_dim() const { return input_dim_; }
+  size_t hidden_dim() const { return hidden_dim_; }
+
+ private:
+  size_t input_dim_, hidden_dim_;
+  // Each gate has weights [hidden, input+hidden] and bias [hidden].
+  Tensor wf_, wi_, wo_, wc_;
+  Tensor bf_, bi_, bo_, bc_;
+};
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_LSTM_H_

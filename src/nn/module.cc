@@ -1,0 +1,105 @@
+#include "nn/module.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::nn {
+
+size_t Module::NumParameters() {
+  size_t n = 0;
+  for (auto& p : Parameters()) n += p.size();
+  return n;
+}
+
+void Module::SetTraining(bool training) { training_ = training; }
+
+Linear::Linear(size_t in_dim, size_t out_dim, util::Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  // Kaiming-uniform fan-in initialisation, matching PyTorch's nn.Linear.
+  const double bound = 1.0 / std::sqrt(static_cast<double>(in_dim));
+  w_ = Tensor::RandUniform({out_dim, in_dim}, rng, -bound, bound);
+  b_ = Tensor::RandUniform({out_dim}, rng, -bound, bound);
+  w_.set_requires_grad(true);
+  b_.set_requires_grad(true);
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  if (x.ndim() == 1) return Affine(w_, x, b_);
+  if (x.ndim() == 2) {
+    // [N, in] x [in, out] + b — batched path.
+    Tensor wt = Reshape(w_, {out_dim_, in_dim_});
+    // MatMul expects [N,in] x [in,out]; transpose via explicit op-free path:
+    // we materialise W^T once per call. For our scale this is fine and keeps
+    // the op set small.
+    std::vector<double> wt_data(in_dim_ * out_dim_);
+    const auto& wd = w_.data();
+    for (size_t o = 0; o < out_dim_; ++o) {
+      for (size_t i = 0; i < in_dim_; ++i) {
+        wt_data[i * out_dim_ + o] = wd[o * in_dim_ + i];
+      }
+    }
+    // Build a view tensor that back-propagates into w_.
+    auto pw = w_.impl();
+    const size_t in_dim = in_dim_, out_dim = out_dim_;
+    Tensor w_transposed = Tensor::MakeOpResult(
+        {in_dim_, out_dim_}, std::move(wt_data), {pw},
+        [pw, in_dim, out_dim](Tensor::Impl& self) {
+          for (size_t i = 0; i < in_dim; ++i) {
+            for (size_t o = 0; o < out_dim; ++o) {
+              pw->grad[o * in_dim + i] += self.grad[i * out_dim + o];
+            }
+          }
+        });
+    return AddRow(MatMul(x, w_transposed), b_);
+  }
+  throw std::invalid_argument("Linear::Forward: input must be 1-D or 2-D");
+}
+
+std::vector<Tensor> Linear::Parameters() { return {w_, b_}; }
+
+Mlp2::Mlp2(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng& rng)
+    : layer1_(in_dim, hidden_dim, rng), layer2_(hidden_dim, out_dim, rng) {}
+
+Tensor Mlp2::Forward(const Tensor& x) const {
+  return layer2_.Forward(Relu(layer1_.Forward(x)));
+}
+
+std::vector<Tensor> Mlp2::Parameters() {
+  auto p = layer1_.Parameters();
+  auto p2 = layer2_.Parameters();
+  p.insert(p.end(), p2.begin(), p2.end());
+  return p;
+}
+
+Embedding::Embedding(size_t num_entries, size_t dim, util::Rng& rng)
+    : num_entries_(num_entries), dim_(dim) {
+  // Small-normal init; typically overwritten by LoadPretrained.
+  table_ = Tensor::Randn({num_entries, dim}, rng, 0.1);
+  table_.set_requires_grad(true);
+}
+
+Tensor Embedding::Forward(size_t id) const {
+  if (id >= num_entries_) throw std::out_of_range("Embedding: id out of range");
+  return Row(table_, id);
+}
+
+Tensor Embedding::Forward(const std::vector<size_t>& ids) const {
+  return GatherRows(table_, ids);
+}
+
+void Embedding::LoadPretrained(const std::vector<std::vector<double>>& init) {
+  if (init.size() != num_entries_) {
+    throw std::invalid_argument("Embedding::LoadPretrained: row count mismatch");
+  }
+  auto& data = table_.data();
+  for (size_t i = 0; i < num_entries_; ++i) {
+    if (init[i].size() != dim_) {
+      throw std::invalid_argument("Embedding::LoadPretrained: dim mismatch");
+    }
+    for (size_t j = 0; j < dim_; ++j) data[i * dim_ + j] = init[i][j];
+  }
+}
+
+std::vector<Tensor> Embedding::Parameters() { return {table_}; }
+
+}  // namespace deepod::nn

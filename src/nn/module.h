@@ -1,0 +1,101 @@
+#ifndef DEEPOD_NN_MODULE_H_
+#define DEEPOD_NN_MODULE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace deepod::nn {
+
+// Base class for parameterised layers. Parameters are Tensor handles with
+// requires_grad set; an optimiser updates them in place.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  // All trainable parameter tensors (handles share storage with the module).
+  virtual std::vector<Tensor> Parameters() = 0;
+
+  // Total number of scalar parameters (model-size accounting, Table 5).
+  size_t NumParameters();
+
+  // Switches between training and inference behaviour (BatchNorm running
+  // statistics). Default is training mode.
+  virtual void SetTraining(bool training);
+
+  bool training() const { return training_; }
+
+ protected:
+  bool training_ = true;
+};
+
+// Fully connected layer: y = W x + b for a vector x (the form used
+// throughout the paper's equations). Weights use Kaiming-uniform init.
+class Linear : public Module {
+ public:
+  Linear(size_t in_dim, size_t out_dim, util::Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() override;
+
+  size_t in_dim() const { return in_dim_; }
+  size_t out_dim() const { return out_dim_; }
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+
+ private:
+  size_t in_dim_, out_dim_;
+  Tensor w_;  // [out, in]
+  Tensor b_;  // [out]
+};
+
+// The paper's two-layer MLP (PyTorch tutorial style, §4.3):
+//   y = W2 ReLU(W1 x + b1) + b2.
+class Mlp2 : public Module {
+ public:
+  Mlp2(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng& rng);
+
+  Tensor Forward(const Tensor& x) const;
+
+  std::vector<Tensor> Parameters() override;
+
+  size_t out_dim() const { return layer2_.out_dim(); }
+
+ private:
+  Linear layer1_;
+  Linear layer2_;
+};
+
+// Embedding table (Eq. 1): a |V| x d weight matrix; looking up id i is the
+// one-hot(i)^T W product, i.e. row i.
+class Embedding : public Module {
+ public:
+  Embedding(size_t num_entries, size_t dim, util::Rng& rng);
+
+  // Single row lookup.
+  Tensor Forward(size_t id) const;
+  // Batched lookup -> [N, dim].
+  Tensor Forward(const std::vector<size_t>& ids) const;
+
+  // Replaces the table contents with a pre-trained matrix (graph-embedding
+  // initialisation per §4.1/§4.2). `init` must be [num_entries x dim].
+  void LoadPretrained(const std::vector<std::vector<double>>& init);
+
+  std::vector<Tensor> Parameters() override;
+
+  size_t num_entries() const { return num_entries_; }
+  size_t dim() const { return dim_; }
+  const Tensor& table() const { return table_; }
+
+ private:
+  size_t num_entries_, dim_;
+  Tensor table_;  // [num_entries, dim]
+};
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_MODULE_H_

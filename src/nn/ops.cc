@@ -1,0 +1,495 @@
+#include "nn/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::nn {
+namespace {
+
+using Impl = Tensor::Impl;
+
+void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
+  if (a.shape() != b.shape()) {
+    throw std::invalid_argument(std::string(op) + ": shape mismatch " +
+                                a.ShapeString() + " vs " + b.ShapeString());
+  }
+}
+
+// Elementwise unary op helper: forward f(x), backward df(x, y) where y is
+// the forward output value.
+template <typename F, typename DF>
+Tensor UnaryOp(const Tensor& a, F f, DF df) {
+  const auto& x = a.data();
+  std::vector<double> out(x.size());
+  for (size_t i = 0; i < x.size(); ++i) out[i] = f(x[i]);
+  auto pa = a.impl();
+  return Tensor::MakeOpResult(
+      a.shape(), std::move(out), {pa}, [pa, df](Impl& self) {
+        for (size_t i = 0; i < self.data.size(); ++i) {
+          pa->grad[i] += self.grad[i] * df(pa->data[i], self.data[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Add");
+  const auto& xa = a.data();
+  const auto& xb = b.data();
+  std::vector<double> out(xa.size());
+  for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] + xb[i];
+  auto pa = a.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
+                              [pa, pb](Impl& self) {
+                                for (size_t i = 0; i < self.grad.size(); ++i) {
+                                  pa->grad[i] += self.grad[i];
+                                  pb->grad[i] += self.grad[i];
+                                }
+                              });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Sub");
+  const auto& xa = a.data();
+  const auto& xb = b.data();
+  std::vector<double> out(xa.size());
+  for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] - xb[i];
+  auto pa = a.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
+                              [pa, pb](Impl& self) {
+                                for (size_t i = 0; i < self.grad.size(); ++i) {
+                                  pa->grad[i] += self.grad[i];
+                                  pb->grad[i] -= self.grad[i];
+                                }
+                              });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "Mul");
+  const auto& xa = a.data();
+  const auto& xb = b.data();
+  std::vector<double> out(xa.size());
+  for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] * xb[i];
+  auto pa = a.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
+                              [pa, pb](Impl& self) {
+                                for (size_t i = 0; i < self.grad.size(); ++i) {
+                                  pa->grad[i] += self.grad[i] * pb->data[i];
+                                  pb->grad[i] += self.grad[i] * pa->data[i];
+                                }
+                              });
+}
+
+Tensor Scale(const Tensor& a, double c) {
+  return UnaryOp(
+      a, [c](double x) { return c * x; },
+      [c](double, double) { return c; });
+}
+
+Tensor AddScalar(const Tensor& a, double c) {
+  return UnaryOp(
+      a, [c](double x) { return x + c; }, [](double, double) { return 1.0; });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](double x) { return x > 0.0 ? x : 0.0; },
+      [](double x, double) { return x > 0.0 ? 1.0 : 0.0; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a, [](double x) { return 1.0 / (1.0 + std::exp(-x)); },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](double x) { return std::tanh(x); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      a, [](double x) { return std::fabs(x); },
+      [](double x, double) { return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : 0.0); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](double x) { return x * x; },
+      [](double x, double) { return 2.0 * x; });
+}
+
+Tensor Sqrt(const Tensor& a, double eps) {
+  return UnaryOp(
+      a, [eps](double x) { return std::sqrt(x + eps); },
+      [](double, double y) { return 0.5 / y; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  if (a.ndim() != 2 || b.ndim() != 2 || a.dim(1) != b.dim(0)) {
+    throw std::invalid_argument("MatMul: incompatible shapes " +
+                                a.ShapeString() + " x " + b.ShapeString());
+  }
+  const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
+  const auto& xa = a.data();
+  const auto& xb = b.data();
+  std::vector<double> out(n * m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const double av = xa[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = &xb[p * m];
+      double* orow = &out[i * m];
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto pa = a.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(
+      {n, m}, std::move(out), {pa, pb}, [pa, pb, n, k, m](Impl& self) {
+        // dA = dY * B^T ; dB = A^T * dY
+        for (size_t i = 0; i < n; ++i) {
+          for (size_t j = 0; j < m; ++j) {
+            const double g = self.grad[i * m + j];
+            if (g == 0.0) continue;
+            for (size_t p = 0; p < k; ++p) {
+              pa->grad[i * k + p] += g * pb->data[p * m + j];
+              pb->grad[p * m + j] += g * pa->data[i * k + p];
+            }
+          }
+        }
+      });
+}
+
+Tensor AddRow(const Tensor& a, const Tensor& row) {
+  if (a.ndim() == 1) return Add(a, row);
+  if (a.ndim() != 2 || row.ndim() != 1 || a.dim(1) != row.dim(0)) {
+    throw std::invalid_argument("AddRow: incompatible shapes " +
+                                a.ShapeString() + " + " + row.ShapeString());
+  }
+  const size_t n = a.dim(0), d = a.dim(1);
+  const auto& xa = a.data();
+  const auto& xr = row.data();
+  std::vector<double> out(n * d);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) out[i * d + j] = xa[i * d + j] + xr[j];
+  }
+  auto pa = a.impl(), pr = row.impl();
+  return Tensor::MakeOpResult({n, d}, std::move(out), {pa, pr},
+                              [pa, pr, n, d](Impl& self) {
+                                for (size_t i = 0; i < n; ++i) {
+                                  for (size_t j = 0; j < d; ++j) {
+                                    const double g = self.grad[i * d + j];
+                                    pa->grad[i * d + j] += g;
+                                    pr->grad[j] += g;
+                                  }
+                                }
+                              });
+}
+
+Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
+  if (w.ndim() != 2 || x.ndim() != 1 || b.ndim() != 1 || w.dim(1) != x.dim(0) ||
+      w.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("Affine: incompatible shapes " +
+                                w.ShapeString() + " * " + x.ShapeString() +
+                                " + " + b.ShapeString());
+  }
+  const size_t o = w.dim(0), in = w.dim(1);
+  const auto& xw = w.data();
+  const auto& xx = x.data();
+  const auto& xb = b.data();
+  std::vector<double> out(o);
+  for (size_t i = 0; i < o; ++i) {
+    double s = xb[i];
+    const double* wrow = &xw[i * in];
+    for (size_t j = 0; j < in; ++j) s += wrow[j] * xx[j];
+    out[i] = s;
+  }
+  auto pw = w.impl(), px = x.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(
+      {o}, std::move(out), {pw, px, pb}, [pw, px, pb, o, in](Impl& self) {
+        for (size_t i = 0; i < o; ++i) {
+          const double g = self.grad[i];
+          if (g == 0.0) continue;
+          pb->grad[i] += g;
+          for (size_t j = 0; j < in; ++j) {
+            pw->grad[i * in + j] += g * px->data[j];
+            px->grad[j] += g * pw->data[i * in + j];
+          }
+        }
+      });
+}
+
+Tensor ConcatVec(const std::vector<Tensor>& parts) {
+  if (parts.empty()) throw std::invalid_argument("ConcatVec: no inputs");
+  size_t total = 0;
+  std::vector<std::shared_ptr<Impl>> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) {
+    if (p.ndim() != 1) {
+      throw std::invalid_argument("ConcatVec: all inputs must be 1-D, got " +
+                                  p.ShapeString());
+    }
+    total += p.dim(0);
+    parents.push_back(p.impl());
+  }
+  std::vector<double> out;
+  out.reserve(total);
+  for (const auto& p : parts) {
+    const auto& d = p.data();
+    out.insert(out.end(), d.begin(), d.end());
+  }
+  return Tensor::MakeOpResult({total}, std::move(out), parents,
+                              [parents](Impl& self) {
+                                size_t off = 0;
+                                for (const auto& p : parents) {
+                                  for (size_t i = 0; i < p->data.size(); ++i) {
+                                    p->grad[i] += self.grad[off + i];
+                                  }
+                                  off += p->data.size();
+                                }
+                              });
+}
+
+Tensor StackRows(const std::vector<Tensor>& rows) {
+  if (rows.empty()) throw std::invalid_argument("StackRows: no inputs");
+  const size_t d = rows[0].dim(0);
+  std::vector<std::shared_ptr<Impl>> parents;
+  parents.reserve(rows.size());
+  std::vector<double> out;
+  out.reserve(rows.size() * d);
+  for (const auto& r : rows) {
+    if (r.ndim() != 1 || r.dim(0) != d) {
+      throw std::invalid_argument("StackRows: inconsistent row shapes");
+    }
+    const auto& x = r.data();
+    out.insert(out.end(), x.begin(), x.end());
+    parents.push_back(r.impl());
+  }
+  const size_t n = rows.size();
+  return Tensor::MakeOpResult({n, d}, std::move(out), parents,
+                              [parents, d](Impl& self) {
+                                for (size_t i = 0; i < parents.size(); ++i) {
+                                  for (size_t j = 0; j < d; ++j) {
+                                    parents[i]->grad[j] +=
+                                        self.grad[i * d + j];
+                                  }
+                                }
+                              });
+}
+
+Tensor Row(const Tensor& matrix, size_t i) {
+  if (matrix.ndim() != 2) throw std::invalid_argument("Row: input not 2-D");
+  const size_t n = matrix.dim(0), d = matrix.dim(1);
+  if (i >= n) throw std::out_of_range("Row: index out of range");
+  const auto& x = matrix.data();
+  std::vector<double> out(x.begin() + i * d, x.begin() + (i + 1) * d);
+  auto pm = matrix.impl();
+  return Tensor::MakeOpResult({d}, std::move(out), {pm},
+                              [pm, i, d](Impl& self) {
+                                for (size_t j = 0; j < d; ++j) {
+                                  pm->grad[i * d + j] += self.grad[j];
+                                }
+                              });
+}
+
+Tensor GatherRows(const Tensor& matrix, const std::vector<size_t>& indices) {
+  if (matrix.ndim() != 2) throw std::invalid_argument("GatherRows: input not 2-D");
+  const size_t n = matrix.dim(0), d = matrix.dim(1);
+  std::vector<double> out;
+  out.reserve(indices.size() * d);
+  const auto& x = matrix.data();
+  for (size_t idx : indices) {
+    if (idx >= n) throw std::out_of_range("GatherRows: index out of range");
+    out.insert(out.end(), x.begin() + idx * d, x.begin() + (idx + 1) * d);
+  }
+  auto pm = matrix.impl();
+  auto idx_copy = indices;
+  return Tensor::MakeOpResult(
+      {indices.size(), d}, std::move(out), {pm},
+      [pm, idx_copy, d](Impl& self) {
+        for (size_t r = 0; r < idx_copy.size(); ++r) {
+          for (size_t j = 0; j < d; ++j) {
+            pm->grad[idx_copy[r] * d + j] += self.grad[r * d + j];
+          }
+        }
+      });
+}
+
+Tensor Reshape(const Tensor& a, std::vector<size_t> new_shape) {
+  if (NumElements(new_shape) != a.size()) {
+    throw std::invalid_argument("Reshape: element count mismatch");
+  }
+  auto pa = a.impl();
+  return Tensor::MakeOpResult(std::move(new_shape), a.data(), {pa},
+                              [pa](Impl& self) {
+                                for (size_t i = 0; i < self.grad.size(); ++i) {
+                                  pa->grad[i] += self.grad[i];
+                                }
+                              });
+}
+
+Tensor Sum(const Tensor& a) {
+  double s = 0.0;
+  for (double x : a.data()) s += x;
+  auto pa = a.impl();
+  return Tensor::MakeOpResult({1}, {s}, {pa}, [pa](Impl& self) {
+    const double g = self.grad[0];
+    for (double& gi : pa->grad) gi += g;
+  });
+}
+
+Tensor Mean(const Tensor& a) {
+  if (a.size() == 0) throw std::invalid_argument("Mean: empty tensor");
+  return Scale(Sum(a), 1.0 / static_cast<double>(a.size()));
+}
+
+Tensor MeanRows(const Tensor& a) {
+  if (a.ndim() != 2) throw std::invalid_argument("MeanRows: input not 2-D");
+  const size_t n = a.dim(0), d = a.dim(1);
+  const auto& x = a.data();
+  std::vector<double> out(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < d; ++j) out[j] += x[i * d + j];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (double& v : out) v *= inv;
+  auto pa = a.impl();
+  return Tensor::MakeOpResult({d}, std::move(out), {pa},
+                              [pa, n, d, inv](Impl& self) {
+                                for (size_t i = 0; i < n; ++i) {
+                                  for (size_t j = 0; j < d; ++j) {
+                                    pa->grad[i * d + j] += self.grad[j] * inv;
+                                  }
+                                }
+                              });
+}
+
+Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
+              size_t pad_w) {
+  if (input.ndim() != 3 || kernel.ndim() != 4 || input.dim(0) != kernel.dim(1)) {
+    throw std::invalid_argument("Conv2d: incompatible shapes " +
+                                input.ShapeString() + " conv " +
+                                kernel.ShapeString());
+  }
+  const size_t cin = input.dim(0), h = input.dim(1), w = input.dim(2);
+  const size_t cout = kernel.dim(0), kh = kernel.dim(2), kw = kernel.dim(3);
+  if (h + 2 * pad_h < kh || w + 2 * pad_w < kw) {
+    throw std::invalid_argument("Conv2d: kernel larger than padded input");
+  }
+  const size_t oh = h + 2 * pad_h - kh + 1;
+  const size_t ow = w + 2 * pad_w - kw + 1;
+  const auto& xin = input.data();
+  const auto& xk = kernel.data();
+  std::vector<double> out(cout * oh * ow, 0.0);
+  for (size_t oc = 0; oc < cout; ++oc) {
+    for (size_t oy = 0; oy < oh; ++oy) {
+      for (size_t ox = 0; ox < ow; ++ox) {
+        double s = 0.0;
+        for (size_t ic = 0; ic < cin; ++ic) {
+          for (size_t ky = 0; ky < kh; ++ky) {
+            const long iy = static_cast<long>(oy + ky) - static_cast<long>(pad_h);
+            if (iy < 0 || iy >= static_cast<long>(h)) continue;
+            for (size_t kx = 0; kx < kw; ++kx) {
+              const long ix = static_cast<long>(ox + kx) - static_cast<long>(pad_w);
+              if (ix < 0 || ix >= static_cast<long>(w)) continue;
+              s += xin[(ic * h + iy) * w + ix] *
+                   xk[((oc * cin + ic) * kh + ky) * kw + kx];
+            }
+          }
+        }
+        out[(oc * oh + oy) * ow + ox] = s;
+      }
+    }
+  }
+  auto pin = input.impl(), pk = kernel.impl();
+  return Tensor::MakeOpResult(
+      {cout, oh, ow}, std::move(out), {pin, pk},
+      [pin, pk, cin, h, w, cout, kh, kw, oh, ow, pad_h, pad_w](Impl& self) {
+        for (size_t oc = 0; oc < cout; ++oc) {
+          for (size_t oy = 0; oy < oh; ++oy) {
+            for (size_t ox = 0; ox < ow; ++ox) {
+              const double g = self.grad[(oc * oh + oy) * ow + ox];
+              if (g == 0.0) continue;
+              for (size_t ic = 0; ic < cin; ++ic) {
+                for (size_t ky = 0; ky < kh; ++ky) {
+                  const long iy =
+                      static_cast<long>(oy + ky) - static_cast<long>(pad_h);
+                  if (iy < 0 || iy >= static_cast<long>(h)) continue;
+                  for (size_t kx = 0; kx < kw; ++kx) {
+                    const long ix =
+                        static_cast<long>(ox + kx) - static_cast<long>(pad_w);
+                    if (ix < 0 || ix >= static_cast<long>(w)) continue;
+                    const size_t in_idx = (ic * h + iy) * w + ix;
+                    const size_t k_idx = ((oc * cin + ic) * kh + ky) * kw + kx;
+                    pin->grad[in_idx] += g * pk->data[k_idx];
+                    pk->grad[k_idx] += g * pin->data[in_idx];
+                  }
+                }
+              }
+            }
+          }
+        }
+      });
+}
+
+Tensor AddChannelBias(const Tensor& input, const Tensor& bias) {
+  if (input.ndim() != 3 || bias.ndim() != 1 || input.dim(0) != bias.dim(0)) {
+    throw std::invalid_argument("AddChannelBias: incompatible shapes");
+  }
+  const size_t c = input.dim(0), hw = input.dim(1) * input.dim(2);
+  const auto& xin = input.data();
+  const auto& xb = bias.data();
+  std::vector<double> out(xin.size());
+  for (size_t ch = 0; ch < c; ++ch) {
+    for (size_t i = 0; i < hw; ++i) out[ch * hw + i] = xin[ch * hw + i] + xb[ch];
+  }
+  auto pin = input.impl(), pb = bias.impl();
+  return Tensor::MakeOpResult(input.shape(), std::move(out), {pin, pb},
+                              [pin, pb, c, hw](Impl& self) {
+                                for (size_t ch = 0; ch < c; ++ch) {
+                                  for (size_t i = 0; i < hw; ++i) {
+                                    const double g = self.grad[ch * hw + i];
+                                    pin->grad[ch * hw + i] += g;
+                                    pb->grad[ch] += g;
+                                  }
+                                }
+                              });
+}
+
+Tensor GlobalAvgPool(const Tensor& input) {
+  if (input.ndim() != 3) throw std::invalid_argument("GlobalAvgPool: input not 3-D");
+  const size_t c = input.dim(0), hw = input.dim(1) * input.dim(2);
+  const auto& xin = input.data();
+  std::vector<double> out(c, 0.0);
+  const double inv = 1.0 / static_cast<double>(hw);
+  for (size_t ch = 0; ch < c; ++ch) {
+    double s = 0.0;
+    for (size_t i = 0; i < hw; ++i) s += xin[ch * hw + i];
+    out[ch] = s * inv;
+  }
+  auto pin = input.impl();
+  return Tensor::MakeOpResult({c}, std::move(out), {pin},
+                              [pin, c, hw, inv](Impl& self) {
+                                for (size_t ch = 0; ch < c; ++ch) {
+                                  const double g = self.grad[ch] * inv;
+                                  for (size_t i = 0; i < hw; ++i) {
+                                    pin->grad[ch * hw + i] += g;
+                                  }
+                                }
+                              });
+}
+
+Tensor MaeLoss(const Tensor& pred, const Tensor& target) {
+  CheckSameShape(pred, target, "MaeLoss");
+  return Mean(Abs(Sub(pred, target)));
+}
+
+Tensor EuclideanDistance(const Tensor& a, const Tensor& b) {
+  CheckSameShape(a, b, "EuclideanDistance");
+  return Sqrt(Sum(Square(Sub(a, b))));
+}
+
+}  // namespace deepod::nn

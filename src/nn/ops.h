@@ -1,0 +1,84 @@
+#ifndef DEEPOD_NN_OPS_H_
+#define DEEPOD_NN_OPS_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepod::nn {
+
+// Differentiable operations over Tensor. Every op validates shapes, computes
+// the forward value eagerly and records a backward closure; gradients are
+// exact (verified by the finite-difference property tests in
+// tests/nn/gradcheck_test.cc).
+
+// --- Elementwise -----------------------------------------------------------
+
+Tensor Add(const Tensor& a, const Tensor& b);   // same shape
+Tensor Sub(const Tensor& a, const Tensor& b);   // same shape
+Tensor Mul(const Tensor& a, const Tensor& b);   // same shape (Hadamard)
+Tensor Scale(const Tensor& a, double c);        // c * a
+Tensor AddScalar(const Tensor& a, double c);    // a + c
+Tensor Relu(const Tensor& a);
+Tensor Sigmoid(const Tensor& a);
+Tensor Tanh(const Tensor& a);
+Tensor Abs(const Tensor& a);
+Tensor Square(const Tensor& a);
+// sqrt(a + eps); eps guards the derivative at 0 (used by the Euclidean
+// auxiliary loss of Algorithm 1).
+Tensor Sqrt(const Tensor& a, double eps = 1e-12);
+
+// --- Linear algebra --------------------------------------------------------
+
+// [N,K] x [K,M] -> [N,M]
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// Matrix [N,M] + row vector [M] broadcast over rows -> [N,M]. Also accepts
+// a == [M] (vector + vector degenerates to Add).
+Tensor AddRow(const Tensor& a, const Tensor& row);
+// W x + b for vector x: W [O,I], x [I], b [O] -> [O]. This is the exact
+// form the paper's MLP equations (Eq. 11, 17-20) are written in.
+Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b);
+
+// --- Shape ops -------------------------------------------------------------
+
+// Concatenation of 1-D vectors into one 1-D vector.
+Tensor ConcatVec(const std::vector<Tensor>& parts);
+// Stack N vectors of size D into an [N,D] matrix.
+Tensor StackRows(const std::vector<Tensor>& rows);
+// Row `i` of a 2-D matrix as a 1-D vector (gradient scatters into that row).
+Tensor Row(const Tensor& matrix, size_t i);
+// Rows `indices` of a 2-D matrix as an [N,D] matrix — the embedding lookup
+// (Eq. 1: one-hot times the embedding matrix selects a row).
+Tensor GatherRows(const Tensor& matrix, const std::vector<size_t>& indices);
+// Reshape without moving data.
+Tensor Reshape(const Tensor& a, std::vector<size_t> new_shape);
+
+// --- Reductions ------------------------------------------------------------
+
+Tensor Sum(const Tensor& a);               // scalar
+Tensor Mean(const Tensor& a);              // scalar
+// Column means of an [N,D] matrix -> [D]. This is the average pooling of
+// Eq. 10 (compress Z4 of size Δd x d_t into a d_t vector).
+Tensor MeanRows(const Tensor& a);
+
+// --- Convolution (Fig. 6 / §4.5) ------------------------------------------
+
+// 2-D convolution over a [C_in, H, W] input with kernel [C_out, C_in, KH, KW]
+// and zero padding (pad_h, pad_w); stride 1. Output [C_out, H', W'].
+Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
+              size_t pad_w);
+// Adds a per-channel bias [C] to a [C,H,W] tensor.
+Tensor AddChannelBias(const Tensor& input, const Tensor& bias);
+// Mean over the spatial dims of a [C,H,W] tensor -> [C].
+Tensor GlobalAvgPool(const Tensor& input);
+
+// --- Losses ----------------------------------------------------------------
+
+// Mean absolute error between two same-shaped tensors -> scalar.
+Tensor MaeLoss(const Tensor& pred, const Tensor& target);
+// Euclidean distance ||a-b||_2 -> scalar (the paper's auxiliaryloss).
+Tensor EuclideanDistance(const Tensor& a, const Tensor& b);
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_OPS_H_

@@ -1,0 +1,77 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace deepod::nn {
+
+double Optimizer::ClipGradNorm(double max_norm) {
+  double sq = 0.0;
+  for (auto& p : params_) {
+    for (double g : p.grad()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& p : params_) {
+      for (double& g : p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  lr_ = lr;
+  velocity_.reserve(params_.size());
+  for (auto& p : params_) velocity_.emplace_back(p.size(), 0.0);
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + grad[j];
+      data[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params)), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  lr_ = lr;
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (auto& p : params_) {
+    m_.emplace_back(p.size(), 0.0);
+    v_.emplace_back(p.size(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& data = params_[i].data();
+    const auto& grad = params_[i].grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * grad[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * grad[j] * grad[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      data[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+double StepDecaySchedule::LearningRateForEpoch(int epoch) const {
+  const int steps = epoch / decay_epochs_;
+  return initial_lr_ * std::pow(factor_, static_cast<double>(steps));
+}
+
+}  // namespace deepod::nn

@@ -1,0 +1,80 @@
+#ifndef DEEPOD_NN_OPTIMIZER_H_
+#define DEEPOD_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepod::nn {
+
+// Optimiser interface over a fixed parameter list. Gradients are read from
+// each parameter's grad buffer (accumulated by Backward calls) and cleared
+// by ZeroGrad().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  virtual void Step() = 0;
+
+  void ZeroGrad() {
+    for (auto& p : params_) p.ZeroGrad();
+  }
+
+  void set_learning_rate(double lr) { lr_ = lr; }
+  double learning_rate() const { return lr_; }
+
+  // Clips the global gradient norm to `max_norm` (returns the pre-clip
+  // norm). Guards against the occasional exploding LSTM gradient.
+  double ClipGradNorm(double max_norm);
+
+ protected:
+  std::vector<Tensor> params_;
+  double lr_ = 0.01;
+};
+
+// Stochastic gradient descent with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double momentum_;
+  std::vector<std::vector<double>> velocity_;
+};
+
+// Adam (Kingma & Ba 2014) — the paper's optimiser (§5, Algorithm 1 line 13).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr = 0.01, double beta1 = 0.9,
+       double beta2 = 0.999, double eps = 1e-8);
+
+  void Step() override;
+
+ private:
+  double beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<std::vector<double>> m_;
+  std::vector<std::vector<double>> v_;
+};
+
+// The paper's learning-rate schedule (§6.1): initial rate 0.01, multiplied
+// by 1/5 every `decay_epochs` epochs.
+class StepDecaySchedule {
+ public:
+  StepDecaySchedule(double initial_lr = 0.01, double factor = 0.2,
+                    int decay_epochs = 2)
+      : initial_lr_(initial_lr), factor_(factor), decay_epochs_(decay_epochs) {}
+
+  double LearningRateForEpoch(int epoch) const;
+
+ private:
+  double initial_lr_, factor_;
+  int decay_epochs_;
+};
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_OPTIMIZER_H_

@@ -1,0 +1,98 @@
+#include "nn/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace deepod::nn {
+namespace {
+
+constexpr uint32_t kMagic = 0xd33b0d01;  // "deepod" format v1
+
+template <typename T>
+void AppendPod(std::vector<uint8_t>& buf, const T& value) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(&value);
+  buf.insert(buf.end(), bytes, bytes + sizeof(T));
+}
+
+template <typename T>
+T ReadPod(const std::vector<uint8_t>& buf, size_t& offset) {
+  if (offset + sizeof(T) > buf.size()) {
+    throw std::runtime_error("DeserializeParameters: truncated buffer");
+  }
+  T value;
+  std::memcpy(&value, buf.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return value;
+}
+
+}  // namespace
+
+std::vector<uint8_t> SerializeParameters(const std::vector<Tensor>& params) {
+  std::vector<uint8_t> buf;
+  buf.reserve(SerializedSize(params));
+  AppendPod(buf, kMagic);
+  AppendPod(buf, static_cast<uint64_t>(params.size()));
+  for (const auto& p : params) {
+    AppendPod(buf, static_cast<uint64_t>(p.ndim()));
+    for (size_t d : p.shape()) AppendPod(buf, static_cast<uint64_t>(d));
+    for (double x : p.data()) AppendPod(buf, x);
+  }
+  return buf;
+}
+
+void DeserializeParameters(const std::vector<uint8_t>& buffer,
+                           std::vector<Tensor>& params) {
+  size_t offset = 0;
+  if (ReadPod<uint32_t>(buffer, offset) != kMagic) {
+    throw std::runtime_error("DeserializeParameters: bad magic");
+  }
+  const uint64_t count = ReadPod<uint64_t>(buffer, offset);
+  if (count != params.size()) {
+    throw std::runtime_error("DeserializeParameters: parameter count mismatch");
+  }
+  for (auto& p : params) {
+    const uint64_t ndim = ReadPod<uint64_t>(buffer, offset);
+    if (ndim != p.ndim()) {
+      throw std::runtime_error("DeserializeParameters: rank mismatch");
+    }
+    for (size_t d = 0; d < ndim; ++d) {
+      if (ReadPod<uint64_t>(buffer, offset) != p.dim(d)) {
+        throw std::runtime_error("DeserializeParameters: shape mismatch");
+      }
+    }
+    for (double& x : p.data()) x = ReadPod<double>(buffer, offset);
+  }
+  if (offset != buffer.size()) {
+    throw std::runtime_error("DeserializeParameters: trailing bytes");
+  }
+}
+
+size_t SerializedSize(const std::vector<Tensor>& params) {
+  size_t bytes = sizeof(uint32_t) + sizeof(uint64_t);
+  for (const auto& p : params) {
+    bytes += sizeof(uint64_t) * (1 + p.ndim());
+    bytes += sizeof(double) * p.size();
+  }
+  return bytes;
+}
+
+void SaveParameters(const std::string& path, const std::vector<Tensor>& params) {
+  const auto buf = SerializeParameters(params);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("SaveParameters: cannot open " + path);
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+}
+
+void LoadParameters(const std::string& path, std::vector<Tensor>& params) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("LoadParameters: cannot open " + path);
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
+  DeserializeParameters(buf, params);
+}
+
+}  // namespace deepod::nn

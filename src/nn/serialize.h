@@ -1,0 +1,32 @@
+#ifndef DEEPOD_NN_SERIALIZE_H_
+#define DEEPOD_NN_SERIALIZE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace deepod::nn {
+
+// Flat binary (de)serialisation of a parameter list. Used for model
+// checkpointing and for the Table 5 model-size accounting: SerializedSize
+// reports exactly the bytes a saved model occupies.
+
+// Serialises shapes + data of every parameter into a byte buffer.
+std::vector<uint8_t> SerializeParameters(const std::vector<Tensor>& params);
+
+// Restores parameter values in place; shapes must match the buffer.
+void DeserializeParameters(const std::vector<uint8_t>& buffer,
+                           std::vector<Tensor>& params);
+
+// Byte size a SerializeParameters call would produce (without building it).
+size_t SerializedSize(const std::vector<Tensor>& params);
+
+// File helpers.
+void SaveParameters(const std::string& path, const std::vector<Tensor>& params);
+void LoadParameters(const std::string& path, std::vector<Tensor>& params);
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_SERIALIZE_H_

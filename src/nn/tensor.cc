@@ -1,0 +1,216 @@
+#include "nn/tensor.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace deepod::nn {
+
+size_t NumElements(const std::vector<size_t>& shape) {
+  size_t n = 1;
+  for (size_t d : shape) n *= d;
+  return n;
+}
+
+void Tensor::Impl::EnsureGrad() {
+  if (grad.size() != data.size()) grad.assign(data.size(), 0.0);
+}
+
+Tensor Tensor::Zeros(std::vector<size_t> shape) {
+  return Full(std::move(shape), 0.0);
+}
+
+Tensor Tensor::Full(std::vector<size_t> shape, double value) {
+  auto impl = std::make_shared<Impl>();
+  impl->data.assign(NumElements(shape), value);
+  impl->shape = std::move(shape);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::FromData(std::vector<size_t> shape, std::vector<double> data) {
+  if (NumElements(shape) != data.size()) {
+    throw std::invalid_argument("Tensor::FromData: shape/data size mismatch");
+  }
+  auto impl = std::make_shared<Impl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  return Tensor(std::move(impl));
+}
+
+Tensor Tensor::Scalar(double value) { return FromData({1}, {value}); }
+
+Tensor Tensor::Randn(std::vector<size_t> shape, util::Rng& rng, double stddev) {
+  std::vector<double> data(NumElements(shape));
+  for (double& x : data) x = rng.Normal(0.0, stddev);
+  return FromData(std::move(shape), std::move(data));
+}
+
+Tensor Tensor::RandUniform(std::vector<size_t> shape, util::Rng& rng, double lo,
+                           double hi) {
+  std::vector<double> data(NumElements(shape));
+  for (double& x : data) x = rng.Uniform(lo, hi);
+  return FromData(std::move(shape), std::move(data));
+}
+
+const std::vector<size_t>& Tensor::shape() const {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  return impl_->shape;
+}
+
+size_t Tensor::dim(size_t axis) const {
+  const auto& s = shape();
+  if (axis >= s.size()) throw std::out_of_range("Tensor::dim: axis out of range");
+  return s[axis];
+}
+
+size_t Tensor::size() const { return impl_ ? impl_->data.size() : 0; }
+
+std::vector<double>& Tensor::data() {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  return impl_->data;
+}
+
+const std::vector<double>& Tensor::data() const {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  return impl_->data;
+}
+
+double Tensor::item() const {
+  if (size() != 1) throw std::logic_error("Tensor::item: size != 1");
+  return impl_->data[0];
+}
+
+double Tensor::at(size_t i) const { return data().at(i); }
+
+double Tensor::at(size_t i, size_t j) const {
+  const auto& s = shape();
+  if (s.size() != 2) throw std::logic_error("Tensor::at(i,j): not 2-D");
+  return impl_->data[i * s[1] + j];
+}
+
+double Tensor::at(size_t i, size_t j, size_t k) const {
+  const auto& s = shape();
+  if (s.size() != 3) throw std::logic_error("Tensor::at(i,j,k): not 3-D");
+  return impl_->data[(i * s[1] + j) * s[2] + k];
+}
+
+void Tensor::set(size_t i, double v) { data().at(i) = v; }
+
+void Tensor::set(size_t i, size_t j, double v) {
+  const auto& s = shape();
+  if (s.size() != 2) throw std::logic_error("Tensor::set(i,j): not 2-D");
+  impl_->data[i * s[1] + j] = v;
+}
+
+void Tensor::set(size_t i, size_t j, size_t k, double v) {
+  const auto& s = shape();
+  if (s.size() != 3) throw std::logic_error("Tensor::set(i,j,k): not 3-D");
+  impl_->data[(i * s[1] + j) * s[2] + k] = v;
+}
+
+bool Tensor::requires_grad() const { return impl_ && impl_->requires_grad; }
+
+Tensor& Tensor::set_requires_grad(bool value) {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  impl_->requires_grad = value;
+  if (value) impl_->EnsureGrad();
+  return *this;
+}
+
+const std::vector<double>& Tensor::grad() const {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+std::vector<double>& Tensor::mutable_grad() {
+  if (!impl_) throw std::logic_error("Tensor: null handle");
+  impl_->EnsureGrad();
+  return impl_->grad;
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_) return;
+  impl_->grad.assign(impl_->data.size(), 0.0);
+}
+
+void Tensor::Backward() {
+  if (!impl_) throw std::logic_error("Tensor::Backward: null handle");
+  if (size() != 1) {
+    throw std::logic_error("Tensor::Backward: only scalar roots supported");
+  }
+  // Iterative post-order topological sort of the reachable DAG.
+  std::vector<Impl*> order;
+  std::unordered_set<Impl*> visited;
+  struct Frame {
+    Impl* node;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl_.get(), 0});
+  visited.insert(impl_.get());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.next_child < f.node->parents.size()) {
+      Impl* child = f.node->parents[f.next_child].get();
+      ++f.next_child;
+      if (visited.insert(child).second) stack.push_back({child, 0});
+    } else {
+      order.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order (root last in `order`).
+  impl_->EnsureGrad();
+  impl_->grad[0] += 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Impl* node = *it;
+    if (node->backward_fn) {
+      node->EnsureGrad();
+      for (auto& p : node->parents) p->EnsureGrad();
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Tensor Tensor::Detach() const {
+  if (!impl_) return Tensor();
+  return FromData(impl_->shape, impl_->data);
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream out;
+  out << "[";
+  const auto& s = shape();
+  for (size_t i = 0; i < s.size(); ++i) out << (i ? "," : "") << s[i];
+  out << "]";
+  return out.str();
+}
+
+Tensor Tensor::MakeOpResult(std::vector<size_t> shape, std::vector<double> data,
+                            std::vector<std::shared_ptr<Impl>> parents,
+                            std::function<void(Impl&)> backward_fn) {
+  if (NumElements(shape) != data.size()) {
+    throw std::invalid_argument("MakeOpResult: shape/data size mismatch");
+  }
+  auto impl = std::make_shared<Impl>();
+  impl->shape = std::move(shape);
+  impl->data = std::move(data);
+  // The result needs grad tracking if any parent does. Ops may still attach
+  // a backward_fn unconditionally; the topological sweep is harmless for
+  // grad-free subgraphs but we prune for speed.
+  bool any_grad = false;
+  for (const auto& p : parents) {
+    if (p->requires_grad || p->backward_fn) {
+      any_grad = true;
+      break;
+    }
+  }
+  if (any_grad) {
+    impl->parents = std::move(parents);
+    impl->backward_fn = std::move(backward_fn);
+  }
+  return Tensor(std::move(impl));
+}
+
+}  // namespace deepod::nn

@@ -1,0 +1,121 @@
+#ifndef DEEPOD_NN_TENSOR_H_
+#define DEEPOD_NN_TENSOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepod::nn {
+
+// A dense, row-major, double-precision tensor participating in a dynamic
+// reverse-mode autodiff graph (the style PyTorch popularised and the paper's
+// reference implementation relies on).
+//
+// Tensor is a cheap handle (shared_ptr to storage). Ops in ops.h build the
+// graph; calling Backward() on a scalar result propagates gradients into
+// every reachable tensor that has requires_grad set. Gradients accumulate
+// (+=) across backward calls until ZeroGrad(), which makes mini-batch
+// accumulation by repeated per-sample Backward() calls correct.
+class Tensor {
+ public:
+  // An empty (null) tensor handle.
+  Tensor() = default;
+
+  // --- Factories -----------------------------------------------------------
+
+  static Tensor Zeros(std::vector<size_t> shape);
+  static Tensor Full(std::vector<size_t> shape, double value);
+  // Takes ownership of `data`; data.size() must equal the shape's element
+  // count.
+  static Tensor FromData(std::vector<size_t> shape, std::vector<double> data);
+  static Tensor Scalar(double value);
+  // I.I.D. normal entries with the given standard deviation.
+  static Tensor Randn(std::vector<size_t> shape, util::Rng& rng,
+                      double stddev = 1.0);
+  // Uniform entries in [lo, hi).
+  static Tensor RandUniform(std::vector<size_t> shape, util::Rng& rng,
+                            double lo, double hi);
+
+  // --- Shape ---------------------------------------------------------------
+
+  bool defined() const { return impl_ != nullptr; }
+  const std::vector<size_t>& shape() const;
+  size_t ndim() const { return shape().size(); }
+  size_t dim(size_t axis) const;
+  size_t size() const;  // total element count
+
+  // --- Data access ---------------------------------------------------------
+
+  std::vector<double>& data();
+  const std::vector<double>& data() const;
+  double item() const;  // requires size() == 1
+
+  double at(size_t i) const;                      // 1-D
+  double at(size_t i, size_t j) const;            // 2-D
+  double at(size_t i, size_t j, size_t k) const;  // 3-D
+  void set(size_t i, double v);
+  void set(size_t i, size_t j, double v);
+  void set(size_t i, size_t j, size_t k, double v);
+
+  // --- Autograd ------------------------------------------------------------
+
+  bool requires_grad() const;
+  // Marks this tensor as a leaf parameter whose gradient should be kept.
+  Tensor& set_requires_grad(bool value);
+
+  // Gradient buffer (same shape as data). Empty until first backward.
+  const std::vector<double>& grad() const;
+  std::vector<double>& mutable_grad();
+  void ZeroGrad();
+
+  // Reverse-mode sweep from this tensor; requires size() == 1.
+  void Backward();
+
+  // Returns a graph-detached copy sharing no autograd history (fresh leaf
+  // with copied data).
+  Tensor Detach() const;
+
+  // Stable identity for graph bookkeeping / debugging.
+  const void* id() const { return impl_.get(); }
+
+  std::string ShapeString() const;
+
+  // --- Internal (used by ops.h) --------------------------------------------
+
+  struct Impl {
+    std::vector<size_t> shape;
+    std::vector<double> data;
+    std::vector<double> grad;  // lazily sized
+    bool requires_grad = false;
+    // Parents in the autodiff DAG plus the function that routes this
+    // tensor's grad into the parents' grads.
+    std::vector<std::shared_ptr<Impl>> parents;
+    std::function<void(Impl&)> backward_fn;
+
+    void EnsureGrad();
+  };
+
+  explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+  const std::shared_ptr<Impl>& impl() const { return impl_; }
+
+  // Creates a non-leaf tensor produced by an op. `backward_fn` receives the
+  // result Impl (whose .grad is populated) and must scatter into parents.
+  static Tensor MakeOpResult(std::vector<size_t> shape,
+                             std::vector<double> data,
+                             std::vector<std::shared_ptr<Impl>> parents,
+                             std::function<void(Impl&)> backward_fn);
+
+ private:
+  std::shared_ptr<Impl> impl_;
+};
+
+// Number of elements implied by a shape (product; 1 for rank-0).
+size_t NumElements(const std::vector<size_t>& shape);
+
+}  // namespace deepod::nn
+
+#endif  // DEEPOD_NN_TENSOR_H_

@@ -1,0 +1,54 @@
+#ifndef DEEPOD_ROAD_CITY_GENERATOR_H_
+#define DEEPOD_ROAD_CITY_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "road/road_network.h"
+#include "util/rng.h"
+
+namespace deepod::road {
+
+// Parameters of the synthetic city generator. The generator lays out a
+// jittered grid of intersections connected by two-way local streets, then
+// upgrades every `arterial_period`-th row/column to a faster arterial and
+// randomly removes a fraction of local streets so the graph is irregular
+// (multiple distinct sensible routes between most OD pairs, as in Fig. 1
+// of the paper).
+struct CityConfig {
+  std::string name = "city";
+  size_t rows = 12;                 // intersections per column
+  size_t cols = 12;                 // intersections per row
+  double spacing_m = 300.0;         // nominal block edge length
+  double jitter_m = 40.0;           // positional noise of intersections
+  size_t arterial_period = 4;       // every k-th row/col is an arterial
+  double local_speed_mps = 8.0;     // ~29 km/h free flow
+  double arterial_speed_mps = 14.0; // ~50 km/h free flow
+  double removal_prob = 0.08;       // fraction of local two-way links removed
+  // Rivers: impassable horizontal bands crossable only at bridge columns.
+  // A river after row r removes every vertical link between rows r and r+1
+  // except at columns where `c % bridge_period == bridge_offset`. Rivers
+  // make straight-line distance a poor proxy for network distance — the
+  // property that gives road-network-aware models their edge (§1, §6.4 of
+  // the paper: STNN "neglects the information of road networks").
+  std::vector<size_t> river_rows;
+  size_t bridge_period = 5;
+  size_t bridge_offset = 2;
+  uint64_t seed = 1;
+};
+
+// Builds and finalises a road network from the config. The result is
+// guaranteed strongly connected (removals that would disconnect the grid
+// are rejected by construction: arterial links are never removed and the
+// arterial skeleton alone is connected).
+RoadNetwork GenerateCity(const CityConfig& config);
+
+// The three evaluation cities, mirroring the relative characteristics of
+// Table 2 (Chengdu mid-size, Xi'an smaller, Beijing much larger).
+CityConfig ChengduSimConfig();
+CityConfig XianSimConfig();
+CityConfig BeijingSimConfig();
+
+}  // namespace deepod::road
+
+#endif  // DEEPOD_ROAD_CITY_GENERATOR_H_

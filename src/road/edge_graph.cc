@@ -1,0 +1,56 @@
+#include "road/edge_graph.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace deepod::road {
+
+util::WeightedDigraph BuildStructuralEdgeGraph(const RoadNetwork& net) {
+  if (!net.finalized()) {
+    throw std::logic_error("BuildStructuralEdgeGraph: network not finalized");
+  }
+  util::WeightedDigraph graph(net.num_segments());
+  for (const auto& s : net.segments()) {
+    for (size_t next : net.OutSegments(s.to)) {
+      // Skip the immediate U-turn back onto the reverse carriageway; taxis
+      // essentially never do this mid-route and it pollutes the walks.
+      if (net.segment(next).to == s.from) continue;
+      graph.AddArc(s.id, next, 1.0);
+    }
+  }
+  return graph;
+}
+
+util::WeightedDigraph BuildEdgeGraph(
+    const RoadNetwork& net,
+    const std::vector<std::vector<size_t>>& segment_sequences,
+    double base_weight) {
+  if (!net.finalized()) {
+    throw std::logic_error("BuildEdgeGraph: network not finalized");
+  }
+  // Co-occurrence counts of consecutive segment pairs across trajectories.
+  std::unordered_map<uint64_t, double> counts;
+  auto key = [](size_t a, size_t b) {
+    return (static_cast<uint64_t>(a) << 32) | static_cast<uint64_t>(b);
+  };
+  for (const auto& seq : segment_sequences) {
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      if (seq[i] >= net.num_segments() || seq[i + 1] >= net.num_segments()) {
+        throw std::out_of_range("BuildEdgeGraph: segment id out of range");
+      }
+      counts[key(seq[i], seq[i + 1])] += 1.0;
+    }
+  }
+  util::WeightedDigraph graph(net.num_segments());
+  for (const auto& s : net.segments()) {
+    for (size_t next : net.OutSegments(s.to)) {
+      if (net.segment(next).to == s.from) continue;
+      const auto it = counts.find(key(s.id, next));
+      const double co = it == counts.end() ? 0.0 : it->second;
+      graph.AddArc(s.id, next, co + base_weight);
+    }
+  }
+  return graph;
+}
+
+}  // namespace deepod::road

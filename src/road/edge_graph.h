@@ -1,0 +1,28 @@
+#ifndef DEEPOD_ROAD_EDGE_GRAPH_H_
+#define DEEPOD_ROAD_EDGE_GRAPH_H_
+
+#include <vector>
+
+#include "road/road_network.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::road {
+
+// Converts the road network into its line graph (Fig. 4): each node of the
+// result is a road segment, and there is an arc e_ik -> e_kj whenever
+// segment e_ik ends where e_kj begins. Arc weights count how many of the
+// supplied historical segment sequences (trajectories) traverse the pair
+// consecutively; `base_weight` keeps untravelled-but-legal turns reachable
+// by the random-walk embedder (a zero-weight arc would never be walked).
+util::WeightedDigraph BuildEdgeGraph(
+    const RoadNetwork& net,
+    const std::vector<std::vector<size_t>>& segment_sequences,
+    double base_weight = 0.05);
+
+// Structural line graph only (all legal turns, unit weights) — used before
+// any trajectories exist.
+util::WeightedDigraph BuildStructuralEdgeGraph(const RoadNetwork& net);
+
+}  // namespace deepod::road
+
+#endif  // DEEPOD_ROAD_EDGE_GRAPH_H_

@@ -1,0 +1,99 @@
+#include "road/road_network.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::road {
+
+double Distance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+size_t RoadNetwork::AddVertex(Point pos) {
+  if (finalized_) throw std::logic_error("RoadNetwork: already finalized");
+  const size_t id = vertices_.size();
+  vertices_.push_back({id, pos});
+  return id;
+}
+
+size_t RoadNetwork::AddSegment(size_t from, size_t to, double free_flow_speed,
+                               RoadClass road_class, double length) {
+  if (finalized_) throw std::logic_error("RoadNetwork: already finalized");
+  if (from >= vertices_.size() || to >= vertices_.size()) {
+    throw std::out_of_range("RoadNetwork::AddSegment: endpoint out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("RoadNetwork::AddSegment: self-loop segment");
+  }
+  if (free_flow_speed <= 0.0) {
+    throw std::invalid_argument("RoadNetwork::AddSegment: non-positive speed");
+  }
+  Segment s;
+  s.id = segments_.size();
+  s.from = from;
+  s.to = to;
+  s.length = length >= 0.0
+                 ? length
+                 : Distance(vertices_[from].pos, vertices_[to].pos);
+  if (s.length <= 0.0) {
+    throw std::invalid_argument("RoadNetwork::AddSegment: non-positive length");
+  }
+  s.free_flow_speed = free_flow_speed;
+  s.road_class = road_class;
+  segments_.push_back(s);
+  return s.id;
+}
+
+void RoadNetwork::Finalize() {
+  out_segments_.assign(vertices_.size(), {});
+  in_segments_.assign(vertices_.size(), {});
+  for (const auto& s : segments_) {
+    out_segments_[s.from].push_back(s.id);
+    in_segments_[s.to].push_back(s.id);
+  }
+  finalized_ = true;
+}
+
+const std::vector<size_t>& RoadNetwork::OutSegments(size_t vertex_id) const {
+  if (!finalized_) throw std::logic_error("RoadNetwork: not finalized");
+  return out_segments_.at(vertex_id);
+}
+
+const std::vector<size_t>& RoadNetwork::InSegments(size_t vertex_id) const {
+  if (!finalized_) throw std::logic_error("RoadNetwork: not finalized");
+  return in_segments_.at(vertex_id);
+}
+
+Point RoadNetwork::PointAlong(size_t segment_id, double ratio) const {
+  const Segment& s = segments_.at(segment_id);
+  if (ratio < 0.0 || ratio > 1.0) {
+    throw std::invalid_argument("RoadNetwork::PointAlong: ratio out of [0,1]");
+  }
+  const Point& a = vertices_[s.from].pos;
+  const Point& b = vertices_[s.to].pos;
+  return {a.x + (b.x - a.x) * ratio, a.y + (b.y - a.y) * ratio};
+}
+
+void RoadNetwork::BoundingBox(Point* lo, Point* hi) const {
+  if (vertices_.empty()) throw std::logic_error("RoadNetwork: empty network");
+  *lo = *hi = vertices_[0].pos;
+  for (const auto& v : vertices_) {
+    lo->x = std::min(lo->x, v.pos.x);
+    lo->y = std::min(lo->y, v.pos.y);
+    hi->x = std::max(hi->x, v.pos.x);
+    hi->y = std::max(hi->y, v.pos.y);
+  }
+}
+
+size_t RoadNetwork::ReverseSegment(size_t segment_id) const {
+  if (!finalized_) throw std::logic_error("RoadNetwork: not finalized");
+  const Segment& s = segments_.at(segment_id);
+  for (size_t cand : out_segments_[s.to]) {
+    if (segments_[cand].to == s.from) return cand;
+  }
+  return kInvalidId;
+}
+
+}  // namespace deepod::road

@@ -1,0 +1,93 @@
+#ifndef DEEPOD_ROAD_ROAD_NETWORK_H_
+#define DEEPOD_ROAD_ROAD_NETWORK_H_
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace deepod::road {
+
+// 2-D point in a local metric plane (metres). The synthetic cities operate
+// in planar coordinates directly, sidestepping geodesy while preserving all
+// distance semantics the paper needs.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double Distance(const Point& a, const Point& b);
+
+// Road classes used by the synthetic city generator. Arterials are faster
+// and sparser; locals are slow and dense — this heterogeneity creates the
+// meaningful route choice that Fig. 1 of the paper motivates.
+enum class RoadClass { kLocal = 0, kArterial = 1, kHighway = 2 };
+
+constexpr size_t kInvalidId = std::numeric_limits<size_t>::max();
+
+struct Vertex {
+  size_t id = kInvalidId;
+  Point pos;
+};
+
+// A directed road segment e_k = <v_from -> v_to, w> (§2). The weight is the
+// segment length; free-flow speed feeds the traffic simulator.
+struct Segment {
+  size_t id = kInvalidId;
+  size_t from = kInvalidId;
+  size_t to = kInvalidId;
+  double length = 0.0;           // metres
+  double free_flow_speed = 0.0;  // metres / second
+  RoadClass road_class = RoadClass::kLocal;
+};
+
+// Directed weighted road-network graph G = <V, E> (§2, Problem Formulation).
+// Vertices are segment endpoints; each Segment is a directed edge. Built
+// incrementally then finalised into CSR adjacency for traversal.
+class RoadNetwork {
+ public:
+  RoadNetwork() = default;
+
+  // --- Construction --------------------------------------------------------
+
+  size_t AddVertex(Point pos);
+  // Adds a directed segment; returns its id. Length defaults to the
+  // Euclidean endpoint distance when not provided.
+  size_t AddSegment(size_t from, size_t to, double free_flow_speed,
+                    RoadClass road_class, double length = -1.0);
+  // Builds adjacency indexes; must be called before traversal queries.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  // --- Accessors -----------------------------------------------------------
+
+  size_t num_vertices() const { return vertices_.size(); }
+  size_t num_segments() const { return segments_.size(); }
+  const Vertex& vertex(size_t id) const { return vertices_.at(id); }
+  const Segment& segment(size_t id) const { return segments_.at(id); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  // Outgoing / incoming segment ids of a vertex (requires Finalize()).
+  const std::vector<size_t>& OutSegments(size_t vertex_id) const;
+  const std::vector<size_t>& InSegments(size_t vertex_id) const;
+
+  // Point at fraction `ratio` in [0,1] along a segment (linear in geometry).
+  Point PointAlong(size_t segment_id, double ratio) const;
+
+  // Bounding box of all vertices.
+  void BoundingBox(Point* lo, Point* hi) const;
+
+  // Reverse segment id (to->from) if one exists, else kInvalidId.
+  size_t ReverseSegment(size_t segment_id) const;
+
+ private:
+  std::vector<Vertex> vertices_;
+  std::vector<Segment> segments_;
+  std::vector<std::vector<size_t>> out_segments_;
+  std::vector<std::vector<size_t>> in_segments_;
+  bool finalized_ = false;
+};
+
+}  // namespace deepod::road
+
+#endif  // DEEPOD_ROAD_ROAD_NETWORK_H_

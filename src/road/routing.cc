@@ -1,0 +1,108 @@
+#include "road/routing.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace deepod::road {
+
+double FreeFlowCost(const Segment& segment) {
+  return segment.length / segment.free_flow_speed;
+}
+
+ShortestPathTree Dijkstra(const RoadNetwork& net, size_t source,
+                          const SegmentCostFn& cost_fn) {
+  const size_t n = net.num_vertices();
+  if (source >= n) throw std::out_of_range("Dijkstra: source out of range");
+  ShortestPathTree tree;
+  tree.cost.assign(n, std::numeric_limits<double>::infinity());
+  tree.incoming_segment.assign(n, kInvalidId);
+  using Entry = std::pair<double, size_t>;  // (cost, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  tree.cost[source] = 0.0;
+  heap.push({0.0, source});
+  while (!heap.empty()) {
+    const auto [cost, v] = heap.top();
+    heap.pop();
+    if (cost > tree.cost[v]) continue;  // stale entry
+    for (size_t sid : net.OutSegments(v)) {
+      const Segment& s = net.segment(sid);
+      const double edge_cost = cost_fn(s);
+      if (edge_cost < 0.0) {
+        throw std::invalid_argument("Dijkstra: negative segment cost");
+      }
+      const double next = cost + edge_cost;
+      if (next < tree.cost[s.to]) {
+        tree.cost[s.to] = next;
+        tree.incoming_segment[s.to] = sid;
+        heap.push({next, s.to});
+      }
+    }
+  }
+  return tree;
+}
+
+Route ShortestRoute(const RoadNetwork& net, size_t source, size_t target,
+                    const SegmentCostFn& cost_fn) {
+  const ShortestPathTree tree = Dijkstra(net, source, cost_fn);
+  Route route;
+  if (target >= net.num_vertices() ||
+      tree.cost[target] == std::numeric_limits<double>::infinity()) {
+    return route;  // unreachable
+  }
+  route.cost = tree.cost[target];
+  size_t v = target;
+  while (v != source) {
+    const size_t sid = tree.incoming_segment[v];
+    route.segment_ids.push_back(sid);
+    v = net.segment(sid).from;
+  }
+  std::reverse(route.segment_ids.begin(), route.segment_ids.end());
+  return route;
+}
+
+std::vector<Route> AlternativeRoutes(const RoadNetwork& net, size_t source,
+                                     size_t target,
+                                     const SegmentCostFn& cost_fn, size_t k,
+                                     double penalty) {
+  std::vector<Route> routes;
+  if (k == 0) return routes;
+  std::unordered_map<size_t, double> multiplier;
+  std::set<std::vector<size_t>> seen;
+  for (size_t attempt = 0; attempt < 3 * k && routes.size() < k; ++attempt) {
+    auto penalised = [&](const Segment& s) {
+      const auto it = multiplier.find(s.id);
+      const double m = it == multiplier.end() ? 1.0 : it->second;
+      return cost_fn(s) * m;
+    };
+    Route r = ShortestRoute(net, source, target, penalised);
+    if (r.segment_ids.empty()) break;
+    // Restate cost under the *unpenalised* metric.
+    double true_cost = 0.0;
+    for (size_t sid : r.segment_ids) true_cost += cost_fn(net.segment(sid));
+    r.cost = true_cost;
+    if (seen.insert(r.segment_ids).second) routes.push_back(r);
+    for (size_t sid : r.segment_ids) {
+      auto [it, inserted] = multiplier.try_emplace(sid, 1.0);
+      it->second *= penalty;
+    }
+  }
+  std::sort(routes.begin(), routes.end(),
+            [](const Route& a, const Route& b) { return a.cost < b.cost; });
+  return routes;
+}
+
+bool IsConnectedPath(const RoadNetwork& net,
+                     const std::vector<size_t>& segment_ids) {
+  for (size_t i = 0; i + 1 < segment_ids.size(); ++i) {
+    if (net.segment(segment_ids[i]).to != net.segment(segment_ids[i + 1]).from) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace deepod::road

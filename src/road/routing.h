@@ -1,0 +1,52 @@
+#ifndef DEEPOD_ROAD_ROUTING_H_
+#define DEEPOD_ROAD_ROUTING_H_
+
+#include <functional>
+#include <vector>
+
+#include "road/road_network.h"
+
+namespace deepod::road {
+
+// Cost of traversing a segment (seconds). The traffic simulator supplies a
+// time-dependent implementation; free-flow cost is the default.
+using SegmentCostFn = std::function<double(const Segment&)>;
+
+// Returns length / free_flow_speed.
+double FreeFlowCost(const Segment& segment);
+
+struct Route {
+  std::vector<size_t> segment_ids;  // consecutive, head-to-tail
+  double cost = 0.0;                // total cost under the query's cost fn
+};
+
+// Single-source Dijkstra from `source` vertex; returns per-vertex cost and
+// the incoming segment on the best path (kInvalidId for unreachable /
+// source).
+struct ShortestPathTree {
+  std::vector<double> cost;
+  std::vector<size_t> incoming_segment;
+};
+ShortestPathTree Dijkstra(const RoadNetwork& net, size_t source,
+                          const SegmentCostFn& cost_fn);
+
+// Least-cost route between two vertices; empty route if unreachable.
+Route ShortestRoute(const RoadNetwork& net, size_t source, size_t target,
+                    const SegmentCostFn& cost_fn);
+
+// Up to k reasonably distinct routes via iterative penalisation: after each
+// route is found its segments' costs are multiplied by `penalty`, and
+// duplicate routes are discarded. This produces the kind of route diversity
+// (fast-arterial vs short-local) that makes OD travel time route-dependent.
+std::vector<Route> AlternativeRoutes(const RoadNetwork& net, size_t source,
+                                     size_t target,
+                                     const SegmentCostFn& cost_fn, size_t k,
+                                     double penalty = 1.4);
+
+// True when the segment sequence is a connected directed path.
+bool IsConnectedPath(const RoadNetwork& net,
+                     const std::vector<size_t>& segment_ids);
+
+}  // namespace deepod::road
+
+#endif  // DEEPOD_ROAD_ROUTING_H_

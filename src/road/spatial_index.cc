@@ -1,0 +1,146 @@
+#include "road/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace deepod::road {
+
+SpatialIndex::SpatialIndex(const RoadNetwork& net, double cell_size)
+    : net_(net), cell_size_(cell_size) {
+  if (cell_size <= 0.0) {
+    throw std::invalid_argument("SpatialIndex: cell_size must be positive");
+  }
+  net.BoundingBox(&lo_, &hi_);
+  // Pad the box slightly so boundary points land inside.
+  lo_.x -= 1.0;
+  lo_.y -= 1.0;
+  hi_.x += 1.0;
+  hi_.y += 1.0;
+  nx_ = static_cast<size_t>(std::ceil((hi_.x - lo_.x) / cell_size_));
+  ny_ = static_cast<size_t>(std::ceil((hi_.y - lo_.y) / cell_size_));
+  nx_ = std::max<size_t>(nx_, 1);
+  ny_ = std::max<size_t>(ny_, 1);
+  cells_.assign(nx_ * ny_, {});
+  // Insert each segment into every cell its bounding box overlaps.
+  for (const auto& s : net.segments()) {
+    const Point& a = net.vertex(s.from).pos;
+    const Point& b = net.vertex(s.to).pos;
+    const double min_x = std::min(a.x, b.x), max_x = std::max(a.x, b.x);
+    const double min_y = std::min(a.y, b.y), max_y = std::max(a.y, b.y);
+    const long cx0 = static_cast<long>((min_x - lo_.x) / cell_size_);
+    const long cx1 = static_cast<long>((max_x - lo_.x) / cell_size_);
+    const long cy0 = static_cast<long>((min_y - lo_.y) / cell_size_);
+    const long cy1 = static_cast<long>((max_y - lo_.y) / cell_size_);
+    for (long cy = std::max(0L, cy0); cy <= std::min<long>(ny_ - 1, cy1); ++cy) {
+      for (long cx = std::max(0L, cx0); cx <= std::min<long>(nx_ - 1, cx1); ++cx) {
+        cells_[static_cast<size_t>(cy) * nx_ + static_cast<size_t>(cx)]
+            .push_back(s.id);
+      }
+    }
+  }
+}
+
+Projection SpatialIndex::ProjectOnto(const RoadNetwork& net, size_t segment_id,
+                                     const Point& p) {
+  const Segment& s = net.segment(segment_id);
+  const Point& a = net.vertex(s.from).pos;
+  const Point& b = net.vertex(s.to).pos;
+  const double abx = b.x - a.x, aby = b.y - a.y;
+  const double len_sq = abx * abx + aby * aby;
+  double t = 0.0;
+  if (len_sq > 0.0) {
+    t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len_sq;
+    t = std::clamp(t, 0.0, 1.0);
+  }
+  const Point proj{a.x + t * abx, a.y + t * aby};
+  Projection out;
+  out.segment_id = segment_id;
+  out.ratio = t;
+  out.distance = Distance(p, proj);
+  return out;
+}
+
+void SpatialIndex::CellCoords(const Point& p, long* cx, long* cy) const {
+  *cx = std::clamp(static_cast<long>((p.x - lo_.x) / cell_size_), 0L,
+                   static_cast<long>(nx_) - 1);
+  *cy = std::clamp(static_cast<long>((p.y - lo_.y) / cell_size_), 0L,
+                   static_cast<long>(ny_) - 1);
+}
+
+Projection SpatialIndex::Nearest(const Point& p) const {
+  if (net_.num_segments() == 0) {
+    throw std::logic_error("SpatialIndex::Nearest: empty network");
+  }
+  long cx, cy;
+  CellCoords(p, &cx, &cy);
+  Projection best;
+  best.distance = std::numeric_limits<double>::infinity();
+  const long max_ring = static_cast<long>(std::max(nx_, ny_));
+  for (long ring = 0; ring <= max_ring; ++ring) {
+    // A point inside a ring-k cell can be as close as (k-1) * cell_size to
+    // the query (the query may sit on its own cell's boundary), so it is
+    // only safe to stop once the best candidate beats that bound.
+    if (best.segment_id != kInvalidId && ring >= 1 &&
+        best.distance < static_cast<double>(ring - 1) * cell_size_) {
+      break;
+    }
+    for (long dy = -ring; dy <= ring; ++dy) {
+      for (long dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::labs(dx), std::labs(dy)) != ring) continue;
+        const long gx = cx + dx, gy = cy + dy;
+        if (gx < 0 || gy < 0 || gx >= static_cast<long>(nx_) ||
+            gy >= static_cast<long>(ny_)) {
+          continue;
+        }
+        const auto& bucket =
+            cells_[static_cast<size_t>(gy) * nx_ + static_cast<size_t>(gx)];
+        for (size_t sid : bucket) {
+          const Projection cand = ProjectOnto(net_, sid, p);
+          if (cand.distance < best.distance) best = cand;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<Projection> SpatialIndex::Within(const Point& p,
+                                             double radius) const {
+  std::vector<Projection> result;
+  long cx, cy;
+  CellCoords(p, &cx, &cy);
+  const long rings = static_cast<long>(std::ceil(radius / cell_size_)) + 1;
+  std::vector<bool> seen(net_.num_segments(), false);
+  for (long dy = -rings; dy <= rings; ++dy) {
+    for (long dx = -rings; dx <= rings; ++dx) {
+      const long gx = cx + dx, gy = cy + dy;
+      if (gx < 0 || gy < 0 || gx >= static_cast<long>(nx_) ||
+          gy >= static_cast<long>(ny_)) {
+        continue;
+      }
+      const auto& bucket =
+          cells_[static_cast<size_t>(gy) * nx_ + static_cast<size_t>(gx)];
+      for (size_t sid : bucket) {
+        if (seen[sid]) continue;
+        seen[sid] = true;
+        const Projection cand = ProjectOnto(net_, sid, p);
+        if (cand.distance <= radius) result.push_back(cand);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const Projection& a, const Projection& b) {
+              return a.distance < b.distance;
+            });
+  return result;
+}
+
+size_t SpatialIndex::CellOf(double x, double y) const {
+  long cx, cy;
+  CellCoords({x, y}, &cx, &cy);
+  return static_cast<size_t>(cy) * nx_ + static_cast<size_t>(cx);
+}
+
+}  // namespace deepod::road

@@ -1,0 +1,51 @@
+#ifndef DEEPOD_ROAD_SPATIAL_INDEX_H_
+#define DEEPOD_ROAD_SPATIAL_INDEX_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "road/road_network.h"
+
+namespace deepod::road {
+
+// Result of projecting a point onto a road segment.
+struct Projection {
+  size_t segment_id = kInvalidId;
+  double distance = 0.0;  // metres from the query point to the segment
+  double ratio = 0.0;     // position along the segment in [0, 1]
+};
+
+// Uniform-grid spatial index over the segments of a road network, used by
+// the map matcher and the TEMP baseline to find candidate segments near a
+// GPS point in O(cells scanned) instead of O(|E|).
+class SpatialIndex {
+ public:
+  // Builds the index; `cell_size` is the grid cell edge in metres.
+  SpatialIndex(const RoadNetwork& net, double cell_size = 250.0);
+
+  // Nearest segment to the point (scans outward ring by ring). Always
+  // succeeds for a non-empty network.
+  Projection Nearest(const Point& p) const;
+
+  // All segments whose distance to the point is <= radius, sorted by
+  // distance ascending.
+  std::vector<Projection> Within(const Point& p, double radius) const;
+
+  // Distance from a point to a segment plus the projection ratio.
+  static Projection ProjectOnto(const RoadNetwork& net, size_t segment_id,
+                                const Point& p);
+
+ private:
+  size_t CellOf(double x, double y) const;
+  void CellCoords(const Point& p, long* cx, long* cy) const;
+
+  const RoadNetwork& net_;
+  double cell_size_;
+  Point lo_, hi_;
+  size_t nx_ = 0, ny_ = 0;
+  std::vector<std::vector<size_t>> cells_;  // cell -> segment ids
+};
+
+}  // namespace deepod::road
+
+#endif  // DEEPOD_ROAD_SPATIAL_INDEX_H_

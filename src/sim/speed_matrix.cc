@@ -1,0 +1,69 @@
+#include "sim/speed_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::sim {
+
+SpeedMatrixBuilder::SpeedMatrixBuilder(const road::RoadNetwork& net,
+                                       const TrafficModel& traffic,
+                                       const WeatherProcess& weather,
+                                       double grid_size_m,
+                                       double snapshot_seconds)
+    : net_(net),
+      traffic_(traffic),
+      weather_(weather),
+      grid_size_m_(grid_size_m),
+      snapshot_seconds_(snapshot_seconds) {
+  if (grid_size_m <= 0.0 || snapshot_seconds <= 0.0) {
+    throw std::invalid_argument("SpeedMatrixBuilder: non-positive sizes");
+  }
+  road::Point hi;
+  net.BoundingBox(&lo_, &hi);
+  cols_ = static_cast<size_t>(std::ceil((hi.x - lo_.x) / grid_size_m_)) + 1;
+  rows_ = static_cast<size_t>(std::ceil((hi.y - lo_.y) / grid_size_m_)) + 1;
+  cell_segments_.assign(rows_ * cols_, {});
+  for (const auto& s : net.segments()) {
+    max_speed_ = std::max(max_speed_, s.free_flow_speed);
+    const road::Point mid = net.PointAlong(s.id, 0.5);
+    const size_t cx = static_cast<size_t>(
+        std::clamp((mid.x - lo_.x) / grid_size_m_, 0.0,
+                   static_cast<double>(cols_ - 1)));
+    const size_t cy = static_cast<size_t>(
+        std::clamp((mid.y - lo_.y) / grid_size_m_, 0.0,
+                   static_cast<double>(rows_ - 1)));
+    cell_segments_[cy * cols_ + cx].push_back(s.id);
+  }
+}
+
+temporal::Timestamp SpeedMatrixBuilder::SnapshotTime(
+    temporal::Timestamp t) const {
+  return std::floor(t / snapshot_seconds_) * snapshot_seconds_;
+}
+
+std::vector<double> SpeedMatrixBuilder::MatrixAt(temporal::Timestamp t) const {
+  const temporal::Timestamp snap = SnapshotTime(t);
+  const double weather_mult =
+      WeatherProcess::SpeedFactor(weather_.TypeAt(std::max(0.0, snap)));
+  std::vector<double> matrix(rows_ * cols_, 0.0);
+  double total = 0.0;
+  size_t filled = 0;
+  for (size_t c = 0; c < cell_segments_.size(); ++c) {
+    const auto& segs = cell_segments_[c];
+    if (segs.empty()) continue;
+    double mean = 0.0;
+    for (size_t sid : segs) mean += traffic_.SpeedAt(sid, snap) * weather_mult;
+    mean /= static_cast<double>(segs.size());
+    matrix[c] = mean / max_speed_;
+    total += matrix[c];
+    ++filled;
+  }
+  const double fill = filled > 0 ? total / static_cast<double>(filled) : 0.5;
+  for (size_t c = 0; c < cell_segments_.size(); ++c) {
+    if (cell_segments_[c].empty()) matrix[c] = fill;
+  }
+  return matrix;
+}
+
+}  // namespace deepod::sim

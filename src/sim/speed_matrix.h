@@ -1,0 +1,51 @@
+#ifndef DEEPOD_SIM_SPEED_MATRIX_H_
+#define DEEPOD_SIM_SPEED_MATRIX_H_
+
+#include <vector>
+
+#include "road/road_network.h"
+#include "sim/traffic_model.h"
+#include "sim/weather.h"
+#include "temporal/time_slot.h"
+
+namespace deepod::sim {
+
+// Grid-averaged speed field — the "current traffic condition" external
+// feature of §4.5. The whole area is split into square grids of
+// `grid_size_m`; the matrix value of a grid is the average effective speed
+// of the segments whose midpoint falls in it (normalised to [0,1] by the
+// network's maximum free-flow speed so the CNN input is well-scaled). One
+// matrix is produced per Δt snapshot; the model consumes the latest
+// snapshot before departure (quantised, exactly like the paper).
+class SpeedMatrixBuilder {
+ public:
+  SpeedMatrixBuilder(const road::RoadNetwork& net, const TrafficModel& traffic,
+                     const WeatherProcess& weather, double grid_size_m = 200.0,
+                     double snapshot_seconds = 300.0);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  double snapshot_seconds() const { return snapshot_seconds_; }
+
+  // Row-major rows() x cols() matrix of normalised average speeds at the
+  // latest snapshot at or before t. Cells with no segment get the city-wide
+  // mean so the CNN sees no artificial holes.
+  std::vector<double> MatrixAt(temporal::Timestamp t) const;
+
+  // The snapshot timestamp used for time t.
+  temporal::Timestamp SnapshotTime(temporal::Timestamp t) const;
+
+ private:
+  const road::RoadNetwork& net_;
+  const TrafficModel& traffic_;
+  const WeatherProcess& weather_;
+  double grid_size_m_, snapshot_seconds_;
+  road::Point lo_;
+  size_t rows_ = 0, cols_ = 0;
+  double max_speed_ = 1.0;
+  std::vector<std::vector<size_t>> cell_segments_;  // cell -> segment ids
+};
+
+}  // namespace deepod::sim
+
+#endif  // DEEPOD_SIM_SPEED_MATRIX_H_

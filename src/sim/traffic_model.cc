@@ -1,0 +1,101 @@
+#include "sim/traffic_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace deepod::sim {
+namespace {
+
+// Smooth bump centred at `centre` hours with the given width (Gaussian).
+double Bump(double hour, double centre, double width) {
+  const double d = (hour - centre) / width;
+  return std::exp(-0.5 * d * d);
+}
+
+// Deterministic hash -> standard-normal-ish value (sum of uniforms), used
+// for the per-day congestion draws so they need no stored state.
+double HashNormal(uint64_t key) {
+  double sum = 0.0;
+  uint64_t x = key;
+  for (int i = 0; i < 4; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    sum += static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+  return (sum - 2.0) * std::sqrt(3.0);  // variance of sum of 4 U(0,1) is 1/3
+}
+
+}  // namespace
+
+TrafficModel::TrafficModel(const road::RoadNetwork& net)
+    : TrafficModel(net, Options{}) {}
+
+TrafficModel::TrafficModel(const road::RoadNetwork& net, Options options)
+    : net_(net), options_(options) {
+  util::Rng rng(options_.seed);
+  sensitivity_.resize(net.num_segments());
+  morning_share_.resize(net.num_segments());
+  for (size_t i = 0; i < net.num_segments(); ++i) {
+    const auto& s = net.segment(i);
+    // Arterials 0.6-1.0, locals 0.1-0.7: commuter flow concentrates on the
+    // fast roads, so rush hour inverts the route ranking (Fig. 1's lesson).
+    if (s.road_class == road::RoadClass::kLocal) {
+      sensitivity_[i] = rng.Uniform(0.1, 0.7);
+    } else {
+      sensitivity_[i] = rng.Uniform(0.6, 1.0);
+    }
+    // Directionality: some segments suffer mostly in the morning (inbound),
+    // others in the evening (outbound).
+    morning_share_[i] = rng.Uniform(0.25, 0.75);
+  }
+}
+
+double TrafficModel::CongestionAt(size_t segment_id,
+                                  temporal::Timestamp t) const {
+  const double day_seconds = std::fmod(t, temporal::kSecondsPerDay);
+  const double hour = day_seconds / temporal::kSecondsPerHour;
+  const int day_of_week = static_cast<int>(
+      std::fmod(t, temporal::kSecondsPerWeek) / temporal::kSecondsPerDay);
+  const bool weekend = day_of_week >= 5;  // t=0 is Monday 00:00
+
+  const double sens = sensitivity_.at(segment_id);
+  const double ms = morning_share_.at(segment_id);
+  double dip = 0.0;
+  if (!weekend) {
+    dip += ms * Bump(hour, options_.morning_peak_hour, options_.peak_width_hours);
+    dip += (1.0 - ms) *
+           Bump(hour, options_.evening_peak_hour, options_.peak_width_hours);
+    dip *= 2.0;  // ms + (1-ms) halves the amplitude; restore it
+  } else {
+    dip += options_.weekend_factor * Bump(hour, 13.0, 3.0);
+  }
+  const double slowdown = options_.max_rush_slowdown * sens * std::min(dip, 1.0);
+
+  // Day-to-day stochastic congestion (see Options::daily_sigma): one
+  // city-wide draw per day plus a local (segment, day) draw, deterministic
+  // in (seed, day, segment).
+  const uint64_t day = static_cast<uint64_t>(t / temporal::kSecondsPerDay);
+  const double city_level =
+      std::exp(options_.daily_sigma * HashNormal(day * 1000003ull + options_.seed));
+  const double local_level = std::exp(
+      options_.segment_daily_sigma *
+      HashNormal((day * 1000003ull + segment_id) * 2654435761ull + options_.seed));
+
+  return std::clamp((1.0 - slowdown) / (city_level * local_level), 0.12, 1.0);
+}
+
+double TrafficModel::SpeedAt(size_t segment_id, temporal::Timestamp t) const {
+  return net_.segment(segment_id).free_flow_speed * CongestionAt(segment_id, t);
+}
+
+double TrafficModel::TraversalSeconds(size_t segment_id,
+                                      temporal::Timestamp t) const {
+  return net_.segment(segment_id).length / SpeedAt(segment_id, t);
+}
+
+}  // namespace deepod::sim

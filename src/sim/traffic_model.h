@@ -1,0 +1,73 @@
+#ifndef DEEPOD_SIM_TRAFFIC_MODEL_H_
+#define DEEPOD_SIM_TRAFFIC_MODEL_H_
+
+#include <vector>
+
+#include "road/road_network.h"
+#include "temporal/time_slot.h"
+
+namespace deepod::sim {
+
+// Deterministic time-varying congestion model over a road network.
+//
+// The effective speed of segment e at time t is
+//   speed(e, t) = free_flow(e) · congestion(e, t)
+// where congestion(e, t) ∈ (0, 1] dips during the morning and evening rush
+// hours on weekdays (with a weaker midday dip on weekends), with
+// per-segment sensitivities drawn once per network. This gives the
+// synthetic cities the two properties the paper's data exhibits and its
+// model exploits: smooth neighbouring-slot variation and daily/weekly
+// periodicity (Fig. 5a), and route-dependent travel times (Fig. 1 — an
+// arterial that is fast at 11:00 may be the slow choice at 8:00).
+class TrafficModel {
+ public:
+  struct Options {
+    double morning_peak_hour = 8.0;
+    double evening_peak_hour = 18.0;
+    double peak_width_hours = 1.6;
+    // Maximum fractional slowdown on the most sensitive segments.
+    double max_rush_slowdown = 0.55;
+    // Weekend traffic: single broad midday bump with this relative size.
+    double weekend_factor = 0.35;
+    // Day-to-day variability: each day draws a city-wide congestion level
+    // and each (segment, day) a local one (incidents, demand surges). This
+    // component is *not* a function of time-of-day, so it is invisible to
+    // models fed only temporal features — but it shows in the current
+    // speed matrix, which is exactly the role of the paper's §4.5
+    // "current traffic condition" external feature.
+    double daily_sigma = 0.10;
+    double segment_daily_sigma = 0.07;
+    uint64_t seed = 7;
+  };
+
+  explicit TrafficModel(const road::RoadNetwork& net);
+  TrafficModel(const road::RoadNetwork& net, Options options);
+
+  // Congestion multiplier in (0, 1]; 1 = free flow.
+  double CongestionAt(size_t segment_id, temporal::Timestamp t) const;
+
+  // Effective speed (m/s) of a segment at time t, before weather/noise.
+  double SpeedAt(size_t segment_id, temporal::Timestamp t) const;
+
+  // Expected traversal seconds of the full segment at time t.
+  double TraversalSeconds(size_t segment_id, temporal::Timestamp t) const;
+
+  // Per-segment rush-hour sensitivity in [0, 1] (1 = most affected).
+  double Sensitivity(size_t segment_id) const {
+    return sensitivity_.at(segment_id);
+  }
+
+  const road::RoadNetwork& network() const { return net_; }
+
+ private:
+  const road::RoadNetwork& net_;
+  Options options_;
+  // Per-segment sensitivity to the morning / evening peaks. Arterials get
+  // systematically higher sensitivity: they carry commuter flow.
+  std::vector<double> sensitivity_;
+  std::vector<double> morning_share_;  // how much of the dip is morning
+};
+
+}  // namespace deepod::sim
+
+#endif  // DEEPOD_SIM_TRAFFIC_MODEL_H_

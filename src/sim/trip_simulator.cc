@@ -1,0 +1,216 @@
+#include "sim/trip_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::sim {
+namespace {
+
+// Relative demand by hour of day (weekday): commuter peaks at 8 and 18.
+double DemandWeight(double hour, bool weekend) {
+  auto bump = [](double h, double c, double w) {
+    const double d = (h - c) / w;
+    return std::exp(-0.5 * d * d);
+  };
+  if (weekend) {
+    return 0.25 + 0.8 * bump(hour, 14.0, 4.0) + 0.3 * bump(hour, 20.0, 2.0);
+  }
+  return 0.2 + bump(hour, 8.0, 1.5) + bump(hour, 18.0, 1.8) +
+         0.45 * bump(hour, 13.0, 3.0);
+}
+
+}  // namespace
+
+TripSimulator::TripSimulator(const road::RoadNetwork& net,
+                             const TrafficModel& traffic,
+                             const WeatherProcess& weather)
+    : TripSimulator(net, traffic, weather, Options{}) {}
+
+TripSimulator::TripSimulator(const road::RoadNetwork& net,
+                             const TrafficModel& traffic,
+                             const WeatherProcess& weather, Options options)
+    : net_(net),
+      traffic_(traffic),
+      weather_(weather),
+      options_(options),
+      index_(net) {}
+
+temporal::Timestamp TripSimulator::SampleDepartureTime(
+    temporal::Timestamp day_start, util::Rng& rng) const {
+  const int day_of_week = static_cast<int>(
+      std::fmod(day_start, temporal::kSecondsPerWeek) /
+      temporal::kSecondsPerDay);
+  const bool weekend = day_of_week >= 5;
+  // Rejection sampling against the hourly demand envelope.
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const double hour = rng.Uniform(0.0, 24.0);
+    if (rng.Uniform() * 1.45 < DemandWeight(hour, weekend)) {
+      return day_start + hour * temporal::kSecondsPerHour;
+    }
+  }
+  return day_start + 12.0 * temporal::kSecondsPerHour;  // unreachable in practice
+}
+
+double TripSimulator::ExpectedRouteSeconds(const road::Route& route,
+                                           temporal::Timestamp depart) const {
+  double t = 0.0;
+  for (size_t sid : route.segment_ids) {
+    t += traffic_.TraversalSeconds(sid, depart + t);
+  }
+  return t;
+}
+
+traj::TripRecord TripSimulator::SimulateTrip(temporal::Timestamp depart,
+                                             util::Rng& rng) const {
+  // 1. Sample OD endpoints: random segments, random position along them,
+  //    rejecting pairs that are too close.
+  const size_t num_segments = net_.num_segments();
+  size_t origin_seg = 0, dest_seg = 0;
+  double origin_ratio = 0.0, dest_ratio = 0.0;
+  road::Point origin, destination;
+  for (int attempt = 0;; ++attempt) {
+    if (attempt > 500) {
+      throw std::runtime_error("SimulateTrip: cannot sample a feasible OD pair");
+    }
+    origin_seg = rng.UniformInt(static_cast<uint64_t>(num_segments));
+    dest_seg = rng.UniformInt(static_cast<uint64_t>(num_segments));
+    if (origin_seg == dest_seg) continue;
+    origin_ratio = rng.Uniform(0.05, 0.95);
+    dest_ratio = rng.Uniform(0.05, 0.95);
+    origin = net_.PointAlong(origin_seg, origin_ratio);
+    destination = net_.PointAlong(dest_seg, dest_ratio);
+    if (road::Distance(origin, destination) < options_.min_trip_distance) {
+      continue;
+    }
+    // Route must exist from origin segment head to destination segment tail.
+    const auto probe = road::ShortestRoute(
+        net_, net_.segment(origin_seg).to, net_.segment(dest_seg).from,
+        road::FreeFlowCost);
+    if (!probe.segment_ids.empty() ||
+        net_.segment(origin_seg).to == net_.segment(dest_seg).from) {
+      break;
+    }
+  }
+
+  // 2. Alternative routes between the segment endpoints, scored by expected
+  //    time at departure; stochastic driver choice.
+  auto now_cost = [&](const road::Segment& s) {
+    return traffic_.TraversalSeconds(s.id, depart);
+  };
+  auto alts = road::AlternativeRoutes(net_, net_.segment(origin_seg).to,
+                                      net_.segment(dest_seg).from, now_cost,
+                                      options_.num_route_alternatives);
+  road::Route chosen;
+  if (alts.empty()) {
+    // Degenerate adjacency: origin head == destination tail.
+    chosen.segment_ids = {};
+  } else {
+    std::vector<double> weights(alts.size());
+    std::vector<double> minutes(alts.size());
+    for (size_t i = 0; i < alts.size(); ++i) {
+      minutes[i] = ExpectedRouteSeconds(alts[i], depart) / 60.0;
+    }
+    const double best = *std::min_element(minutes.begin(), minutes.end());
+    for (size_t i = 0; i < alts.size(); ++i) {
+      weights[i] =
+          std::exp(-(minutes[i] - best) / options_.route_choice_temperature);
+    }
+    chosen = alts[rng.Categorical(weights)];
+  }
+
+  // Full segment route: origin segment + connecting route + dest segment.
+  std::vector<size_t> route;
+  route.push_back(origin_seg);
+  for (size_t sid : chosen.segment_ids) route.push_back(sid);
+  route.push_back(dest_seg);
+  route.erase(std::unique(route.begin(), route.end()), route.end());
+
+  // 3. Microscopic traversal with noise.
+  const double driver_mult =
+      std::exp(rng.Normal(0.0, options_.driver_noise_sigma));
+  const double weather_mult =
+      WeatherProcess::SpeedFactor(weather_.TypeAt(depart));
+  traj::TripRecord record;
+  record.od.origin = origin;
+  record.od.destination = destination;
+  record.od.departure_time = depart;
+  record.od.origin_segment = origin_seg;
+  record.od.dest_segment = dest_seg;
+  record.od.origin_ratio = origin_ratio;
+  record.od.dest_ratio = dest_ratio;
+  record.od.weather_type = weather_.TypeAt(depart);
+
+  double t = depart;
+  record.trajectory.origin_ratio = origin_ratio;
+  record.trajectory.dest_ratio = dest_ratio;
+  for (size_t i = 0; i < route.size(); ++i) {
+    const auto& s = net_.segment(route[i]);
+    double fraction = 1.0;
+    if (route.size() == 1) {
+      fraction = std::max(0.01, dest_ratio - origin_ratio);
+    } else if (i == 0) {
+      fraction = 1.0 - origin_ratio;
+    } else if (i + 1 == route.size()) {
+      fraction = dest_ratio;
+    }
+    const double seg_mult =
+        std::exp(rng.Normal(0.0, options_.segment_noise_sigma));
+    const double speed =
+        traffic_.SpeedAt(s.id, t) * weather_mult * driver_mult * seg_mult;
+    const double seconds = fraction * s.length / std::max(speed, 0.5);
+    traj::PathElement elem;
+    elem.segment_id = s.id;
+    elem.enter = t;
+    t += seconds;
+    elem.exit = t;
+    record.trajectory.path.push_back(elem);
+  }
+  record.travel_time = t - depart;
+  return record;
+}
+
+traj::RawTrajectory TripSimulator::EmitGps(const traj::TripRecord& record,
+                                           util::Rng& rng) const {
+  traj::RawTrajectory raw;
+  if (options_.gps_period <= 0.0 || record.trajectory.empty()) return raw;
+  const auto& path = record.trajectory.path;
+  // Position at a timestamp: linear within the active segment's travelled
+  // span (accounting for partial first/last segments).
+  auto position_at = [&](temporal::Timestamp t) -> road::Point {
+    for (size_t i = 0; i < path.size(); ++i) {
+      if (t <= path[i].exit || i + 1 == path.size()) {
+        const auto& e = path[i];
+        const double span = std::max(1e-9, e.exit - e.enter);
+        const double progress = std::clamp((t - e.enter) / span, 0.0, 1.0);
+        double r0 = 0.0, r1 = 1.0;
+        if (path.size() == 1) {
+          r0 = record.trajectory.origin_ratio;
+          r1 = record.trajectory.dest_ratio;
+        } else if (i == 0) {
+          r0 = record.trajectory.origin_ratio;
+        } else if (i + 1 == path.size()) {
+          r1 = record.trajectory.dest_ratio;
+        }
+        return net_.PointAlong(e.segment_id, r0 + (r1 - r0) * progress);
+      }
+    }
+    return net_.PointAlong(path.back().segment_id,
+                           record.trajectory.dest_ratio);
+  };
+  const temporal::Timestamp depart = record.trajectory.departure_time();
+  const temporal::Timestamp arrive = record.trajectory.arrival_time();
+  for (temporal::Timestamp t = depart; t < arrive; t += options_.gps_period) {
+    road::Point p = position_at(t);
+    p.x += rng.Normal(0.0, options_.gps_noise_m);
+    p.y += rng.Normal(0.0, options_.gps_noise_m);
+    raw.points.push_back({p, t});
+  }
+  road::Point last = position_at(arrive);
+  last.x += rng.Normal(0.0, options_.gps_noise_m);
+  last.y += rng.Normal(0.0, options_.gps_noise_m);
+  raw.points.push_back({last, arrive});
+  return raw;
+}
+
+}  // namespace deepod::sim

@@ -1,0 +1,81 @@
+#ifndef DEEPOD_SIM_TRIP_SIMULATOR_H_
+#define DEEPOD_SIM_TRIP_SIMULATOR_H_
+
+#include <vector>
+
+#include "road/road_network.h"
+#include "road/routing.h"
+#include "road/spatial_index.h"
+#include "sim/traffic_model.h"
+#include "sim/weather.h"
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace deepod::sim {
+
+// Microscopic taxi-trip generator. Each trip:
+//  1. samples an OD pair (points offset from random segments) and a
+//     departure time from a rush-hour-weighted demand profile,
+//  2. computes up to k alternative routes and lets the driver pick
+//     stochastically — better (faster-now) routes are more likely but not
+//     certain, so the same OD pair at the same time can legitimately travel
+//     different routes with different durations (the paper's Fig. 1),
+//  3. traverses the chosen route through the time-varying congestion +
+//     weather speed field with lognormal driver noise, recording exact
+//     per-segment entry/exit times (the ground-truth spatio-temporal path),
+//  4. optionally emits noisy GPS fixes at a fixed period (to exercise the
+//     map matcher the way raw probe data exercises Valhalla in §6.1).
+class TripSimulator {
+ public:
+  struct Options {
+    size_t num_route_alternatives = 3;
+    // Route-choice softmax temperature over expected minutes; smaller =
+    // more rational drivers.
+    double route_choice_temperature = 3.0;
+    // Lognormal driver speed noise: sigma of log-speed multiplier.
+    double driver_noise_sigma = 0.08;
+    // Per-segment multiplicative speed jitter.
+    double segment_noise_sigma = 0.05;
+    // GPS emission period in seconds (3 s for Chengdu/Xi'an, 60 s for
+    // Beijing in Table 2); <= 0 disables GPS synthesis.
+    double gps_period = 3.0;
+    double gps_noise_m = 8.0;
+    // Minimum straight-line trip distance (metres).
+    double min_trip_distance = 800.0;
+  };
+
+  TripSimulator(const road::RoadNetwork& net, const TrafficModel& traffic,
+                const WeatherProcess& weather);
+  TripSimulator(const road::RoadNetwork& net, const TrafficModel& traffic,
+                const WeatherProcess& weather, Options options);
+
+  // Samples a departure timestamp within [day_start, day_start + 1 day)
+  // following the demand profile (rush-hour peaks on weekdays).
+  temporal::Timestamp SampleDepartureTime(temporal::Timestamp day_start,
+                                          util::Rng& rng) const;
+
+  // Generates one complete trip record departing at `depart`. The record's
+  // trajectory is the ground-truth matched path.
+  traj::TripRecord SimulateTrip(temporal::Timestamp depart, util::Rng& rng) const;
+
+  // Generates the raw GPS trace of a trip record (for map-matching tests).
+  traj::RawTrajectory EmitGps(const traj::TripRecord& record,
+                              util::Rng& rng) const;
+
+  const road::SpatialIndex& index() const { return index_; }
+
+ private:
+  // Expected traversal time of a route if departing now (quasi-static).
+  double ExpectedRouteSeconds(const road::Route& route,
+                              temporal::Timestamp depart) const;
+
+  const road::RoadNetwork& net_;
+  const TrafficModel& traffic_;
+  const WeatherProcess& weather_;
+  Options options_;
+  road::SpatialIndex index_;
+};
+
+}  // namespace deepod::sim
+
+#endif  // DEEPOD_SIM_TRIP_SIMULATOR_H_

@@ -1,0 +1,73 @@
+#include "sim/weather.h"
+
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::sim {
+namespace {
+
+// Category order: 0..7 are benign (clear-ish), 8..12 rain of increasing
+// intensity, 13..15 severe (storm, snow, fog).
+constexpr std::array<double, WeatherProcess::kNumTypes> kSpeedFactors = {
+    1.00, 1.00, 0.99, 0.99, 0.98, 0.98, 0.97, 0.97,
+    0.94, 0.92, 0.90, 0.87, 0.85, 0.80, 0.75, 0.78};
+
+constexpr std::array<const char*, WeatherProcess::kNumTypes> kNames = {
+    "sunny",      "clear",      "mostly-clear", "partly-cloudy",
+    "cloudy",     "overcast",   "hazy",         "breezy",
+    "drizzle",    "light-rain", "rain",         "showers",
+    "heavy-rain", "storm",      "snow",         "fog"};
+
+}  // namespace
+
+WeatherProcess::WeatherProcess(temporal::Timestamp horizon, uint64_t seed) {
+  if (horizon <= 0.0) {
+    throw std::invalid_argument("WeatherProcess: horizon must be positive");
+  }
+  util::Rng rng(seed);
+  const size_t hours =
+      static_cast<size_t>(std::ceil(horizon / temporal::kSecondsPerHour)) + 1;
+  sequence_.reserve(hours);
+  int state = 0;
+  for (size_t h = 0; h < hours; ++h) {
+    sequence_.push_back(state);
+    // Sticky chain: stay with high probability, otherwise drift to a
+    // neighbouring intensity; occasional jumps to severe categories.
+    const double u = rng.Uniform();
+    if (u < 0.80) {
+      // stay
+    } else if (u < 0.90) {
+      state = std::min(kNumTypes - 1, state + 1);
+    } else if (u < 0.985) {
+      state = std::max(0, state - 1);
+    } else {
+      state = static_cast<int>(rng.UniformInt(uint64_t{kNumTypes}));
+    }
+  }
+}
+
+int WeatherProcess::TypeAt(temporal::Timestamp t) const {
+  if (t < 0.0) throw std::invalid_argument("WeatherProcess::TypeAt: t < 0");
+  const size_t hour = static_cast<size_t>(t / temporal::kSecondsPerHour);
+  if (hour >= sequence_.size()) {
+    throw std::out_of_range("WeatherProcess::TypeAt: beyond horizon");
+  }
+  return sequence_[hour];
+}
+
+double WeatherProcess::SpeedFactor(int type) {
+  if (type < 0 || type >= kNumTypes) {
+    throw std::out_of_range("WeatherProcess::SpeedFactor: bad type");
+  }
+  return kSpeedFactors[static_cast<size_t>(type)];
+}
+
+std::string WeatherProcess::TypeName(int type) {
+  if (type < 0 || type >= kNumTypes) {
+    throw std::out_of_range("WeatherProcess::TypeName: bad type");
+  }
+  return kNames[static_cast<size_t>(type)];
+}
+
+}  // namespace deepod::sim

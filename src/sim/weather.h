@@ -1,0 +1,42 @@
+#ifndef DEEPOD_SIM_WEATHER_H_
+#define DEEPOD_SIM_WEATHER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "temporal/time_slot.h"
+#include "util/rng.h"
+
+namespace deepod::sim {
+
+// Synthetic weather substitute for the paper's scraped weather records
+// (§6.1 uses N_wea = 16 categories). A first-order Markov chain over the
+// categories advances once per hour; each category carries a speed factor
+// that the trip simulator applies on top of congestion, so weather is a
+// genuine (if secondary) signal for the external-features encoder.
+class WeatherProcess {
+ public:
+  static constexpr int kNumTypes = 16;
+
+  // Generates the hourly weather sequence covering [0, horizon] seconds.
+  WeatherProcess(temporal::Timestamp horizon, uint64_t seed);
+
+  // Category in [0, kNumTypes) active at time t.
+  int TypeAt(temporal::Timestamp t) const;
+
+  // Multiplicative speed effect of the category (<= 1; heavy rain slows).
+  static double SpeedFactor(int type);
+
+  // Human-readable label, for examples and logs.
+  static std::string TypeName(int type);
+
+  size_t num_hours() const { return sequence_.size(); }
+
+ private:
+  std::vector<int> sequence_;  // one entry per hour
+};
+
+}  // namespace deepod::sim
+
+#endif  // DEEPOD_SIM_WEATHER_H_

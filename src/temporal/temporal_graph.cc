@@ -1,0 +1,29 @@
+#include "temporal/temporal_graph.h"
+
+namespace deepod::temporal {
+
+util::WeightedDigraph BuildWeeklyTemporalGraph(const TimeSlotter& slotter) {
+  const int64_t per_day = slotter.slots_per_day();
+  const int64_t n = slotter.slots_per_week();
+  util::WeightedDigraph graph(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    // Neighbouring-slot arc: slot i -> slot i+1 (weekly wrap-around keeps
+    // the chain a cycle, matching the red edges of Fig. 5b).
+    graph.AddArc(static_cast<size_t>(i), static_cast<size_t>((i + 1) % n), 1.0);
+    // Neighbouring-day arc: slot i -> same slot next day (black edges).
+    graph.AddArc(static_cast<size_t>(i), static_cast<size_t>((i + per_day) % n),
+                 1.0);
+  }
+  return graph;
+}
+
+util::WeightedDigraph BuildDailyTemporalGraph(const TimeSlotter& slotter) {
+  const int64_t n = slotter.slots_per_day();
+  util::WeightedDigraph graph(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    graph.AddArc(static_cast<size_t>(i), static_cast<size_t>((i + 1) % n), 1.0);
+  }
+  return graph;
+}
+
+}  // namespace deepod::temporal

@@ -1,0 +1,23 @@
+#ifndef DEEPOD_TEMPORAL_TEMPORAL_GRAPH_H_
+#define DEEPOD_TEMPORAL_TEMPORAL_GRAPH_H_
+
+#include "temporal/time_slot.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::temporal {
+
+// Builds the weekly temporal graph of Fig. 5(b): one node per time slot of
+// a week; directed arcs between consecutive slots (neighbouring-slot edges,
+// wrapping from the last slot of Sunday back to the first of Monday) and
+// between the same slot of consecutive days (neighbouring-day edges,
+// wrapping Sunday -> Monday). Used to initialise the time-slot embedding
+// matrix Wt via graph embedding.
+util::WeightedDigraph BuildWeeklyTemporalGraph(const TimeSlotter& slotter);
+
+// T-day ablation (Table 7): one day of slots, consecutive-slot edges only
+// (daily periodicity captured by the cycle; no cross-day edges exist).
+util::WeightedDigraph BuildDailyTemporalGraph(const TimeSlotter& slotter);
+
+}  // namespace deepod::temporal
+
+#endif  // DEEPOD_TEMPORAL_TEMPORAL_GRAPH_H_

@@ -1,0 +1,49 @@
+#include "traj/trajectory.h"
+
+namespace deepod::traj {
+
+std::vector<size_t> MatchedTrajectory::SegmentIds() const {
+  std::vector<size_t> ids;
+  ids.reserve(path.size());
+  for (const auto& e : path) ids.push_back(e.segment_id);
+  return ids;
+}
+
+double MatchedTrajectory::TravelledLength(const road::RoadNetwork& net) const {
+  if (path.empty()) return 0.0;
+  if (path.size() == 1) {
+    // Origin and destination on the same segment.
+    const double len = net.segment(path[0].segment_id).length;
+    return len * (dest_ratio - origin_ratio);
+  }
+  double total = 0.0;
+  // Partial first segment: from origin_ratio to the end.
+  total += net.segment(path.front().segment_id).length * (1.0 - origin_ratio);
+  for (size_t i = 1; i + 1 < path.size(); ++i) {
+    total += net.segment(path[i].segment_id).length;
+  }
+  // Partial last segment: from the start to dest_ratio.
+  total += net.segment(path.back().segment_id).length * dest_ratio;
+  return total;
+}
+
+bool MatchedTrajectory::IsValid(const road::RoadNetwork& net) const {
+  if (path.empty()) return false;
+  if (origin_ratio < 0.0 || origin_ratio > 1.0 || dest_ratio < 0.0 ||
+      dest_ratio > 1.0) {
+    return false;
+  }
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (path[i].segment_id >= net.num_segments()) return false;
+    if (path[i].exit < path[i].enter) return false;
+    if (i > 0) {
+      if (path[i].enter < path[i - 1].exit - 1e-9) return false;
+      const auto& prev = net.segment(path[i - 1].segment_id);
+      const auto& cur = net.segment(path[i].segment_id);
+      if (prev.to != cur.from) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace deepod::traj

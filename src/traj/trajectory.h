@@ -1,0 +1,88 @@
+#ifndef DEEPOD_TRAJ_TRAJECTORY_H_
+#define DEEPOD_TRAJ_TRAJECTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "road/road_network.h"
+#include "temporal/time_slot.h"
+
+namespace deepod::traj {
+
+// A single GPS fix <[x_i, y_i], t_i> of a raw trajectory (§2).
+struct GpsPoint {
+  road::Point pos;
+  temporal::Timestamp t = 0.0;
+};
+
+// A raw (unmatched) trajectory: the GPS point sequence emitted by a probe
+// vehicle. Points are ordered by timestamp.
+struct RawTrajectory {
+  std::vector<GpsPoint> points;
+
+  bool empty() const { return points.empty(); }
+  temporal::Timestamp departure_time() const { return points.front().t; }
+  temporal::Timestamp arrival_time() const { return points.back().t; }
+  double travel_time() const { return arrival_time() - departure_time(); }
+};
+
+// One element of a spatio-temporal path: a road segment together with the
+// time interval [enter, exit] during which the vehicle occupied it (Def. 1).
+struct PathElement {
+  size_t segment_id = road::kInvalidId;
+  temporal::Timestamp enter = 0.0;  // t_i[1]
+  temporal::Timestamp exit = 0.0;   // t_i[-1]
+};
+
+// A map-matched trajectory <SP, PR> (Def. 1): the spatio-temporal path plus
+// the two position ratios locating the true origin/destination within the
+// first/last segment.
+struct MatchedTrajectory {
+  std::vector<PathElement> path;  // SP
+  double origin_ratio = 0.0;      // r[1]  in [0,1] along path.front()
+  double dest_ratio = 0.0;        // r[-1] in [0,1] along path.back()
+
+  bool empty() const { return path.empty(); }
+  size_t num_segments() const { return path.size(); }
+  temporal::Timestamp departure_time() const { return path.front().enter; }
+  temporal::Timestamp arrival_time() const { return path.back().exit; }
+  double travel_time() const { return arrival_time() - departure_time(); }
+
+  // The segment-id sequence (used by the edge-graph co-occurrence counter).
+  std::vector<size_t> SegmentIds() const;
+
+  // Total length travelled, accounting for the partial first/last segments.
+  double TravelledLength(const road::RoadNetwork& net) const;
+
+  // Validates monotone non-decreasing intervals and path connectivity.
+  bool IsValid(const road::RoadNetwork& net) const;
+};
+
+// An OD input (Def. 2): origin point, destination point, departure time,
+// plus the matched representation used by the model (segments + ratios) and
+// optional external features.
+struct OdInput {
+  road::Point origin;
+  road::Point destination;
+  temporal::Timestamp departure_time = 0.0;
+  // Map-matched representation.
+  size_t origin_segment = road::kInvalidId;   // e_1
+  size_t dest_segment = road::kInvalidId;     // e_n
+  double origin_ratio = 0.0;                  // r[1]
+  double dest_ratio = 0.0;                    // r[-1]
+  // External features (§4.5).
+  int weather_type = 0;  // one of N_wea categories
+};
+
+// A complete historical trip record: OD input + affiliated trajectory +
+// ground-truth travel time. Trajectories exist only for training records;
+// test records carry an empty trajectory (the paper's central constraint).
+struct TripRecord {
+  OdInput od;
+  MatchedTrajectory trajectory;
+  double travel_time = 0.0;  // seconds (label y)
+};
+
+}  // namespace deepod::traj
+
+#endif  // DEEPOD_TRAJ_TRAJECTORY_H_

@@ -1,0 +1,47 @@
+#include "util/alias_sampler.h"
+
+#include <stdexcept>
+
+namespace deepod::util {
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  const size_t n = weights.size();
+  if (n == 0) throw std::invalid_argument("AliasSampler: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("AliasSampler: zero total weight");
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    const size_t s = small.back();
+    small.pop_back();
+    const size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers all have probability 1.
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  const size_t i = rng.UniformInt(static_cast<uint64_t>(prob_.size()));
+  return rng.Uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace deepod::util

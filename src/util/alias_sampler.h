@@ -1,0 +1,36 @@
+#ifndef DEEPOD_UTIL_ALIAS_SAMPLER_H_
+#define DEEPOD_UTIL_ALIAS_SAMPLER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace deepod::util {
+
+// Walker alias method: O(n) construction, O(1) sampling from a fixed
+// discrete distribution. Used by the node2vec random-walk generator where
+// each (prev, current) vertex pair owns a transition distribution that is
+// sampled many times.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  // Builds the table from unnormalised non-negative weights (at least one
+  // must be positive).
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  // Draws one index in [0, size()).
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_ALIAS_SAMPLER_H_

@@ -1,0 +1,71 @@
+#ifndef DEEPOD_UTIL_RNG_H_
+#define DEEPOD_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace deepod::util {
+
+// Deterministic pseudo-random number generator (xoshiro256++ seeded via
+// splitmix64). Every stochastic component in the library draws from an Rng
+// passed in by the caller so that datasets, embeddings and training runs are
+// reproducible bit-for-bit from a single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  // Returns the next raw 64-bit value.
+  uint64_t NextU64();
+
+  // Uniform double in [0, 1).
+  double Uniform();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // Uniform integer in [0, n). Requires n > 0.
+  uint64_t UniformInt(uint64_t n);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Standard normal via Box-Muller (cached second value).
+  double Normal();
+
+  // Normal with the given mean and standard deviation.
+  double Normal(double mean, double stddev);
+
+  // True with probability p.
+  bool Bernoulli(double p);
+
+  // Exponential with the given rate (mean 1/rate).
+  double Exponential(double rate);
+
+  // Samples an index from an (unnormalised) non-negative weight vector.
+  // Linear scan; use AliasSampler for repeated sampling from fixed weights.
+  size_t Categorical(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = UniformInt(static_cast<uint64_t>(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  // Forks a statistically independent child generator. Useful for giving
+  // each subsystem its own stream while preserving one root seed.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_RNG_H_

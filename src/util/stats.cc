@@ -1,0 +1,87 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::util {
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("Mean: empty input");
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return s / static_cast<double>(v.size());
+}
+
+double Stddev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+double Min(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("Min: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double Max(const std::vector<double>& v) {
+  if (v.empty()) throw std::invalid_argument("Max: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+double Quantile(std::vector<double> v, double q) {
+  if (v.empty()) throw std::invalid_argument("Quantile: empty input");
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("Quantile: q out of [0,1]");
+  std::sort(v.begin(), v.end());
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+BoxStats Box(const std::vector<double>& v) {
+  BoxStats b;
+  b.min = Quantile(v, 0.0);
+  b.q1 = Quantile(v, 0.25);
+  b.median = Quantile(v, 0.5);
+  b.q3 = Quantile(v, 0.75);
+  b.max = Quantile(v, 1.0);
+  return b;
+}
+
+std::vector<double> HistogramDensity(const std::vector<double>& v, double lo,
+                                     double hi, size_t bins) {
+  if (bins == 0) throw std::invalid_argument("HistogramDensity: zero bins");
+  if (hi <= lo) throw std::invalid_argument("HistogramDensity: hi <= lo");
+  std::vector<double> density(bins, 0.0);
+  if (v.empty()) return density;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : v) {
+    double pos = (x - lo) / width;
+    long idx = static_cast<long>(std::floor(pos));
+    idx = std::clamp<long>(idx, 0, static_cast<long>(bins) - 1);
+    density[static_cast<size_t>(idx)] += 1.0;
+  }
+  const double norm = static_cast<double>(v.size()) * width;
+  for (double& d : density) d /= norm;
+  return density;
+}
+
+double Pearson(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.size() < 2) return 0.0;
+  const double ma = Mean(a), mb = Mean(b);
+  double num = 0.0, da = 0.0, db = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - ma) * (b[i] - mb);
+    da += (a[i] - ma) * (a[i] - ma);
+    db += (b[i] - mb) * (b[i] - mb);
+  }
+  if (da <= 0.0 || db <= 0.0) return 0.0;
+  return num / std::sqrt(da * db);
+}
+
+}  // namespace deepod::util

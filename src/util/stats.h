@@ -1,0 +1,39 @@
+#ifndef DEEPOD_UTIL_STATS_H_
+#define DEEPOD_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deepod::util {
+
+// Lightweight descriptive statistics used by the evaluation harness
+// (box plots in Fig. 9, distribution curves in Fig. 11, etc.).
+
+double Mean(const std::vector<double>& v);
+double Variance(const std::vector<double>& v);   // population variance
+double Stddev(const std::vector<double>& v);
+double Min(const std::vector<double>& v);
+double Max(const std::vector<double>& v);
+
+// Linear-interpolated quantile, q in [0, 1]. Copies and sorts internally.
+double Quantile(std::vector<double> v, double q);
+
+// Five-number summary used for Box plots: {min, q1, median, q3, max}.
+struct BoxStats {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0;
+};
+BoxStats Box(const std::vector<double>& v);
+
+// Fixed-bin histogram over [lo, hi]; values outside are clamped into the
+// first/last bin. Returns per-bin probability *density* (sums to 1 when
+// multiplied by the bin width), so the output is directly comparable with
+// the PDF curves the paper plots.
+std::vector<double> HistogramDensity(const std::vector<double>& v, double lo,
+                                     double hi, size_t bins);
+
+// Pearson correlation coefficient; returns 0 for degenerate inputs.
+double Pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_STATS_H_

@@ -1,0 +1,29 @@
+#ifndef DEEPOD_UTIL_STOPWATCH_H_
+#define DEEPOD_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace deepod::util {
+
+// Wall-clock stopwatch used by the efficiency benches (Table 5) to report
+// training and estimation time.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_STOPWATCH_H_

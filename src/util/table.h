@@ -1,0 +1,40 @@
+#ifndef DEEPOD_UTIL_TABLE_H_
+#define DEEPOD_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace deepod::util {
+
+// Plain-text table printer used by the bench harnesses to emit the same
+// rows the paper's tables report. Column widths auto-size to content.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  // Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  // Convenience: renders and writes to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimals (no scientific
+// notation) — the common cell format across benches.
+std::string Fmt(double value, int decimals = 2);
+
+// Formats a byte count as a human-readable string (e.g. "6.24M").
+std::string FmtBytes(size_t bytes);
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_TABLE_H_

@@ -1,0 +1,74 @@
+#ifndef DEEPOD_UTIL_WEIGHTED_DIGRAPH_H_
+#define DEEPOD_UTIL_WEIGHTED_DIGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace deepod::util {
+
+// A minimal directed graph with non-negative edge weights, used as the
+// common input format for the unsupervised graph-embedding algorithms
+// (§4.1 edge graph, §4.2 temporal graph).
+class WeightedDigraph {
+ public:
+  struct Arc {
+    size_t to = 0;
+    double weight = 1.0;
+  };
+
+  WeightedDigraph() = default;
+  explicit WeightedDigraph(size_t num_nodes) : adj_(num_nodes) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+
+  size_t num_arcs() const {
+    size_t n = 0;
+    for (const auto& a : adj_) n += a.size();
+    return n;
+  }
+
+  void AddNode() { adj_.emplace_back(); }
+
+  // Adds arc from -> to. Duplicate arcs are allowed and add weight
+  // independently (callers that need merged weights use AddOrAccumulate).
+  void AddArc(size_t from, size_t to, double weight = 1.0) {
+    adj_.at(from).push_back({to, weight});
+    (void)adj_.at(to);  // bounds-check `to` as well
+  }
+
+  // Adds weight to an existing from->to arc, or creates it.
+  void AddOrAccumulate(size_t from, size_t to, double weight) {
+    auto& arcs = adj_.at(from);
+    (void)adj_.at(to);
+    for (auto& a : arcs) {
+      if (a.to == to) {
+        a.weight += weight;
+        return;
+      }
+    }
+    arcs.push_back({to, weight});
+  }
+
+  const std::vector<Arc>& OutArcs(size_t node) const { return adj_.at(node); }
+
+  // Total outgoing weight of a node.
+  double OutWeight(size_t node) const {
+    double s = 0.0;
+    for (const auto& a : adj_.at(node)) s += a.weight;
+    return s;
+  }
+
+  bool HasArc(size_t from, size_t to) const {
+    for (const auto& a : adj_.at(from)) {
+      if (a.to == to) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_WEIGHTED_DIGRAPH_H_

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/metrics.h"
+#include "analysis/tsne.h"
+#include "util/rng.h"
+
+namespace deepod::analysis {
+namespace {
+
+TEST(MetricsTest, KnownValues) {
+  const std::vector<double> truth = {100, 200, 400};
+  const std::vector<double> pred = {110, 180, 400};
+  EXPECT_NEAR(Mae(truth, pred), 10.0, 1e-12);
+  // MAPE = mean(10/100, 20/200, 0) * 100 = (0.1 + 0.1 + 0) / 3 * 100.
+  EXPECT_NEAR(Mape(truth, pred), 100.0 * 0.2 / 3.0, 1e-9);
+  // MARE = (10 + 20 + 0) / 700 * 100.
+  EXPECT_NEAR(Mare(truth, pred), 100.0 * 30.0 / 700.0, 1e-9);
+}
+
+TEST(MetricsTest, PerfectPredictionIsZero) {
+  const std::vector<double> y = {5, 6, 7};
+  const auto m = AllMetrics(y, y);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+  EXPECT_DOUBLE_EQ(m.mare, 0.0);
+}
+
+TEST(MetricsTest, MapeVsMareRelationship) {
+  // The paper's observation (6) in §6.4.2: MAPE > MARE when errors
+  // concentrate on short trips.
+  const std::vector<double> truth = {10, 1000};
+  const std::vector<double> pred = {20, 1000};  // error only on the short trip
+  EXPECT_GT(Mape(truth, pred), Mare(truth, pred));
+}
+
+TEST(MetricsTest, InputValidation) {
+  EXPECT_THROW(Mae({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(Mae({}, {}), std::invalid_argument);
+  EXPECT_THROW(Mape({0.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(MetricsTest, PerTripApe) {
+  const auto ape = PerTripApe({100, 200}, {150, 100});
+  ASSERT_EQ(ape.size(), 2u);
+  EXPECT_NEAR(ape[0], 50.0, 1e-12);
+  EXPECT_NEAR(ape[1], 50.0, 1e-12);
+}
+
+TEST(TsneTest, AffinitiesRowNormalised) {
+  util::Rng rng(1);
+  std::vector<std::vector<double>> points(20, std::vector<double>(3));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.Normal();
+  }
+  const auto p = PerplexityCalibratedAffinities(points, 5.0);
+  for (size_t i = 0; i < p.size(); ++i) {
+    double row = 0.0;
+    for (size_t j = 0; j < p.size(); ++j) {
+      EXPECT_GE(p[i][j], 0.0);
+      row += p[i][j];
+    }
+    EXPECT_NEAR(row, 1.0, 1e-6);
+    EXPECT_DOUBLE_EQ(p[i][i], 0.0);
+  }
+}
+
+TEST(TsneTest, SeparatesTwoClusters) {
+  // Two well-separated Gaussian blobs in 5-D must map to two separated
+  // groups on the line.
+  util::Rng rng(2);
+  std::vector<std::vector<double>> points;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < 15; ++i) {
+      std::vector<double> p(5);
+      for (double& v : p) v = rng.Normal(c * 20.0, 1.0);
+      points.push_back(p);
+    }
+  }
+  TsneOptions options;
+  options.iterations = 250;
+  options.seed = 4;
+  const auto y = Tsne1d(points, options);
+  ASSERT_EQ(y.size(), 30u);
+  double mean0 = 0.0, mean1 = 0.0;
+  for (int i = 0; i < 15; ++i) mean0 += y[static_cast<size_t>(i)];
+  for (int i = 15; i < 30; ++i) mean1 += y[static_cast<size_t>(i)];
+  mean0 /= 15.0;
+  mean1 /= 15.0;
+  // Within-cluster spread much smaller than between-cluster separation.
+  double spread = 0.0;
+  for (int i = 0; i < 15; ++i) spread += std::fabs(y[static_cast<size_t>(i)] - mean0);
+  for (int i = 15; i < 30; ++i) spread += std::fabs(y[static_cast<size_t>(i)] - mean1);
+  spread /= 30.0;
+  EXPECT_GT(std::fabs(mean0 - mean1), 3.0 * spread);
+}
+
+TEST(TsneTest, OutputCentred) {
+  util::Rng rng(3);
+  std::vector<std::vector<double>> points(12, std::vector<double>(2));
+  for (auto& p : points) {
+    for (double& v : p) v = rng.Normal();
+  }
+  TsneOptions options;
+  options.iterations = 50;
+  const auto y = Tsne1d(points, options);
+  double mean = 0.0;
+  for (double v : y) mean += v;
+  EXPECT_NEAR(mean / static_cast<double>(y.size()), 0.0, 1e-6);
+}
+
+TEST(TsneTest, TooFewPointsThrows) {
+  EXPECT_THROW(Tsne1d({{1.0}}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepod::analysis

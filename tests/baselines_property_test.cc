@@ -1,0 +1,162 @@
+// Property sweeps over the baselines: every estimator is a deterministic
+// function of (dataset, options); predictions respond to the inputs they
+// are supposed to depend on; GBM's trees partition features consistently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <type_traits>
+
+#include "baselines/gbm.h"
+#include "baselines/linear_regression.h"
+#include "baselines/murat.h"
+#include "baselines/stnn.h"
+#include "baselines/temp.h"
+#include "sim/dataset.h"
+
+namespace deepod::baselines {
+namespace {
+
+const sim::Dataset& Fixture() {
+  static const sim::Dataset* dataset = [] {
+    sim::DatasetConfig config;
+    config.city = road::XianSimConfig();
+    config.city.rows = 6;
+    config.city.cols = 6;
+    config.trips_per_day = 40;
+    config.num_days = 15;
+    config.seed = 321;
+    return new sim::Dataset(sim::BuildDataset(config));
+  }();
+  return *dataset;
+}
+
+// Type-parameterised determinism test across all five estimators.
+template <typename T>
+class EstimatorDeterminismTest : public ::testing::Test {};
+
+using AllEstimators =
+    ::testing::Types<TempEstimator, LinearRegressionEstimator, GbmEstimator,
+                     StnnEstimator, MuratEstimator>;
+TYPED_TEST_SUITE(EstimatorDeterminismTest, AllEstimators);
+
+TYPED_TEST(EstimatorDeterminismTest, TrainTwicePredictIdentically) {
+  const auto& ds = Fixture();
+  TypeParam a, b;
+  a.Train(ds);
+  b.Train(ds);
+  for (size_t i = 0; i < std::min<size_t>(10, ds.test.size()); ++i) {
+    EXPECT_DOUBLE_EQ(a.Predict(ds.test[i].od), b.Predict(ds.test[i].od));
+  }
+}
+
+TYPED_TEST(EstimatorDeterminismTest, PredictionsDependOnDestination) {
+  const auto& ds = Fixture();
+  TypeParam estimator;
+  estimator.Train(ds);
+  // Moving the destination far away must change the estimate for learned
+  // spatial models. (TEMP may coincide if neighbour sets overlap; exclude
+  // exact-equality only.)
+  auto od = ds.test[0].od;
+  const double base = estimator.Predict(od);
+  od.destination = ds.test[1].od.destination;
+  od.dest_segment = ds.test[1].od.dest_segment;
+  od.dest_ratio = ds.test[1].od.dest_ratio;
+  const double moved = estimator.Predict(od);
+  EXPECT_TRUE(std::isfinite(base));
+  EXPECT_TRUE(std::isfinite(moved));
+  // Tree-based models partition coordinates into leaves, so two
+  // destinations can legitimately share a prediction; require a change
+  // only from the continuous models.
+  if constexpr (!std::is_same_v<TypeParam, GbmEstimator>) {
+    if (road::Distance(ds.test[0].od.destination,
+                       ds.test[1].od.destination) > 500.0) {
+      EXPECT_NE(base, moved);
+    }
+  }
+}
+
+TEST(TempPropertyTest, LongerQueriesGetLargerEstimates) {
+  // Scale correction: for a fixed neighbour pool, doubling the OD distance
+  // of the query scales the estimate up (clamped at 1.8x).
+  const auto& ds = Fixture();
+  TempEstimator temp;
+  temp.Train(ds);
+  auto od = ds.test[0].od;
+  const double base = temp.Predict(od);
+  // Stretch the destination outward along the same direction.
+  od.destination.x = od.origin.x + 2.5 * (od.destination.x - od.origin.x);
+  od.destination.y = od.origin.y + 2.5 * (od.destination.y - od.origin.y);
+  const double stretched = temp.Predict(od);
+  EXPECT_GE(stretched, base);
+}
+
+TEST(GbmPropertyTest, PredictionsWithinLabelEnvelope) {
+  // Trees predict leaf means of residuals; the composite prediction should
+  // stay within a generous envelope of the observed label range.
+  const auto& ds = Fixture();
+  GbmEstimator gbm;
+  gbm.Train(ds);
+  double lo = 1e18, hi = 0.0;
+  for (const auto& t : ds.train) {
+    lo = std::min(lo, t.travel_time);
+    hi = std::max(hi, t.travel_time);
+  }
+  for (size_t i = 0; i < std::min<size_t>(50, ds.test.size()); ++i) {
+    const double p = gbm.Predict(ds.test[i].od);
+    EXPECT_GT(p, lo - (hi - lo));
+    EXPECT_LT(p, hi + (hi - lo));
+  }
+}
+
+TEST(GbmPropertyTest, DepthZeroEquivalentToMean) {
+  const auto& ds = Fixture();
+  GbmEstimator::Options options;
+  options.num_trees = 1;
+  options.tree.max_depth = 0;  // a single leaf: residual mean = 0
+  GbmEstimator gbm(options);
+  gbm.Train(ds);
+  double mean = 0.0;
+  for (const auto& t : ds.train) mean += t.travel_time;
+  mean /= static_cast<double>(ds.train.size());
+  EXPECT_NEAR(gbm.Predict(ds.test[0].od), mean, 1e-6);
+}
+
+TEST(LrPropertyTest, PredictionIsLinearInFeatures) {
+  // For LR, prediction(od) must equal w·f(od) exactly — verify against the
+  // exposed weights.
+  const auto& ds = Fixture();
+  LinearRegressionEstimator lr;
+  lr.Train(ds);
+  for (size_t i = 0; i < 10; ++i) {
+    const auto f = OdFeatures(ds.test[i].od, ds.network);
+    double expected = 0.0;
+    for (size_t j = 0; j < f.size(); ++j) expected += lr.weights()[j] * f[j];
+    EXPECT_NEAR(lr.Predict(ds.test[i].od), expected, 1e-9);
+  }
+}
+
+TEST(StnnPropertyTest, TimeOfDayMatters) {
+  const auto& ds = Fixture();
+  StnnEstimator stnn;
+  stnn.Train(ds);
+  auto od = ds.test[0].od;
+  const double morning = stnn.Predict(od);
+  od.departure_time += 6.0 * 3600.0;
+  const double noon = stnn.Predict(od);
+  EXPECT_NE(morning, noon);
+}
+
+TEST(MuratPropertyTest, CellGranularityAffectsModelSize) {
+  const auto& ds = Fixture();
+  MuratEstimator::Options coarse;
+  coarse.cell_size_m = 800.0;
+  MuratEstimator::Options fine;
+  fine.cell_size_m = 250.0;
+  MuratEstimator a(coarse), b(fine);
+  a.Train(ds);
+  b.Train(ds);
+  EXPECT_LT(a.ModelSizeBytes(), b.ModelSizeBytes());
+}
+
+}  // namespace
+}  // namespace deepod::baselines

@@ -1,0 +1,274 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/deepod_config.h"
+#include "core/deepod_model.h"
+#include "core/encoders.h"
+#include "core/trainer.h"
+#include "sim/dataset.h"
+
+namespace deepod::core {
+namespace {
+
+// One tiny dataset shared by all model tests (expensive to build).
+const sim::Dataset& TinyDataset() {
+  static const sim::Dataset* dataset = [] {
+    sim::DatasetConfig config;
+    config.city = road::XianSimConfig();
+    config.city.rows = 6;
+    config.city.cols = 6;
+    config.trips_per_day = 12;
+    config.num_days = 15;
+    config.seed = 17;
+    return new sim::Dataset(sim::BuildDataset(config));
+  }();
+  return *dataset;
+}
+
+DeepOdConfig TinyConfig() {
+  DeepOdConfig config = DeepOdConfig().Scaled(16);
+  config.epochs = 1;
+  config.batch_size = 8;
+  return config;
+}
+
+TEST(ConfigTest, ScaledDividesAllWidths) {
+  const DeepOdConfig base;  // paper defaults
+  EXPECT_EQ(base.ds, 64u);
+  EXPECT_EQ(base.dm1, 128u);
+  const DeepOdConfig scaled = base.Scaled(8);
+  EXPECT_EQ(scaled.ds, 8u);
+  EXPECT_EQ(scaled.dm1, 16u);
+  EXPECT_EQ(scaled.dm4, scaled.dm8);  // §4.6 constraint preserved
+  // Floors at 4.
+  EXPECT_EQ(base.Scaled(1000).ds, 4u);
+}
+
+TEST(ConfigTest, Dm4Dm8MismatchRejected) {
+  DeepOdConfig config = TinyConfig();
+  config.dm8 = config.dm4 + 2;
+  EXPECT_THROW(DeepOdModel(config, TinyDataset()), std::invalid_argument);
+}
+
+TEST(PoolMatrixTest, IdentityWhenSmall) {
+  size_t r = 0, c = 0;
+  const std::vector<double> m = {1, 2, 3, 4};
+  const auto out = PoolMatrix(m, 2, 2, 8, &r, &c);
+  EXPECT_EQ(out, m);
+  EXPECT_EQ(r, 2u);
+  EXPECT_EQ(c, 2u);
+}
+
+TEST(PoolMatrixTest, AveragesBlocks) {
+  // 4x2 pooled to 2x2: rows {0,1} and {2,3} average.
+  const std::vector<double> m = {1, 2, 3, 4, 5, 6, 7, 8};
+  size_t r = 0, c = 0;
+  const auto out = PoolMatrix(m, 4, 2, 2, &r, &c);
+  EXPECT_EQ(r, 2u);
+  EXPECT_EQ(c, 2u);
+  EXPECT_DOUBLE_EQ(out[0], 2.0);  // (1+3)/2
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+  EXPECT_DOUBLE_EQ(out[2], 6.0);
+  EXPECT_DOUBLE_EQ(out[3], 7.0);
+}
+
+TEST(PoolMatrixTest, MeanIsPreserved) {
+  util::Rng rng(21);
+  std::vector<double> m(15 * 17);
+  double mean = 0.0;
+  for (double& v : m) {
+    v = rng.Uniform();
+    mean += v;
+  }
+  mean /= static_cast<double>(m.size());
+  size_t r = 0, c = 0;
+  const auto out = PoolMatrix(m, 15, 17, 5, &r, &c);
+  double pooled_mean = 0.0;
+  // Weighted by block size; with ragged blocks the pooled mean is close but
+  // not exact — allow small tolerance.
+  for (double v : out) pooled_mean += v;
+  pooled_mean /= static_cast<double>(out.size());
+  EXPECT_NEAR(pooled_mean, mean, 0.05);
+}
+
+TEST(DeepOdModelTest, EncodingShapes) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  const auto& trip = TinyDataset().train[0];
+  const nn::Tensor code = model.EncodeOd(trip.od);
+  EXPECT_EQ(code.shape(), (std::vector<size_t>{model.config().dm8}));
+  const nn::Tensor stcode = model.EncodeTrajectory(trip.trajectory);
+  EXPECT_EQ(stcode.shape(), (std::vector<size_t>{model.config().dm4}));
+  const nn::Tensor y = model.EstimateFromCode(code);
+  EXPECT_EQ(y.size(), 1u);
+}
+
+TEST(DeepOdModelTest, PredictIsFiniteAndDeterministic) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  model.SetTraining(false);
+  const auto& od = TinyDataset().test[0].od;
+  const double a = model.Predict(od);
+  const double b = model.Predict(od);
+  EXPECT_TRUE(std::isfinite(a));
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(DeepOdModelTest, TimeScaleDefaultsToTrainMean) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  double mean = 0.0;
+  for (const auto& t : TinyDataset().train) mean += t.travel_time;
+  mean /= static_cast<double>(TinyDataset().train.size());
+  EXPECT_NEAR(model.time_scale(), mean, 1e-9);
+}
+
+TEST(DeepOdModelTest, SampleLossFiniteAndDifferentiable) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  nn::Tensor loss = model.SampleLoss(TinyDataset().train[0]);
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 0.0);
+  loss.Backward();
+  // Road embedding must receive gradient (both via OD and trajectory).
+  double grad_mass = 0.0;
+  for (double g : model.road_embedding().table().grad()) {
+    grad_mass += std::fabs(g);
+  }
+  EXPECT_GT(grad_mass, 0.0);
+}
+
+TEST(DeepOdModelTest, AblationNoStSkipsTrajectoryGradient) {
+  DeepOdConfig config = TinyConfig();
+  config.ablation = Ablation::kNoSt;
+  DeepOdModel model(config, TinyDataset());
+  nn::Tensor loss = model.SampleLoss(TinyDataset().train[0]);
+  loss.Backward();
+  // Without the auxiliary task the trajectory path contributes nothing; the
+  // road table still gets gradient from the OD encoder endpoints only.
+  size_t nonzero_rows = 0;
+  const auto& grad = model.road_embedding().table().grad();
+  const size_t dim = model.config().ds;
+  for (size_t r = 0; r < model.road_embedding().num_entries(); ++r) {
+    for (size_t j = 0; j < dim; ++j) {
+      if (grad[r * dim + j] != 0.0) {
+        ++nonzero_rows;
+        break;
+      }
+    }
+  }
+  EXPECT_LE(nonzero_rows, 2u);  // exactly the two endpoint segments
+}
+
+TEST(DeepOdModelTest, AblationNoSpZeroesSpatialInput) {
+  DeepOdConfig config = TinyConfig();
+  config.ablation = Ablation::kNoSp;
+  DeepOdModel model(config, TinyDataset());
+  nn::Tensor loss = model.SampleLoss(TinyDataset().train[0]);
+  loss.Backward();
+  for (double g : model.road_embedding().table().grad()) {
+    EXPECT_EQ(g, 0.0);  // spatial encoding removed everywhere
+  }
+}
+
+TEST(DeepOdModelTest, AblationNoTpZeroesTemporalInput) {
+  DeepOdConfig config = TinyConfig();
+  config.ablation = Ablation::kNoTp;
+  DeepOdModel model(config, TinyDataset());
+  nn::Tensor loss = model.SampleLoss(TinyDataset().train[0]);
+  loss.Backward();
+  for (double g : model.time_slot_embedding().table().grad()) {
+    EXPECT_EQ(g, 0.0);
+  }
+}
+
+TEST(DeepOdModelTest, TimestampVariantIgnoresSlotTable) {
+  DeepOdConfig config = TinyConfig();
+  config.time_init = TimeInit::kTimestamp;
+  DeepOdModel model(config, TinyDataset());
+  // T-stamp feeds the raw timestamp to M_O instead of a slot embedding, so
+  // online estimation must be invariant to the slot table's contents.
+  const auto& od = TinyDataset().test[0].od;
+  model.SetTraining(false);
+  const double before = model.Predict(od);
+  EXPECT_TRUE(std::isfinite(before));
+  nn::Tensor table = model.time_slot_embedding().table();  // shared handle
+  for (double& v : table.data()) v += 3.0;
+  EXPECT_DOUBLE_EQ(model.Predict(od), before);
+}
+
+TEST(DeepOdModelTest, DailyGraphVariantHasSmallerTable) {
+  DeepOdConfig weekly = TinyConfig();
+  DeepOdModel weekly_model(weekly, TinyDataset());
+  DeepOdConfig daily = TinyConfig();
+  daily.time_init = TimeInit::kDailyGraph;
+  DeepOdModel daily_model(daily, TinyDataset());
+  EXPECT_EQ(weekly_model.time_slot_embedding().num_entries(),
+            daily_model.time_slot_embedding().num_entries() * 7);
+}
+
+TEST(DeepOdModelTest, ParameterCountMatchesSum) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  size_t total = 0;
+  for (auto& p : model.Parameters()) total += p.size();
+  EXPECT_EQ(model.NumParameters(), total);
+  EXPECT_GT(total, 1000u);
+}
+
+TEST(TrainerTest, OneEpochImprovesValidation) {
+  DeepOdConfig config = DeepOdConfig().Scaled(16);
+  config.epochs = 3;
+  config.batch_size = 8;
+  DeepOdModel model(config, TinyDataset());
+  DeepOdTrainer trainer(model, TinyDataset());
+  const double before = trainer.ValidationMae(50);
+  const double after = trainer.Train(nullptr, 1000, 50);
+  EXPECT_LT(after, before);
+  EXPECT_GT(trainer.steps_taken(), 0u);
+}
+
+TEST(TrainerTest, CallbackFires) {
+  DeepOdConfig config = TinyConfig();
+  DeepOdModel model(config, TinyDataset());
+  DeepOdTrainer trainer(model, TinyDataset());
+  int calls = 0;
+  trainer.Train(
+      [&calls](size_t step, double mae) {
+        EXPECT_GT(step, 0u);
+        EXPECT_TRUE(std::isfinite(mae));
+        ++calls;
+      },
+      /*eval_every=*/3, 20);
+  EXPECT_GT(calls, 0);
+}
+
+TEST(TrainerTest, PredictAllMatchesSize) {
+  DeepOdConfig config = TinyConfig();
+  DeepOdModel model(config, TinyDataset());
+  DeepOdTrainer trainer(model, TinyDataset());
+  const auto pred = trainer.PredictAll(TinyDataset().test);
+  EXPECT_EQ(pred.size(), TinyDataset().test.size());
+  for (double p : pred) EXPECT_TRUE(std::isfinite(p));
+}
+
+
+TEST(DeepOdModelTest, SaveLoadRoundTrip) {
+  DeepOdModel model(TinyConfig(), TinyDataset());
+  model.SetTraining(false);
+  const double before = model.Predict(TinyDataset().test[0].od);
+  const std::string path = ::testing::TempDir() + "/deepod_model.bin";
+  model.Save(path);
+
+  // A freshly constructed model with a different seed predicts differently;
+  // Load must restore the saved behaviour exactly (including time scale).
+  DeepOdConfig other = TinyConfig();
+  other.seed = 999;
+  DeepOdModel restored(other, TinyDataset());
+  restored.SetTraining(false);
+  restored.set_time_scale(1.0);
+  EXPECT_NE(restored.Predict(TinyDataset().test[0].od), before);
+  restored.Load(path);
+  EXPECT_DOUBLE_EQ(restored.Predict(TinyDataset().test[0].od), before);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace deepod::core

@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "embed/graph_embedding.h"
+#include "embed/random_walk.h"
+#include "embed/skipgram.h"
+#include "util/rng.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::embed {
+namespace {
+
+// Two dense clusters of 6 nodes joined by a single bridge arc pair — nodes
+// inside a cluster should embed closer together than across clusters.
+util::WeightedDigraph TwoClusters() {
+  util::WeightedDigraph g(12);
+  auto clique = [&g](size_t base) {
+    for (size_t i = 0; i < 6; ++i) {
+      for (size_t j = 0; j < 6; ++j) {
+        if (i != j) g.AddArc(base + i, base + j, 1.0);
+      }
+    }
+  };
+  clique(0);
+  clique(6);
+  g.AddArc(5, 6, 0.2);
+  g.AddArc(6, 5, 0.2);
+  return g;
+}
+
+TEST(RandomWalkTest, WalksFollowArcs) {
+  util::WeightedDigraph g(4);
+  g.AddArc(0, 1);
+  g.AddArc(1, 2);
+  g.AddArc(2, 3);
+  g.AddArc(3, 0);
+  RandomWalker::Options options;
+  options.walk_length = 9;
+  RandomWalker walker(g, options);
+  util::Rng rng(1);
+  const auto walk = walker.Walk(0, rng);
+  ASSERT_EQ(walk.size(), 9u);
+  for (size_t i = 0; i + 1 < walk.size(); ++i) {
+    EXPECT_TRUE(g.HasArc(walk[i], walk[i + 1]));
+  }
+}
+
+TEST(RandomWalkTest, SinkTerminatesEarly) {
+  util::WeightedDigraph g(2);
+  g.AddArc(0, 1);  // node 1 is a sink
+  RandomWalker::Options options;
+  options.walk_length = 10;
+  RandomWalker walker(g, options);
+  util::Rng rng(2);
+  const auto walk = walker.Walk(0, rng);
+  EXPECT_EQ(walk, (std::vector<size_t>{0, 1}));
+}
+
+TEST(RandomWalkTest, WeightsBiasTransitions) {
+  util::WeightedDigraph g(3);
+  g.AddArc(0, 1, 9.0);
+  g.AddArc(0, 2, 1.0);
+  g.AddArc(1, 0, 1.0);
+  g.AddArc(2, 0, 1.0);
+  RandomWalker::Options options;
+  options.walk_length = 2;
+  RandomWalker walker(g, options);
+  util::Rng rng(3);
+  int to1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) to1 += walker.Walk(0, rng)[1] == 1;
+  EXPECT_NEAR(static_cast<double>(to1) / n, 0.9, 0.01);
+}
+
+TEST(RandomWalkTest, Node2VecLowPEncouragesReturns) {
+  // Triangle graph; with p << 1 the walk returns to the previous node far
+  // more often than with p >> 1.
+  util::WeightedDigraph g(3);
+  for (size_t i = 0; i < 3; ++i) {
+    g.AddArc(i, (i + 1) % 3, 1.0);
+    g.AddArc(i, (i + 2) % 3, 1.0);
+  }
+  auto return_rate = [&](double p) {
+    RandomWalker::Options options;
+    options.walk_length = 3;
+    options.p = p;
+    options.q = 1.0;
+    RandomWalker walker(g, options);
+    util::Rng rng(4);
+    int returns = 0;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+      const auto walk = walker.Walk(0, rng);
+      returns += walk.size() == 3 && walk[2] == walk[0];
+    }
+    return static_cast<double>(returns) / n;
+  };
+  EXPECT_GT(return_rate(0.1), return_rate(10.0) + 0.2);
+}
+
+TEST(RandomWalkTest, CorpusCoversAllNodes) {
+  const auto g = TwoClusters();
+  RandomWalker::Options options;
+  options.walks_per_node = 2;
+  options.walk_length = 5;
+  RandomWalker walker(g, options);
+  util::Rng rng(5);
+  const auto corpus = walker.Corpus(rng);
+  EXPECT_EQ(corpus.size(), g.num_nodes() * 2);
+  std::vector<bool> started(g.num_nodes(), false);
+  for (const auto& walk : corpus) started[walk[0]] = true;
+  for (bool s : started) EXPECT_TRUE(s);
+}
+
+TEST(SkipGramTest, ClusterStructureEmerges) {
+  const auto g = TwoClusters();
+  RandomWalker::Options wopt;
+  wopt.walks_per_node = 10;
+  wopt.walk_length = 10;
+  RandomWalker walker(g, wopt);
+  util::Rng rng(6);
+  const auto corpus = walker.Corpus(rng);
+  SkipGramTrainer::Options sopt;
+  sopt.dim = 8;
+  sopt.epochs = 5;
+  SkipGramTrainer trainer(g.num_nodes(), sopt);
+  const auto emb = trainer.Train(corpus, rng);
+  ASSERT_EQ(emb.size(), 12u);
+  // Mean within-cluster cosine similarity > cross-cluster similarity.
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = i + 1; j < 12; ++j) {
+      const double sim = CosineSimilarity(emb[i], emb[j]);
+      if ((i < 6) == (j < 6)) {
+        within += sim;
+        ++wn;
+      } else {
+        across += sim;
+        ++an;
+      }
+    }
+  }
+  EXPECT_GT(within / wn, across / an + 0.1);
+}
+
+TEST(SkipGramTest, RejectsBadInput) {
+  SkipGramTrainer::Options options;
+  EXPECT_THROW(SkipGramTrainer(0, options), std::invalid_argument);
+  SkipGramTrainer trainer(3, options);
+  util::Rng rng(7);
+  EXPECT_THROW(trainer.Train({}, rng), std::invalid_argument);
+  EXPECT_THROW(trainer.Train({{0, 9}}, rng), std::out_of_range);
+}
+
+class EmbedMethodTest : public ::testing::TestWithParam<EmbedMethod> {};
+
+TEST_P(EmbedMethodTest, ProducesFiniteVectorsOfRightShape) {
+  const auto g = TwoClusters();
+  EmbedOptions options;
+  options.dim = 6;
+  util::Rng rng(8);
+  const auto emb = EmbedGraph(g, GetParam(), options, rng);
+  ASSERT_EQ(emb.size(), g.num_nodes());
+  for (const auto& row : emb) {
+    ASSERT_EQ(row.size(), 6u);
+    for (double v : row) EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, EmbedMethodTest,
+                         ::testing::Values(EmbedMethod::kDeepWalk,
+                                           EmbedMethod::kNode2Vec,
+                                           EmbedMethod::kLine,
+                                           EmbedMethod::kRandom),
+                         [](const ::testing::TestParamInfo<EmbedMethod>& info) {
+                           std::string name = EmbedMethodName(info.param);
+                           for (char& c : name) {
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(EmbedMethodTest, LineSeparatesClusters) {
+  const auto g = TwoClusters();
+  EmbedOptions options;
+  options.dim = 8;
+  options.line_samples_per_arc = 400;
+  util::Rng rng(9);
+  const auto emb = EmbedLine(g, options, rng);
+  double within = 0.0, across = 0.0;
+  int wn = 0, an = 0;
+  for (size_t i = 0; i < 12; ++i) {
+    for (size_t j = i + 1; j < 12; ++j) {
+      const double sim = CosineSimilarity(emb[i], emb[j]);
+      if ((i < 6) == (j < 6)) {
+        within += sim;
+        ++wn;
+      } else {
+        across += sim;
+        ++an;
+      }
+    }
+  }
+  EXPECT_GT(within / wn, across / an);
+}
+
+TEST(EmbedMethodTest, EmptyGraphThrows) {
+  util::WeightedDigraph g(0);
+  EmbedOptions options;
+  util::Rng rng(10);
+  EXPECT_THROW(EmbedGraph(g, EmbedMethod::kRandom, options, rng),
+               std::invalid_argument);
+}
+
+TEST(CosineSimilarityTest, BasicProperties) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {1, 0}), 1.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {-1, 0}), -1.0, 1e-12);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);  // degenerate -> 0
+  EXPECT_THROW(CosineSimilarity({1}, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace deepod::embed

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/trip_io.h"
+#include "road/city_generator.h"
+#include "sim/dataset.h"
+
+namespace deepod::io {
+namespace {
+
+road::RoadNetwork SmallNet() {
+  road::CityConfig config = road::XianSimConfig();
+  config.rows = 5;
+  config.cols = 5;
+  return road::GenerateCity(config);
+}
+
+TEST(NetworkCsvTest, RoundTripPreservesEverything) {
+  const road::RoadNetwork net = SmallNet();
+  std::stringstream buffer;
+  WriteNetworkCsv(net, buffer);
+  const road::RoadNetwork restored = ReadNetworkCsv(buffer);
+  ASSERT_EQ(restored.num_vertices(), net.num_vertices());
+  ASSERT_EQ(restored.num_segments(), net.num_segments());
+  for (size_t v = 0; v < net.num_vertices(); ++v) {
+    EXPECT_NEAR(restored.vertex(v).pos.x, net.vertex(v).pos.x, 1e-6);
+    EXPECT_NEAR(restored.vertex(v).pos.y, net.vertex(v).pos.y, 1e-6);
+  }
+  for (size_t s = 0; s < net.num_segments(); ++s) {
+    EXPECT_EQ(restored.segment(s).from, net.segment(s).from);
+    EXPECT_EQ(restored.segment(s).to, net.segment(s).to);
+    EXPECT_NEAR(restored.segment(s).length, net.segment(s).length, 1e-6);
+    EXPECT_NEAR(restored.segment(s).free_flow_speed,
+                net.segment(s).free_flow_speed, 1e-6);
+    EXPECT_EQ(restored.segment(s).road_class, net.segment(s).road_class);
+  }
+  EXPECT_TRUE(restored.finalized());
+}
+
+TEST(NetworkCsvTest, RejectsMalformedInput) {
+  std::stringstream bad1("not-a-section\n");
+  EXPECT_THROW(ReadNetworkCsv(bad1), std::runtime_error);
+  std::stringstream bad2("vertices\nid,x,y\n0,1\nsegments\nh\n");
+  EXPECT_THROW(ReadNetworkCsv(bad2), std::runtime_error);
+}
+
+TEST(TripsCsvTest, RoundTripPreservesTripsAndRoutes) {
+  sim::DatasetConfig config;
+  config.city = road::XianSimConfig();
+  config.city.rows = 5;
+  config.city.cols = 5;
+  config.trips_per_day = 10;
+  config.num_days = 6;
+  const sim::Dataset ds = sim::BuildDataset(config);
+
+  std::stringstream buffer;
+  WriteTripsCsv(ds.train, buffer);
+  const auto restored = ReadTripsCsv(ds.network, buffer);
+  ASSERT_EQ(restored.size(), ds.train.size());
+  for (size_t i = 0; i < restored.size(); ++i) {
+    const auto& a = ds.train[i];
+    const auto& b = restored[i];
+    EXPECT_NEAR(a.od.departure_time, b.od.departure_time, 1e-6);
+    EXPECT_NEAR(a.travel_time, b.travel_time, 1e-6);
+    EXPECT_EQ(a.od.weather_type, b.od.weather_type);
+    ASSERT_EQ(a.trajectory.path.size(), b.trajectory.path.size());
+    for (size_t e = 0; e < a.trajectory.path.size(); ++e) {
+      EXPECT_EQ(a.trajectory.path[e].segment_id,
+                b.trajectory.path[e].segment_id);
+      EXPECT_NEAR(a.trajectory.path[e].enter, b.trajectory.path[e].enter, 1e-6);
+    }
+    // The re-derived matched OD representation agrees with the original up
+    // to carriageway direction: a bare point projects identically onto both
+    // directions of a two-way street, so Nearest may pick the reverse
+    // segment with the complementary ratio.
+    if (a.od.origin_segment == b.od.origin_segment) {
+      EXPECT_NEAR(a.od.origin_ratio, b.od.origin_ratio, 1e-6);
+    } else {
+      EXPECT_EQ(ds.network.ReverseSegment(a.od.origin_segment),
+                b.od.origin_segment);
+      EXPECT_NEAR(a.od.origin_ratio, 1.0 - b.od.origin_ratio, 1e-3);
+    }
+  }
+}
+
+TEST(TripsCsvTest, OdOnlyRecordsHaveEmptyRoutes) {
+  sim::DatasetConfig config;
+  config.city = road::XianSimConfig();
+  config.city.rows = 5;
+  config.city.cols = 5;
+  config.trips_per_day = 10;
+  config.num_days = 6;
+  const sim::Dataset ds = sim::BuildDataset(config);
+
+  std::stringstream buffer;
+  WriteTripsCsv(ds.test, buffer);  // test records carry no trajectory
+  const auto restored = ReadTripsCsv(ds.network, buffer);
+  ASSERT_EQ(restored.size(), ds.test.size());
+  for (const auto& trip : restored) {
+    EXPECT_TRUE(trip.trajectory.empty());
+    EXPECT_GT(trip.travel_time, 0.0);
+  }
+}
+
+TEST(TripsCsvTest, RejectsBadRows) {
+  const road::RoadNetwork net = SmallNet();
+  std::stringstream bad1("header\n1,2,3\n");
+  EXPECT_THROW(ReadTripsCsv(net, bad1), std::runtime_error);
+  std::stringstream bad2(
+      "header\n0,0,0,100,100,0,60,999999:0:10\n");  // segment out of range
+  EXPECT_THROW(ReadTripsCsv(net, bad2), std::runtime_error);
+  std::stringstream bad3("header\n0,0,abc,100,100,0,60,\n");
+  EXPECT_THROW(ReadTripsCsv(net, bad3), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace deepod::io

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace deepod::nn {
+namespace {
+
+TEST(OpsTest, AddSubMulForward) {
+  Tensor a = Tensor::FromData({3}, {1, 2, 3});
+  Tensor b = Tensor::FromData({3}, {4, 5, 6});
+  EXPECT_EQ(Add(a, b).data(), (std::vector<double>{5, 7, 9}));
+  EXPECT_EQ(Sub(a, b).data(), (std::vector<double>{-3, -3, -3}));
+  EXPECT_EQ(Mul(a, b).data(), (std::vector<double>{4, 10, 18}));
+}
+
+TEST(OpsTest, ShapeMismatchThrows) {
+  Tensor a = Tensor::Zeros({3});
+  Tensor b = Tensor::Zeros({4});
+  EXPECT_THROW(Add(a, b), std::invalid_argument);
+  EXPECT_THROW(Mul(a, b), std::invalid_argument);
+  EXPECT_THROW(MaeLoss(a, b), std::invalid_argument);
+}
+
+TEST(OpsTest, ScaleAndAddScalar) {
+  Tensor a = Tensor::FromData({2}, {1, -2});
+  EXPECT_EQ(Scale(a, 3.0).data(), (std::vector<double>{3, -6}));
+  EXPECT_EQ(AddScalar(a, 1.0).data(), (std::vector<double>{2, -1}));
+}
+
+TEST(OpsTest, Activations) {
+  Tensor a = Tensor::FromData({3}, {-1, 0, 2});
+  EXPECT_EQ(Relu(a).data(), (std::vector<double>{0, 0, 2}));
+  const auto sig = Sigmoid(a).data();
+  EXPECT_NEAR(sig[1], 0.5, 1e-12);
+  EXPECT_NEAR(sig[2], 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  const auto th = Tanh(a).data();
+  EXPECT_NEAR(th[0], std::tanh(-1.0), 1e-12);
+  EXPECT_EQ(Abs(a).data(), (std::vector<double>{1, 0, 2}));
+  EXPECT_EQ(Square(a).data(), (std::vector<double>{1, 0, 4}));
+}
+
+TEST(OpsTest, MatMulForward) {
+  Tensor a = Tensor::FromData({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromData({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<size_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154);
+}
+
+TEST(OpsTest, MatMulShapeMismatchThrows) {
+  EXPECT_THROW(MatMul(Tensor::Zeros({2, 3}), Tensor::Zeros({2, 3})),
+               std::invalid_argument);
+}
+
+TEST(OpsTest, AffineForward) {
+  Tensor w = Tensor::FromData({2, 3}, {1, 0, 0, 0, 1, 1});
+  Tensor x = Tensor::FromData({3}, {5, 6, 7});
+  Tensor b = Tensor::FromData({2}, {0.5, -0.5});
+  Tensor y = Affine(w, x, b);
+  EXPECT_DOUBLE_EQ(y.at(0), 5.5);
+  EXPECT_DOUBLE_EQ(y.at(1), 12.5);
+}
+
+TEST(OpsTest, AddRowBroadcast) {
+  Tensor m = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  Tensor r = Tensor::FromData({2}, {10, 20});
+  Tensor y = AddRow(m, r);
+  EXPECT_EQ(y.data(), (std::vector<double>{11, 22, 13, 24}));
+}
+
+TEST(OpsTest, ConcatVec) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor b = Tensor::FromData({3}, {3, 4, 5});
+  Tensor c = ConcatVec({a, b});
+  EXPECT_EQ(c.shape(), (std::vector<size_t>{5}));
+  EXPECT_EQ(c.data(), (std::vector<double>{1, 2, 3, 4, 5}));
+  EXPECT_THROW(ConcatVec({}), std::invalid_argument);
+  EXPECT_THROW(ConcatVec({Tensor::Zeros({2, 2})}), std::invalid_argument);
+}
+
+TEST(OpsTest, StackRows) {
+  Tensor a = Tensor::FromData({2}, {1, 2});
+  Tensor b = Tensor::FromData({2}, {3, 4});
+  Tensor m = StackRows({a, b});
+  EXPECT_EQ(m.shape(), (std::vector<size_t>{2, 2}));
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 3);
+  EXPECT_THROW(StackRows({a, Tensor::Zeros({3})}), std::invalid_argument);
+}
+
+TEST(OpsTest, RowAndGather) {
+  Tensor m = Tensor::FromData({3, 2}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(Row(m, 1).data(), (std::vector<double>{3, 4}));
+  EXPECT_THROW(Row(m, 3), std::out_of_range);
+  Tensor g = GatherRows(m, {2, 0, 2});
+  EXPECT_EQ(g.shape(), (std::vector<size_t>{3, 2}));
+  EXPECT_EQ(g.data(), (std::vector<double>{5, 6, 1, 2, 5, 6}));
+  EXPECT_THROW(GatherRows(m, {7}), std::out_of_range);
+}
+
+TEST(OpsTest, GatherRowsGradScattersWithAccumulation) {
+  Tensor m = Tensor::FromData({2, 2}, {1, 1, 1, 1});
+  m.set_requires_grad(true);
+  // Row 0 gathered twice: its gradient doubles.
+  Tensor g = GatherRows(m, {0, 0, 1});
+  Tensor loss = Sum(g);
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(m.grad()[0], 2.0);
+  EXPECT_DOUBLE_EQ(m.grad()[2], 1.0);
+}
+
+TEST(OpsTest, ReshapePreservesDataAndGrad) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  a.set_requires_grad(true);
+  Tensor r = Reshape(a, {4});
+  EXPECT_EQ(r.data(), a.data());
+  Sum(r).Backward();
+  for (double g : a.grad()) EXPECT_DOUBLE_EQ(g, 1.0);
+  EXPECT_THROW(Reshape(a, {5}), std::invalid_argument);
+}
+
+TEST(OpsTest, Reductions) {
+  Tensor a = Tensor::FromData({2, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(Sum(a).item(), 10.0);
+  EXPECT_DOUBLE_EQ(Mean(a).item(), 2.5);
+  const auto mr = MeanRows(a).data();
+  EXPECT_DOUBLE_EQ(mr[0], 2.0);
+  EXPECT_DOUBLE_EQ(mr[1], 3.0);
+}
+
+TEST(OpsTest, Conv2dIdentityKernel) {
+  // 1x1 kernel with weight 1 reproduces the input.
+  Tensor in = Tensor::FromData({1, 2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor k = Tensor::FromData({1, 1, 1, 1}, {1.0});
+  Tensor out = Conv2d(in, k, 0, 0);
+  EXPECT_EQ(out.shape(), in.shape());
+  EXPECT_EQ(out.data(), in.data());
+}
+
+TEST(OpsTest, Conv2dAveragingKernel) {
+  // 3x1 kernel of ones with padding 1 computes vertical neighbour sums.
+  Tensor in = Tensor::FromData({1, 3, 1}, {1, 2, 3});
+  Tensor k = Tensor::FromData({1, 1, 3, 1}, {1, 1, 1});
+  Tensor out = Conv2d(in, k, 1, 0);
+  EXPECT_EQ(out.shape(), (std::vector<size_t>{1, 3, 1}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0), 3.0);  // 0+1+2
+  EXPECT_DOUBLE_EQ(out.at(0, 1, 0), 6.0);  // 1+2+3
+  EXPECT_DOUBLE_EQ(out.at(0, 2, 0), 5.0);  // 2+3+0
+}
+
+TEST(OpsTest, Conv2dMultiChannel) {
+  // Two input channels summed by a 1x1 kernel with weights {2, 3}.
+  Tensor in = Tensor::FromData({2, 1, 2}, {1, 2, 10, 20});
+  Tensor k = Tensor::FromData({1, 2, 1, 1}, {2, 3});
+  Tensor out = Conv2d(in, k, 0, 0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 0), 32.0);
+  EXPECT_DOUBLE_EQ(out.at(0, 0, 1), 64.0);
+}
+
+TEST(OpsTest, Conv2dShapeChecks) {
+  EXPECT_THROW(Conv2d(Tensor::Zeros({2, 2}), Tensor::Zeros({1, 1, 1, 1}), 0, 0),
+               std::invalid_argument);
+  EXPECT_THROW(
+      Conv2d(Tensor::Zeros({2, 2, 2}), Tensor::Zeros({1, 3, 1, 1}), 0, 0),
+      std::invalid_argument);
+  // Kernel taller than padded input.
+  EXPECT_THROW(
+      Conv2d(Tensor::Zeros({1, 2, 2}), Tensor::Zeros({1, 1, 5, 1}), 0, 0),
+      std::invalid_argument);
+}
+
+TEST(OpsTest, AddChannelBiasAndGlobalAvgPool) {
+  Tensor in = Tensor::FromData({2, 1, 2}, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromData({2}, {10, 20});
+  Tensor out = AddChannelBias(in, bias);
+  EXPECT_EQ(out.data(), (std::vector<double>{11, 12, 23, 24}));
+  const auto pooled = GlobalAvgPool(in).data();
+  EXPECT_DOUBLE_EQ(pooled[0], 1.5);
+  EXPECT_DOUBLE_EQ(pooled[1], 3.5);
+}
+
+TEST(OpsTest, Losses) {
+  Tensor pred = Tensor::FromData({2}, {1.0, 3.0});
+  Tensor target = Tensor::FromData({2}, {2.0, 1.0});
+  EXPECT_DOUBLE_EQ(MaeLoss(pred, target).item(), 1.5);
+  EXPECT_NEAR(EuclideanDistance(pred, target).item(), std::sqrt(5.0), 1e-6);
+}
+
+TEST(OpsTest, SqrtGuardsZero) {
+  Tensor zero = Tensor::Scalar(0.0);
+  zero.set_requires_grad(true);
+  Tensor y = Sqrt(zero);
+  y.Backward();
+  EXPECT_TRUE(std::isfinite(zero.grad()[0]));
+}
+
+}  // namespace
+}  // namespace deepod::nn

@@ -1,0 +1,171 @@
+// Property sweeps over the simulation substrate: dataset invariants across
+// city configurations (TEST_P), demand/congestion coupling, and failure
+// injection on the trip simulator's inputs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "road/city_generator.h"
+#include "road/routing.h"
+#include "sim/dataset.h"
+#include "sim/traffic_model.h"
+#include "sim/trip_simulator.h"
+#include "sim/weather.h"
+#include "temporal/time_slot.h"
+
+namespace deepod::sim {
+namespace {
+
+struct CityCase {
+  const char* name;
+  size_t rows, cols;
+  size_t trips_per_day;
+};
+
+class DatasetPropertyTest : public ::testing::TestWithParam<CityCase> {};
+
+TEST_P(DatasetPropertyTest, InvariantsHoldAcrossCitySizes) {
+  const auto& c = GetParam();
+  DatasetConfig config;
+  config.city = road::XianSimConfig();
+  config.city.rows = c.rows;
+  config.city.cols = c.cols;
+  config.trips_per_day = c.trips_per_day;
+  config.num_days = 12;
+  config.seed = 123;
+  const Dataset ds = BuildDataset(config);
+
+  EXPECT_EQ(ds.TotalTrips(), c.trips_per_day * 12);
+  // Split proportions roughly 42:7:12 by *time* — train should dominate.
+  EXPECT_GT(ds.train.size(), ds.validation.size() + ds.test.size());
+
+  // Every training trajectory is a valid connected path whose time matches
+  // the label, and every OD pair respects the simulator's contract.
+  for (const auto& trip : ds.train) {
+    ASSERT_TRUE(trip.trajectory.IsValid(ds.network));
+    EXPECT_NEAR(trip.trajectory.travel_time(), trip.travel_time, 1e-6);
+    EXPECT_LT(trip.od.origin_ratio, 1.0);
+    EXPECT_GE(trip.od.origin_ratio, 0.0);
+    EXPECT_GE(trip.od.weather_type, 0);
+    EXPECT_LT(trip.od.weather_type, WeatherProcess::kNumTypes);
+    // Travel speed sanity: between 0.5 m/s and free-flow-times-jitter.
+    const double dist = trip.trajectory.TravelledLength(ds.network);
+    const double speed = dist / trip.travel_time;
+    EXPECT_GT(speed, 0.5);
+    EXPECT_LT(speed, 30.0);
+  }
+  // Departures ordered chronologically within each split (dataset sorts).
+  for (size_t i = 1; i < ds.train.size(); ++i) {
+    EXPECT_LE(ds.train[i - 1].od.departure_time,
+              ds.train[i].od.departure_time);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cities, DatasetPropertyTest,
+                         ::testing::Values(CityCase{"tiny", 5, 5, 8},
+                                           CityCase{"small", 7, 6, 12},
+                                           CityCase{"wide", 5, 10, 10},
+                                           CityCase{"mid", 9, 9, 15}),
+                         [](const ::testing::TestParamInfo<CityCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(TripTimePropertyTest, RushTripsSlowerThanNightTripsOnAverage) {
+  road::CityConfig city = road::XianSimConfig();
+  city.rows = 7;
+  city.cols = 7;
+  const road::RoadNetwork net = road::GenerateCity(city);
+  TrafficModel::Options traffic_options;
+  traffic_options.daily_sigma = 0.0;  // isolate time-of-day
+  traffic_options.segment_daily_sigma = 0.0;
+  const TrafficModel traffic(net, traffic_options);
+  const WeatherProcess weather(2 * temporal::kSecondsPerDay, 5);
+  const TripSimulator simulator(net, traffic, weather);
+  util::Rng rng(9);
+  double rush_speed = 0.0, night_speed = 0.0;
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    const auto rush = simulator.SimulateTrip(8.0 * 3600.0, rng);
+    rush_speed += rush.trajectory.TravelledLength(net) / rush.travel_time;
+    const auto night = simulator.SimulateTrip(3.0 * 3600.0, rng);
+    night_speed += night.trajectory.TravelledLength(net) / night.travel_time;
+  }
+  EXPECT_LT(rush_speed, night_speed * 0.9);
+}
+
+TEST(TripTimePropertyTest, SameOdSameTimeDifferentDaysVary) {
+  // Day-to-day congestion draws make repeated identical queries vary — the
+  // signal the external speed-matrix feature exists to expose.
+  road::CityConfig city = road::XianSimConfig();
+  city.rows = 6;
+  city.cols = 6;
+  const road::RoadNetwork net = road::GenerateCity(city);
+  const TrafficModel traffic(net);
+  const WeatherProcess weather(15 * temporal::kSecondsPerDay, 5);
+  const TripSimulator simulator(net, traffic, weather);
+  // Expected traversal of a fixed segment at the same time-of-day across
+  // days must not be constant.
+  double min_t = 1e18, max_t = 0.0;
+  for (int day = 0; day < 10; ++day) {
+    const double t = traffic.TraversalSeconds(
+        3, day * temporal::kSecondsPerDay + 10.0 * 3600.0);
+    min_t = std::min(min_t, t);
+    max_t = std::max(max_t, t);
+  }
+  EXPECT_GT(max_t / min_t, 1.02);
+}
+
+TEST(FailureInjectionTest, BadDatasetConfigsRejected) {
+  DatasetConfig config;
+  config.city = road::XianSimConfig();
+  config.num_days = 1;  // below the 3-day minimum
+  EXPECT_THROW(BuildDataset(config), std::invalid_argument);
+
+  road::CityConfig bad_city;
+  bad_city.rows = 1;
+  EXPECT_THROW(road::GenerateCity(bad_city), std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, SpeedMatrixRejectsBadGeometry) {
+  road::CityConfig city = road::XianSimConfig();
+  city.rows = 5;
+  city.cols = 5;
+  const road::RoadNetwork net = road::GenerateCity(city);
+  const TrafficModel traffic(net);
+  const WeatherProcess weather(86400.0, 5);
+  EXPECT_THROW(SpeedMatrixBuilder(net, traffic, weather, -1.0, 300.0),
+               std::invalid_argument);
+  EXPECT_THROW(SpeedMatrixBuilder(net, traffic, weather, 200.0, 0.0),
+               std::invalid_argument);
+}
+
+TEST(FailureInjectionTest, WeatherHorizonEnforced) {
+  EXPECT_THROW(WeatherProcess(0.0, 1), std::invalid_argument);
+  EXPECT_THROW(WeatherProcess(-5.0, 1), std::invalid_argument);
+}
+
+TEST(SeedSensitivityTest, DifferentSeedsDifferentDatasets) {
+  DatasetConfig a;
+  a.city = road::XianSimConfig();
+  a.city.rows = 5;
+  a.city.cols = 5;
+  a.trips_per_day = 6;
+  a.num_days = 6;
+  a.seed = 1;
+  DatasetConfig b = a;
+  b.seed = 2;
+  const Dataset da = BuildDataset(a);
+  const Dataset db = BuildDataset(b);
+  ASSERT_EQ(da.train.size(), db.train.size());
+  bool any_diff = false;
+  for (size_t i = 0; i < da.train.size(); ++i) {
+    if (std::fabs(da.train[i].travel_time - db.train[i].travel_time) > 1e-9) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace deepod::sim

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "match/map_matcher.h"
+#include "road/city_generator.h"
+#include "sim/traffic_model.h"
+#include "sim/trip_simulator.h"
+#include "sim/weather.h"
+#include "traj/trajectory.h"
+
+namespace deepod {
+namespace {
+
+road::RoadNetwork Line3() {
+  road::RoadNetwork net;
+  net.AddVertex({0, 0});
+  net.AddVertex({100, 0});
+  net.AddVertex({200, 0});
+  net.AddVertex({300, 0});
+  net.AddSegment(0, 1, 10.0, road::RoadClass::kLocal);
+  net.AddSegment(1, 2, 10.0, road::RoadClass::kLocal);
+  net.AddSegment(2, 3, 10.0, road::RoadClass::kLocal);
+  net.Finalize();
+  return net;
+}
+
+TEST(TrajectoryTest, SegmentIdsAndValidity) {
+  const road::RoadNetwork net = Line3();
+  traj::MatchedTrajectory t;
+  t.path = {{0, 0.0, 10.0}, {1, 10.0, 20.0}, {2, 20.0, 28.0}};
+  t.origin_ratio = 0.5;
+  t.dest_ratio = 0.8;
+  EXPECT_TRUE(t.IsValid(net));
+  EXPECT_EQ(t.SegmentIds(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(t.travel_time(), 28.0);
+  // Length: half of e0 + all of e1 + 0.8 of e2 = 50 + 100 + 80.
+  EXPECT_DOUBLE_EQ(t.TravelledLength(net), 230.0);
+}
+
+TEST(TrajectoryTest, SingleSegmentLength) {
+  const road::RoadNetwork net = Line3();
+  traj::MatchedTrajectory t;
+  t.path = {{1, 0.0, 5.0}};
+  t.origin_ratio = 0.2;
+  t.dest_ratio = 0.7;
+  EXPECT_NEAR(t.TravelledLength(net), 50.0, 1e-9);
+}
+
+TEST(TrajectoryTest, InvalidCases) {
+  const road::RoadNetwork net = Line3();
+  traj::MatchedTrajectory empty;
+  EXPECT_FALSE(empty.IsValid(net));
+
+  traj::MatchedTrajectory disconnected;
+  disconnected.path = {{0, 0.0, 10.0}, {2, 10.0, 20.0}};  // skips e1
+  EXPECT_FALSE(disconnected.IsValid(net));
+
+  traj::MatchedTrajectory backwards_time;
+  backwards_time.path = {{0, 10.0, 5.0}};
+  EXPECT_FALSE(backwards_time.IsValid(net));
+
+  traj::MatchedTrajectory bad_ratio;
+  bad_ratio.path = {{0, 0.0, 1.0}};
+  bad_ratio.origin_ratio = 1.5;
+  EXPECT_FALSE(bad_ratio.IsValid(net));
+}
+
+TEST(InterpolateTest, ProportionalToFreeFlowTime) {
+  const road::RoadNetwork net = Line3();
+  // Full route over three equal segments, full ratios: equal thirds.
+  const auto path =
+      match::InterpolateIntervals(net, {0, 1, 2}, 0.0, 1.0, 0.0, 30.0);
+  ASSERT_EQ(path.size(), 3u);
+  EXPECT_DOUBLE_EQ(path[0].enter, 0.0);
+  EXPECT_NEAR(path[0].exit, 10.0, 1e-9);
+  EXPECT_NEAR(path[1].exit, 20.0, 1e-9);
+  EXPECT_DOUBLE_EQ(path[2].exit, 30.0);
+  // Contiguity.
+  EXPECT_DOUBLE_EQ(path[1].enter, path[0].exit);
+}
+
+TEST(InterpolateTest, PartialEndSegments) {
+  const road::RoadNetwork net = Line3();
+  // Origin at 0.5 of e0 (weight 5 s), all of e1 (10 s), dest at 0.5 of e2
+  // (5 s): shares 0.25 / 0.5 / 0.25 of the 40 s trip.
+  const auto path =
+      match::InterpolateIntervals(net, {0, 1, 2}, 0.5, 0.5, 100.0, 140.0);
+  EXPECT_NEAR(path[0].exit - path[0].enter, 10.0, 1e-9);
+  EXPECT_NEAR(path[1].exit - path[1].enter, 20.0, 1e-9);
+  EXPECT_NEAR(path[2].exit - path[2].enter, 10.0, 1e-9);
+}
+
+TEST(InterpolateTest, Validation) {
+  const road::RoadNetwork net = Line3();
+  EXPECT_THROW(match::InterpolateIntervals(net, {}, 0, 1, 0, 10),
+               std::invalid_argument);
+  EXPECT_THROW(match::InterpolateIntervals(net, {0}, 0, 1, 10, 5),
+               std::invalid_argument);
+}
+
+TEST(MapMatcherTest, SnapPoint) {
+  const road::RoadNetwork net = Line3();
+  const match::MapMatcher matcher(net);
+  const auto proj = matcher.SnapPoint({150.0, 5.0});
+  EXPECT_EQ(proj.segment_id, 1u);
+  EXPECT_NEAR(proj.ratio, 0.5, 1e-9);
+}
+
+TEST(MapMatcherTest, MatchesCleanTraceOnLine) {
+  const road::RoadNetwork net = Line3();
+  const match::MapMatcher matcher(net);
+  traj::RawTrajectory raw;
+  for (int i = 0; i <= 10; ++i) {
+    raw.points.push_back({{25.0 + 25.0 * i, 1.0}, 10.0 * i});
+  }
+  const auto matched = matcher.Match(raw);
+  ASSERT_FALSE(matched.empty());
+  EXPECT_TRUE(matched.IsValid(net));
+  EXPECT_EQ(matched.SegmentIds(), (std::vector<size_t>{0, 1, 2}));
+  EXPECT_NEAR(matched.origin_ratio, 0.25, 0.05);
+  EXPECT_NEAR(matched.dest_ratio, 0.75, 0.05);
+  EXPECT_DOUBLE_EQ(matched.departure_time(), 0.0);
+  EXPECT_DOUBLE_EQ(matched.arrival_time(), 100.0);
+}
+
+TEST(MapMatcherTest, TooFewPointsReturnsEmpty) {
+  const road::RoadNetwork net = Line3();
+  const match::MapMatcher matcher(net);
+  traj::RawTrajectory raw;
+  raw.points.push_back({{10, 0}, 0.0});
+  EXPECT_TRUE(matcher.Match(raw).empty());
+}
+
+TEST(MapMatcherTest, RecoversSimulatedRouteOnCity) {
+  // End-to-end property: simulate trips, emit noisy GPS, match, and check
+  // the matched route agrees with the simulated ground truth on most
+  // segments (map matching cannot be perfect under noise).
+  road::CityConfig config = road::XianSimConfig();
+  config.rows = 6;
+  config.cols = 6;
+  const road::RoadNetwork net = road::GenerateCity(config);
+  const sim::TrafficModel traffic(net);
+  const sim::WeatherProcess weather(86400.0, 3);
+  sim::TripSimulator::Options options;
+  options.gps_period = 5.0;
+  options.gps_noise_m = 6.0;
+  const sim::TripSimulator simulator(net, traffic, weather, options);
+  const match::MapMatcher matcher(net);
+  util::Rng rng(77);
+
+  int total_truth_segments = 0, recovered = 0, matched_trips = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto record = simulator.SimulateTrip(36000.0, rng);
+    const auto raw = simulator.EmitGps(record, rng);
+    ASSERT_GE(raw.points.size(), 2u);
+    const auto matched = matcher.Match(raw);
+    if (matched.empty()) continue;
+    ++matched_trips;
+    EXPECT_TRUE(matched.IsValid(net));
+    std::set<size_t> matched_ids;
+    for (size_t sid : matched.SegmentIds()) matched_ids.insert(sid);
+    for (size_t sid : record.trajectory.SegmentIds()) {
+      ++total_truth_segments;
+      recovered += matched_ids.count(sid) > 0;
+    }
+  }
+  ASSERT_GE(matched_trips, 8);
+  EXPECT_GT(static_cast<double>(recovered) /
+                static_cast<double>(total_truth_segments),
+            0.75);
+}
+
+}  // namespace
+}  // namespace deepod

@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/alias_sampler.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/weighted_digraph.h"
+
+namespace deepod::util {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == b.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(7);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-5}, int64_t{5});
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntZeroThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.UniformInt(uint64_t{0}), std::invalid_argument);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(11);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalShifted) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialBadRateThrows) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, CategoricalRejectsBadWeights) {
+  Rng rng(1);
+  EXPECT_THROW(rng.Categorical({}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.Categorical({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(5);
+  Rng child = a.Fork();
+  // Child stream should differ from the parent's continuation.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.NextU64() == child.NextU64();
+  EXPECT_LT(same, 2);
+}
+
+TEST(AliasSamplerTest, MatchesDistribution) {
+  Rng rng(29);
+  std::vector<double> w = {5.0, 1.0, 4.0};
+  AliasSampler sampler(w);
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[sampler.Sample(rng)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(AliasSamplerTest, SingleEntry) {
+  Rng rng(1);
+  AliasSampler sampler(std::vector<double>{2.5});
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(sampler.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, ZeroWeightNeverSampled) {
+  Rng rng(31);
+  AliasSampler sampler(std::vector<double>{0.0, 1.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(sampler.Sample(rng), 1u);
+}
+
+TEST(AliasSamplerTest, RejectsInvalid) {
+  EXPECT_THROW(AliasSampler(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{-1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AliasSampler(std::vector<double>{0.0, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(StatsTest, MeanVariance) {
+  std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(Mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(Variance(v), 1.25);
+  EXPECT_DOUBLE_EQ(Stddev(v), std::sqrt(1.25));
+}
+
+TEST(StatsTest, MinMax) {
+  std::vector<double> v = {3, -1, 7};
+  EXPECT_DOUBLE_EQ(Min(v), -1);
+  EXPECT_DOUBLE_EQ(Max(v), 7);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(Quantile(v, 1.0), 10.0);
+}
+
+TEST(StatsTest, BoxStats) {
+  std::vector<double> v = {1, 2, 3, 4, 5};
+  const BoxStats b = Box(v);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 3);
+  EXPECT_DOUBLE_EQ(b.max, 5);
+  EXPECT_DOUBLE_EQ(b.q1, 2);
+  EXPECT_DOUBLE_EQ(b.q3, 4);
+}
+
+TEST(StatsTest, HistogramDensityIntegratesToOne) {
+  std::vector<double> v;
+  Rng rng(37);
+  for (int i = 0; i < 5000; ++i) v.push_back(rng.Uniform(0.0, 10.0));
+  const auto d = HistogramDensity(v, 0.0, 10.0, 20);
+  double integral = 0.0;
+  for (double x : d) integral += x * 0.5;  // bin width 0.5
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(StatsTest, HistogramClampsOutliers) {
+  const auto d = HistogramDensity({-100.0, 100.0}, 0.0, 1.0, 2);
+  EXPECT_GT(d[0], 0.0);
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(StatsTest, PearsonPerfectCorrelation) {
+  std::vector<double> a = {1, 2, 3, 4};
+  std::vector<double> b = {2, 4, 6, 8};
+  EXPECT_NEAR(Pearson(a, b), 1.0, 1e-12);
+  std::vector<double> c = {8, 6, 4, 2};
+  EXPECT_NEAR(Pearson(a, c), -1.0, 1e-12);
+}
+
+TEST(StatsTest, EmptyInputThrows) {
+  EXPECT_THROW(Mean({}), std::invalid_argument);
+  EXPECT_THROW(Quantile({}, 0.5), std::invalid_argument);
+}
+
+TEST(TableTest, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"long-name", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("long-name"), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, ArityMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TableTest, FmtHelpers) {
+  EXPECT_EQ(Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Fmt(2.0, 0), "2");
+  EXPECT_EQ(FmtBytes(1500), "1.50K");
+  EXPECT_EQ(FmtBytes(2500000), "2.50M");
+  EXPECT_EQ(FmtBytes(12), "12B");
+}
+
+TEST(WeightedDigraphTest, ArcsAndWeights) {
+  WeightedDigraph g(3);
+  g.AddArc(0, 1, 2.0);
+  g.AddArc(0, 2, 3.0);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_arcs(), 2u);
+  EXPECT_DOUBLE_EQ(g.OutWeight(0), 5.0);
+  EXPECT_TRUE(g.HasArc(0, 1));
+  EXPECT_FALSE(g.HasArc(1, 0));
+}
+
+TEST(WeightedDigraphTest, AccumulateMergesParallelArcs) {
+  WeightedDigraph g(2);
+  g.AddOrAccumulate(0, 1, 1.0);
+  g.AddOrAccumulate(0, 1, 2.5);
+  EXPECT_EQ(g.OutArcs(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(g.OutArcs(0)[0].weight, 3.5);
+}
+
+TEST(WeightedDigraphTest, OutOfRangeThrows) {
+  WeightedDigraph g(2);
+  EXPECT_THROW(g.AddArc(0, 5), std::out_of_range);
+  EXPECT_THROW(g.AddArc(5, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace deepod::util
