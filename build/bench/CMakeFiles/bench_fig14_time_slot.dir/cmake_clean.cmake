@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_time_slot.dir/bench_fig14_time_slot.cc.o"
+  "CMakeFiles/bench_fig14_time_slot.dir/bench_fig14_time_slot.cc.o.d"
+  "bench_fig14_time_slot"
+  "bench_fig14_time_slot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_time_slot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

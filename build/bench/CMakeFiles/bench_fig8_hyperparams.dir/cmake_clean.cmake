@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_hyperparams.dir/bench_fig8_hyperparams.cc.o"
+  "CMakeFiles/bench_fig8_hyperparams.dir/bench_fig8_hyperparams.cc.o.d"
+  "bench_fig8_hyperparams"
+  "bench_fig8_hyperparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_hyperparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_bench_common.dir/common.cc.o"
+  "CMakeFiles/deepod_bench_common.dir/common.cc.o.d"
+  "libdeepod_bench_common.a"
+  "libdeepod_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

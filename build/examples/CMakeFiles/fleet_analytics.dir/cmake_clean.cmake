@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_analytics.dir/fleet_analytics.cpp.o"
+  "CMakeFiles/fleet_analytics.dir/fleet_analytics.cpp.o.d"
+  "fleet_analytics"
+  "fleet_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

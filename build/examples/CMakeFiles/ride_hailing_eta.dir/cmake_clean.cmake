@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ride_hailing_eta.dir/ride_hailing_eta.cpp.o"
+  "CMakeFiles/ride_hailing_eta.dir/ride_hailing_eta.cpp.o.d"
+  "ride_hailing_eta"
+  "ride_hailing_eta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ride_hailing_eta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("nn")
+subdirs("road")
+subdirs("temporal")
+subdirs("traj")
+subdirs("match")
+subdirs("sim")
+subdirs("embed")
+subdirs("core")
+subdirs("baselines")
+subdirs("analysis")
+subdirs("io")

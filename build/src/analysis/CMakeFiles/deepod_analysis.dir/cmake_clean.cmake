@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_analysis.dir/metrics.cc.o"
+  "CMakeFiles/deepod_analysis.dir/metrics.cc.o.d"
+  "CMakeFiles/deepod_analysis.dir/tsne.cc.o"
+  "CMakeFiles/deepod_analysis.dir/tsne.cc.o.d"
+  "libdeepod_analysis.a"
+  "libdeepod_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/baseline.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/baseline.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/baseline.cc.o.d"
+  "/root/repo/src/baselines/gbm.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/gbm.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/gbm.cc.o.d"
+  "/root/repo/src/baselines/linear_regression.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/linear_regression.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/linear_regression.cc.o.d"
+  "/root/repo/src/baselines/murat.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/murat.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/murat.cc.o.d"
+  "/root/repo/src/baselines/stnn.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/stnn.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/stnn.cc.o.d"
+  "/root/repo/src/baselines/temp.cc" "src/baselines/CMakeFiles/deepod_baselines.dir/temp.cc.o" "gcc" "src/baselines/CMakeFiles/deepod_baselines.dir/temp.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/deepod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/deepod_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/deepod_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/deepod_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/deepod_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

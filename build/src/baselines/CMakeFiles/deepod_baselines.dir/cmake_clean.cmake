@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_baselines.dir/baseline.cc.o"
+  "CMakeFiles/deepod_baselines.dir/baseline.cc.o.d"
+  "CMakeFiles/deepod_baselines.dir/gbm.cc.o"
+  "CMakeFiles/deepod_baselines.dir/gbm.cc.o.d"
+  "CMakeFiles/deepod_baselines.dir/linear_regression.cc.o"
+  "CMakeFiles/deepod_baselines.dir/linear_regression.cc.o.d"
+  "CMakeFiles/deepod_baselines.dir/murat.cc.o"
+  "CMakeFiles/deepod_baselines.dir/murat.cc.o.d"
+  "CMakeFiles/deepod_baselines.dir/stnn.cc.o"
+  "CMakeFiles/deepod_baselines.dir/stnn.cc.o.d"
+  "CMakeFiles/deepod_baselines.dir/temp.cc.o"
+  "CMakeFiles/deepod_baselines.dir/temp.cc.o.d"
+  "libdeepod_baselines.a"
+  "libdeepod_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

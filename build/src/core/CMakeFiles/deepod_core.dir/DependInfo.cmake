@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/deepod_config.cc" "src/core/CMakeFiles/deepod_core.dir/deepod_config.cc.o" "gcc" "src/core/CMakeFiles/deepod_core.dir/deepod_config.cc.o.d"
+  "/root/repo/src/core/deepod_model.cc" "src/core/CMakeFiles/deepod_core.dir/deepod_model.cc.o" "gcc" "src/core/CMakeFiles/deepod_core.dir/deepod_model.cc.o.d"
+  "/root/repo/src/core/encoders.cc" "src/core/CMakeFiles/deepod_core.dir/encoders.cc.o" "gcc" "src/core/CMakeFiles/deepod_core.dir/encoders.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/deepod_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/deepod_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/deepod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/deepod_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/deepod_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/deepod_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/deepod_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/deepod_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

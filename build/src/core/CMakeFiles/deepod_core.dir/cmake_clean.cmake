@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_core.dir/deepod_config.cc.o"
+  "CMakeFiles/deepod_core.dir/deepod_config.cc.o.d"
+  "CMakeFiles/deepod_core.dir/deepod_model.cc.o"
+  "CMakeFiles/deepod_core.dir/deepod_model.cc.o.d"
+  "CMakeFiles/deepod_core.dir/encoders.cc.o"
+  "CMakeFiles/deepod_core.dir/encoders.cc.o.d"
+  "CMakeFiles/deepod_core.dir/trainer.cc.o"
+  "CMakeFiles/deepod_core.dir/trainer.cc.o.d"
+  "libdeepod_core.a"
+  "libdeepod_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/graph_embedding.cc" "src/embed/CMakeFiles/deepod_embed.dir/graph_embedding.cc.o" "gcc" "src/embed/CMakeFiles/deepod_embed.dir/graph_embedding.cc.o.d"
+  "/root/repo/src/embed/random_walk.cc" "src/embed/CMakeFiles/deepod_embed.dir/random_walk.cc.o" "gcc" "src/embed/CMakeFiles/deepod_embed.dir/random_walk.cc.o.d"
+  "/root/repo/src/embed/skipgram.cc" "src/embed/CMakeFiles/deepod_embed.dir/skipgram.cc.o" "gcc" "src/embed/CMakeFiles/deepod_embed.dir/skipgram.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_embed.dir/graph_embedding.cc.o"
+  "CMakeFiles/deepod_embed.dir/graph_embedding.cc.o.d"
+  "CMakeFiles/deepod_embed.dir/random_walk.cc.o"
+  "CMakeFiles/deepod_embed.dir/random_walk.cc.o.d"
+  "CMakeFiles/deepod_embed.dir/skipgram.cc.o"
+  "CMakeFiles/deepod_embed.dir/skipgram.cc.o.d"
+  "libdeepod_embed.a"
+  "libdeepod_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdeepod_embed.a"
+)

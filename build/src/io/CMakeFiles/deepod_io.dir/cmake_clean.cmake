@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_io.dir/trip_io.cc.o"
+  "CMakeFiles/deepod_io.dir/trip_io.cc.o.d"
+  "libdeepod_io.a"
+  "libdeepod_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/match/map_matcher.cc" "src/match/CMakeFiles/deepod_match.dir/map_matcher.cc.o" "gcc" "src/match/CMakeFiles/deepod_match.dir/map_matcher.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/road/CMakeFiles/deepod_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/deepod_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/deepod_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_match.dir/map_matcher.cc.o"
+  "CMakeFiles/deepod_match.dir/map_matcher.cc.o.d"
+  "libdeepod_match.a"
+  "libdeepod_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

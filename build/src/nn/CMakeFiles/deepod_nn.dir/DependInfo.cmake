@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/conv.cc" "src/nn/CMakeFiles/deepod_nn.dir/conv.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/conv.cc.o.d"
+  "/root/repo/src/nn/gradcheck.cc" "src/nn/CMakeFiles/deepod_nn.dir/gradcheck.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/gradcheck.cc.o.d"
+  "/root/repo/src/nn/lstm.cc" "src/nn/CMakeFiles/deepod_nn.dir/lstm.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/lstm.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/deepod_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/ops.cc" "src/nn/CMakeFiles/deepod_nn.dir/ops.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/ops.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/deepod_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/nn/CMakeFiles/deepod_nn.dir/serialize.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/serialize.cc.o.d"
+  "/root/repo/src/nn/tensor.cc" "src/nn/CMakeFiles/deepod_nn.dir/tensor.cc.o" "gcc" "src/nn/CMakeFiles/deepod_nn.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

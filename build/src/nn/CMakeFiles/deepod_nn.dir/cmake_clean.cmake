@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_nn.dir/conv.cc.o"
+  "CMakeFiles/deepod_nn.dir/conv.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/gradcheck.cc.o"
+  "CMakeFiles/deepod_nn.dir/gradcheck.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/lstm.cc.o"
+  "CMakeFiles/deepod_nn.dir/lstm.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/module.cc.o"
+  "CMakeFiles/deepod_nn.dir/module.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/ops.cc.o"
+  "CMakeFiles/deepod_nn.dir/ops.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/optimizer.cc.o"
+  "CMakeFiles/deepod_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/serialize.cc.o"
+  "CMakeFiles/deepod_nn.dir/serialize.cc.o.d"
+  "CMakeFiles/deepod_nn.dir/tensor.cc.o"
+  "CMakeFiles/deepod_nn.dir/tensor.cc.o.d"
+  "libdeepod_nn.a"
+  "libdeepod_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

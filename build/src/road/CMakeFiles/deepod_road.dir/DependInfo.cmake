@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/road/city_generator.cc" "src/road/CMakeFiles/deepod_road.dir/city_generator.cc.o" "gcc" "src/road/CMakeFiles/deepod_road.dir/city_generator.cc.o.d"
+  "/root/repo/src/road/edge_graph.cc" "src/road/CMakeFiles/deepod_road.dir/edge_graph.cc.o" "gcc" "src/road/CMakeFiles/deepod_road.dir/edge_graph.cc.o.d"
+  "/root/repo/src/road/road_network.cc" "src/road/CMakeFiles/deepod_road.dir/road_network.cc.o" "gcc" "src/road/CMakeFiles/deepod_road.dir/road_network.cc.o.d"
+  "/root/repo/src/road/routing.cc" "src/road/CMakeFiles/deepod_road.dir/routing.cc.o" "gcc" "src/road/CMakeFiles/deepod_road.dir/routing.cc.o.d"
+  "/root/repo/src/road/spatial_index.cc" "src/road/CMakeFiles/deepod_road.dir/spatial_index.cc.o" "gcc" "src/road/CMakeFiles/deepod_road.dir/spatial_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

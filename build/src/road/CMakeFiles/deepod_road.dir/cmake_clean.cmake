@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_road.dir/city_generator.cc.o"
+  "CMakeFiles/deepod_road.dir/city_generator.cc.o.d"
+  "CMakeFiles/deepod_road.dir/edge_graph.cc.o"
+  "CMakeFiles/deepod_road.dir/edge_graph.cc.o.d"
+  "CMakeFiles/deepod_road.dir/road_network.cc.o"
+  "CMakeFiles/deepod_road.dir/road_network.cc.o.d"
+  "CMakeFiles/deepod_road.dir/routing.cc.o"
+  "CMakeFiles/deepod_road.dir/routing.cc.o.d"
+  "CMakeFiles/deepod_road.dir/spatial_index.cc.o"
+  "CMakeFiles/deepod_road.dir/spatial_index.cc.o.d"
+  "libdeepod_road.a"
+  "libdeepod_road.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_road.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

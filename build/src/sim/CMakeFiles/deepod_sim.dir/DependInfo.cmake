@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/dataset.cc" "src/sim/CMakeFiles/deepod_sim.dir/dataset.cc.o" "gcc" "src/sim/CMakeFiles/deepod_sim.dir/dataset.cc.o.d"
+  "/root/repo/src/sim/speed_matrix.cc" "src/sim/CMakeFiles/deepod_sim.dir/speed_matrix.cc.o" "gcc" "src/sim/CMakeFiles/deepod_sim.dir/speed_matrix.cc.o.d"
+  "/root/repo/src/sim/traffic_model.cc" "src/sim/CMakeFiles/deepod_sim.dir/traffic_model.cc.o" "gcc" "src/sim/CMakeFiles/deepod_sim.dir/traffic_model.cc.o.d"
+  "/root/repo/src/sim/trip_simulator.cc" "src/sim/CMakeFiles/deepod_sim.dir/trip_simulator.cc.o" "gcc" "src/sim/CMakeFiles/deepod_sim.dir/trip_simulator.cc.o.d"
+  "/root/repo/src/sim/weather.cc" "src/sim/CMakeFiles/deepod_sim.dir/weather.cc.o" "gcc" "src/sim/CMakeFiles/deepod_sim.dir/weather.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/road/CMakeFiles/deepod_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/deepod_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/deepod_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_sim.dir/dataset.cc.o"
+  "CMakeFiles/deepod_sim.dir/dataset.cc.o.d"
+  "CMakeFiles/deepod_sim.dir/speed_matrix.cc.o"
+  "CMakeFiles/deepod_sim.dir/speed_matrix.cc.o.d"
+  "CMakeFiles/deepod_sim.dir/traffic_model.cc.o"
+  "CMakeFiles/deepod_sim.dir/traffic_model.cc.o.d"
+  "CMakeFiles/deepod_sim.dir/trip_simulator.cc.o"
+  "CMakeFiles/deepod_sim.dir/trip_simulator.cc.o.d"
+  "CMakeFiles/deepod_sim.dir/weather.cc.o"
+  "CMakeFiles/deepod_sim.dir/weather.cc.o.d"
+  "libdeepod_sim.a"
+  "libdeepod_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

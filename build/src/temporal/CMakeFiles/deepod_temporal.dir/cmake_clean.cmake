@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_temporal.dir/temporal_graph.cc.o"
+  "CMakeFiles/deepod_temporal.dir/temporal_graph.cc.o.d"
+  "CMakeFiles/deepod_temporal.dir/time_slot.cc.o"
+  "CMakeFiles/deepod_temporal.dir/time_slot.cc.o.d"
+  "libdeepod_temporal.a"
+  "libdeepod_temporal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_temporal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_traj.dir/trajectory.cc.o"
+  "CMakeFiles/deepod_traj.dir/trajectory.cc.o.d"
+  "libdeepod_traj.a"
+  "libdeepod_traj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_traj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deepod_util.dir/alias_sampler.cc.o"
+  "CMakeFiles/deepod_util.dir/alias_sampler.cc.o.d"
+  "CMakeFiles/deepod_util.dir/rng.cc.o"
+  "CMakeFiles/deepod_util.dir/rng.cc.o.d"
+  "CMakeFiles/deepod_util.dir/stats.cc.o"
+  "CMakeFiles/deepod_util.dir/stats.cc.o.d"
+  "CMakeFiles/deepod_util.dir/table.cc.o"
+  "CMakeFiles/deepod_util.dir/table.cc.o.d"
+  "libdeepod_util.a"
+  "libdeepod_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deepod_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

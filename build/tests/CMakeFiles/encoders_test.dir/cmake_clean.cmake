@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encoders_test.dir/encoders_test.cc.o"
+  "CMakeFiles/encoders_test.dir/encoders_test.cc.o.d"
+  "encoders_test"
+  "encoders_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encoders_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

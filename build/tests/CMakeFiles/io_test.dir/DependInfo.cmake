@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/io_test.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/io_test.dir/io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/deepod_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/deepod_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/deepod_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/deepod_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/match/CMakeFiles/deepod_match.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/deepod_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/deepod_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/deepod_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/traj/CMakeFiles/deepod_traj.dir/DependInfo.cmake"
+  "/root/repo/build/src/road/CMakeFiles/deepod_road.dir/DependInfo.cmake"
+  "/root/repo/build/src/temporal/CMakeFiles/deepod_temporal.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/deepod_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_test.dir/road_test.cc.o"
+  "CMakeFiles/road_test.dir/road_test.cc.o.d"
+  "road_test"
+  "road_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/route_prediction_test.dir/route_prediction_test.cc.o"
+  "CMakeFiles/route_prediction_test.dir/route_prediction_test.cc.o.d"
+  "route_prediction_test"
+  "route_prediction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/route_prediction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traj_match_test.dir/traj_match_test.cc.o"
+  "CMakeFiles/traj_match_test.dir/traj_match_test.cc.o.d"
+  "traj_match_test"
+  "traj_match_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traj_match_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
