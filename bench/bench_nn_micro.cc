@@ -1,7 +1,13 @@
 // Micro-benchmarks (google-benchmark) of the nn kernels that dominate
 // DeepOD's runtime: the LSTM step chain, the time-interval ResNet block,
-// the traffic CNN, and the embedding gather + MLP path.
+// the traffic CNN, and the embedding gather + MLP path. Writes every
+// measurement to BENCH_nn_micro.json (name, wall seconds, threads,
+// samples/sec) for tooling.
 #include <benchmark/benchmark.h>
+
+#include <fstream>
+#include <thread>
+#include <vector>
 
 #include "nn/conv.h"
 #include "nn/lstm.h"
@@ -14,7 +20,22 @@ namespace {
 
 using namespace deepod;
 
+// The kernel tier is passed as the last benchmark argument so each op is
+// measured in the legacy (pre-optimisation), blocked (default) and vector
+// (parallel-trainer) tiers.
+nn::KernelMode ModeArg(const benchmark::State& state, int index) {
+  switch (state.range(index)) {
+    case 1:
+      return nn::KernelMode::kBlocked;
+    case 2:
+      return nn::KernelMode::kVector;
+    default:
+      return nn::KernelMode::kLegacy;
+  }
+}
+
 void BM_MatMul(benchmark::State& state) {
+  nn::KernelModeScope mode(ModeArg(state, 1));
   const size_t n = static_cast<size_t>(state.range(0));
   util::Rng rng(1);
   nn::Tensor a = nn::Tensor::Randn({n, n}, rng, 1.0);
@@ -23,7 +44,13 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(nn::MatMul(a, b));
   }
 }
-BENCHMARK(BM_MatMul)->Arg(16)->Arg(64);
+BENCHMARK(BM_MatMul)
+    ->Args({16, 0})
+    ->Args({16, 1})
+    ->Args({16, 2})
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({64, 2});
 
 void BM_LstmForward(benchmark::State& state) {
   const size_t seq_len = static_cast<size_t>(state.range(0));
@@ -40,6 +67,7 @@ void BM_LstmForward(benchmark::State& state) {
 BENCHMARK(BM_LstmForward)->Arg(10)->Arg(40);
 
 void BM_LstmForwardBackward(benchmark::State& state) {
+  nn::KernelModeScope mode(ModeArg(state, 0));
   util::Rng rng(3);
   nn::Lstm lstm(24, 16, rng);
   std::vector<nn::Tensor> inputs;
@@ -52,7 +80,8 @@ void BM_LstmForwardBackward(benchmark::State& state) {
     for (auto& p : lstm.Parameters()) p.ZeroGrad();
   }
 }
-BENCHMARK(BM_LstmForwardBackward);
+// Mode 2 exercises the fused single-node LSTM cell.
+BENCHMARK(BM_LstmForwardBackward)->Arg(0)->Arg(1)->Arg(2);
 
 void BM_ResNetTimeBlock(benchmark::State& state) {
   const size_t delta_d = static_cast<size_t>(state.range(0));
@@ -102,6 +131,60 @@ void BM_AdamStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdamStep);
 
+// Console reporter that also collects per-benchmark wall time into the
+// compact BENCH_nn_micro.json schema shared with the table benches (see
+// bench/common.h). Piggybacks on the display reporter because
+// google-benchmark only accepts a separate file reporter together with
+// --benchmark_out.
+class JsonCollector : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      const double secs_per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      lines_.push_back(
+          {run.benchmark_name(), secs_per_iter, static_cast<size_t>(run.threads),
+           secs_per_iter > 0.0 ? 1.0 / secs_per_iter : 0.0});
+    }
+  }
+
+  void WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    out.precision(9);
+    out << "{\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"records\": [\n";
+    for (size_t i = 0; i < lines_.size(); ++i) {
+      const auto& l = lines_[i];
+      out << "    {\"name\": \"" << l.name << "\", \"wall_seconds\": "
+          << l.wall_seconds << ", \"threads\": " << l.threads
+          << ", \"samples_per_sec\": " << l.samples_per_sec << "}"
+          << (i + 1 < lines_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+ private:
+  struct Line {
+    std::string name;
+    double wall_seconds;
+    size_t threads;
+    double samples_per_sec;
+  };
+  std::vector<Line> lines_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonCollector collector;
+  benchmark::RunSpecifiedBenchmarks(&collector);
+  collector.WriteJson("BENCH_nn_micro.json");
+  benchmark::Shutdown();
+  return 0;
+}

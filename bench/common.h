@@ -52,8 +52,14 @@ struct StandardRun {
 
 // Computes (or loads from ./deepod_bench_cache.<city>.txt) the standard
 // comparison: TEMP, LR, GBM, STNN, MURAT, the four N-* ablations and
-// DeepOD, all trained on the standard dataset of the city.
+// DeepOD, all trained on the standard dataset of the city. Thread-safe;
+// concurrent calls for different cities compute concurrently.
 const StandardRun& GetStandardRun(City city);
+
+// Computes the standard runs for all cities, fanning the cities out over a
+// thread pool (they are independent). Benches that consume several cities
+// call this first so the expensive misses overlap.
+void PrewarmStandardRuns();
 
 // Trains one DeepOD variant on `dataset` and fills a MethodResult.
 // `epochs_override` < 0 keeps the profile default.
@@ -63,6 +69,20 @@ MethodResult RunDeepOdVariant(const sim::Dataset& dataset,
 
 // Prints the standard bench banner (profile + substitution note).
 void PrintBanner(const std::string& experiment);
+
+// --- Machine-readable bench output ----------------------------------------
+
+// One timed measurement for the BENCH_*.json files consumed by tooling.
+struct BenchJsonRecord {
+  std::string name;
+  double wall_seconds = 0.0;
+  size_t threads = 1;
+  double samples_per_sec = 0.0;
+};
+
+// Writes `records` to `path` as {"hardware_concurrency": N, "records": [...]}.
+void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchJsonRecord>& records);
 
 }  // namespace deepod::bench
 

@@ -90,6 +90,13 @@ struct DeepOdConfig {
 
   uint64_t seed = 7;
 
+  // Worker threads for training and batched prediction. 0 = auto: the
+  // DEEPOD_THREADS environment variable if set, otherwise the machine's
+  // hardware concurrency. 1 forces the legacy serial code path (whose
+  // results are bit-identical to the pre-threading implementation); any
+  // fixed value > 1 is deterministic across runs for that value.
+  size_t num_threads = 0;
+
   // Uniformly divides every width by `factor` (minimum 4) — the bench
   // profiles use Scaled(4) so a full table regenerates in minutes.
   DeepOdConfig Scaled(size_t factor) const;

@@ -1,5 +1,6 @@
 #include "core/trainer.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -12,19 +13,78 @@ namespace deepod::core {
 DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
     : model_(model),
       dataset_(dataset),
-      optimizer_(model.Parameters(), model.config().learning_rate) {}
+      optimizer_(model.Parameters(), model.config().learning_rate),
+      num_threads_(
+          util::ThreadPool::ResolveThreadCount(model.config().num_threads)) {
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(num_threads_);
+    auto params = model_.Parameters();
+    arenas_.reserve(num_threads_);
+    for (size_t w = 0; w < num_threads_; ++w) {
+      arenas_.emplace_back(std::make_unique<nn::GradArena>(params));
+    }
+    bn_logs_.resize(num_threads_);
+  }
+}
 
 double DeepOdTrainer::ValidationMae(size_t max_samples) {
   model_.SetTraining(false);
   const size_t n = std::min(max_samples, dataset_.validation.size());
   if (n == 0) return 0.0;
   double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const auto& trip = dataset_.validation[i];
-    sum += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+  if (pool_ == nullptr) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto& trip = dataset_.validation[i];
+      sum += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+    }
+  } else {
+    const size_t tasks = std::min(num_threads_, n);
+    std::vector<double> partial(tasks, 0.0);
+    pool_->ParallelFor(tasks, [&](size_t w) {
+      nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+      const auto [begin, end] = util::ThreadPool::ChunkRange(n, tasks, w);
+      double s = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        const auto& trip = dataset_.validation[i];
+        s += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+      }
+      partial[w] = s;
+    });
+    // Merge in chunk order: deterministic for a fixed thread count.
+    for (double s : partial) sum += s;
   }
   model_.SetTraining(true);
   return sum / static_cast<double>(n);
+}
+
+void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
+                                            size_t pos, size_t batch_n,
+                                            size_t bs) {
+  const size_t tasks = std::min(num_threads_, batch_n);
+  pool_->ParallelFor(tasks, [&](size_t w) {
+    const auto [begin, end] = util::ThreadPool::ChunkRange(batch_n, tasks, w);
+    // All shared-parameter gradient writes of this chunk land in arena `w`;
+    // BatchNorm running-statistic updates are logged instead of applied.
+    // The parallel trainer also opts into the vectorised kernels (the
+    // serial num_threads == 1 path never reaches here and stays on the
+    // bit-identical default kernels).
+    nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+    nn::GradArenaScope arena_scope(arenas_[w].get());
+    nn::BnCaptureScope bn_scope(&bn_logs_[w]);
+    for (size_t i = begin; i < end; ++i) {
+      nn::Tensor loss = nn::Scale(model_.SampleLoss(dataset_.train[order[pos + i]]),
+                                  1.0 / static_cast<double>(bs));
+      loss.Backward();
+    }
+  });
+  // Merge arenas and replay the deferred BatchNorm updates in chunk order.
+  // Chunks are contiguous ascending sample ranges, so the replay applies
+  // the running-statistic updates in exactly the serial sample order.
+  for (size_t w = 0; w < tasks; ++w) {
+    arenas_[w]->MergeIntoParamsAndReset();
+    for (const auto& rec : bn_logs_[w]) rec.bn->ApplyMomentumUpdate(rec.mu, rec.var);
+    bn_logs_[w].clear();
+  }
 }
 
 double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
@@ -47,32 +107,53 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
                  static_cast<double>(epoch / config.lr_decay_epochs));
     optimizer_.set_learning_rate(lr);
     rng.Shuffle(order);  // Algorithm 1, ModelTrain line 2
-    size_t in_batch = 0;
     optimizer_.ZeroGrad();
-    for (size_t idx : order) {
-      // Per-sample backward accumulates gradients; scaling by 1/bs makes
-      // the accumulated gradient the mini-batch mean (Algorithm 1 trains
-      // on mini-batches).
-      nn::Tensor loss =
-          nn::Scale(model_.SampleLoss(dataset_.train[idx]),
-                    1.0 / static_cast<double>(bs));
-      loss.Backward();
-      if (++in_batch == bs) {
+    if (pool_ == nullptr) {
+      // Legacy serial path (num_threads == 1): kept verbatim so results
+      // stay bit-identical to the pre-threading implementation.
+      size_t in_batch = 0;
+      for (size_t idx : order) {
+        // Per-sample backward accumulates gradients; scaling by 1/bs makes
+        // the accumulated gradient the mini-batch mean (Algorithm 1 trains
+        // on mini-batches).
+        nn::Tensor loss =
+            nn::Scale(model_.SampleLoss(dataset_.train[idx]),
+                      1.0 / static_cast<double>(bs));
+        loss.Backward();
+        if (++in_batch == bs) {
+          optimizer_.ClipGradNorm(config.grad_clip);
+          optimizer_.Step();
+          optimizer_.ZeroGrad();
+          in_batch = 0;
+          ++step_;
+          if (callback && step_ % eval_every == 0) {
+            callback(step_, ValidationMae(max_val_samples));
+          }
+        }
+      }
+      if (in_batch > 0) {
         optimizer_.ClipGradNorm(config.grad_clip);
         optimizer_.Step();
         optimizer_.ZeroGrad();
-        in_batch = 0;
         ++step_;
-        if (callback && step_ % eval_every == 0) {
+      }
+    } else {
+      // Data-parallel path: each mini-batch fans out over the pool.
+      size_t pos = 0;
+      while (pos < order.size()) {
+        const size_t batch_n = std::min(bs, order.size() - pos);
+        AccumulateBatchParallel(order, pos, batch_n, bs);
+        optimizer_.ClipGradNorm(config.grad_clip);
+        optimizer_.Step();
+        optimizer_.ZeroGrad();
+        ++step_;
+        // Mirrors the serial path: the trailing partial batch steps but
+        // never fires the callback.
+        if (callback && batch_n == bs && step_ % eval_every == 0) {
           callback(step_, ValidationMae(max_val_samples));
         }
+        pos += batch_n;
       }
-    }
-    if (in_batch > 0) {
-      optimizer_.ClipGradNorm(config.grad_clip);
-      optimizer_.Step();
-      optimizer_.ZeroGrad();
-      ++step_;
     }
     // End-of-epoch validation checkpoint; best epoch is restored below.
     const double epoch_val = ValidationMae(max_val_samples);
@@ -91,9 +172,17 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
 std::vector<double> DeepOdTrainer::PredictAll(
     const std::vector<traj::TripRecord>& trips) {
   model_.SetTraining(false);
-  std::vector<double> out;
-  out.reserve(trips.size());
-  for (const auto& trip : trips) out.push_back(model_.Predict(trip.od));
+  std::vector<double> out(trips.size());
+  if (pool_ == nullptr || trips.empty()) {
+    for (size_t i = 0; i < trips.size(); ++i) out[i] = model_.Predict(trips[i].od);
+    return out;
+  }
+  const size_t tasks = std::min(num_threads_, trips.size());
+  pool_->ParallelFor(tasks, [&](size_t w) {
+    nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+    const auto [begin, end] = util::ThreadPool::ChunkRange(trips.size(), tasks, w);
+    for (size_t i = begin; i < end; ++i) out[i] = model_.Predict(trips[i].od);
+  });
   return out;
 }
 

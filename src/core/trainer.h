@@ -2,16 +2,30 @@
 #define DEEPOD_CORE_TRAINER_H_
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/deepod_model.h"
+#include "nn/conv.h"
 #include "nn/optimizer.h"
+#include "nn/tensor.h"
 #include "sim/dataset.h"
+#include "util/thread_pool.h"
 
 namespace deepod::core {
 
 // Offline training / online estimation driver implementing Algorithm 1's
 // ModelTrain and Estimation procedures for DeepOD.
+//
+// Threading: the worker count comes from config.num_threads (0 = auto via
+// DEEPOD_THREADS / hardware concurrency). With 1 thread the trainer runs
+// the legacy serial loops, bit-identical to the pre-threading
+// implementation. With T > 1 threads each mini-batch is split into T
+// contiguous chunks of samples; every chunk runs forward+backward into its
+// own detached gradient arena and records its BatchNorm running-statistic
+// updates, and the trainer merges arenas and replays the BN updates in
+// chunk order before the optimiser step — so results are deterministic for
+// a fixed thread count (see DESIGN.md, "Threading model").
 class DeepOdTrainer {
  public:
   // Invoked every `eval_every` optimisation steps with (step, validation
@@ -35,12 +49,25 @@ class DeepOdTrainer {
   std::vector<double> PredictAll(const std::vector<traj::TripRecord>& trips);
 
   size_t steps_taken() const { return step_; }
+  size_t num_threads() const { return num_threads_; }
 
  private:
+  // Runs forward+backward for samples order[pos, pos+batch_n) across the
+  // worker chunks, leaving the merged mean-of-batch gradient (scaled by
+  // 1/bs) in the parameters and the BatchNorm running statistics updated
+  // in sample order.
+  void AccumulateBatchParallel(const std::vector<size_t>& order, size_t pos,
+                               size_t batch_n, size_t bs);
+
   DeepOdModel& model_;
   const sim::Dataset& dataset_;
   nn::Adam optimizer_;
   size_t step_ = 0;
+
+  size_t num_threads_;
+  std::unique_ptr<util::ThreadPool> pool_;        // null when serial
+  std::vector<std::unique_ptr<nn::GradArena>> arenas_;  // one per worker
+  std::vector<nn::BnStatsLog> bn_logs_;                 // one per worker
 };
 
 }  // namespace deepod::core

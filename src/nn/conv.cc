@@ -24,7 +24,7 @@ Tensor NormalizePerChannel(const Tensor& input, const Tensor& gamma,
   std::vector<double> inv_std(c);
   for (size_t ch = 0; ch < c; ++ch) inv_std[ch] = 1.0 / std::sqrt(var[ch] + eps);
   std::vector<double> xhat(x.size());
-  std::vector<double> out(x.size());
+  auto out = AcquireBuffer(x.size());
   for (size_t ch = 0; ch < c; ++ch) {
     for (size_t i = 0; i < hw; ++i) {
       const size_t idx = ch * hw + i;
@@ -36,6 +36,9 @@ Tensor NormalizePerChannel(const Tensor& input, const Tensor& gamma,
   return Tensor::MakeOpResult(
       input.shape(), std::move(out), {pin, pg, pb},
       [pin, pg, pb, xhat, inv_std, c, hw, stats_from_input](Impl& self) {
+        double* gg = pg->grad_sink();
+        double* gb = pb->grad_sink();
+        double* gx = pin->grad_sink();
         for (size_t ch = 0; ch < c; ++ch) {
           double sum_dy = 0.0, sum_dy_xhat = 0.0;
           for (size_t i = 0; i < hw; ++i) {
@@ -43,8 +46,8 @@ Tensor NormalizePerChannel(const Tensor& input, const Tensor& gamma,
             const double dy = self.grad[idx];
             sum_dy += dy;
             sum_dy_xhat += dy * xhat[idx];
-            pg->grad[ch] += dy * xhat[idx];
-            pb->grad[ch] += dy;
+            gg[ch] += dy * xhat[idx];
+            gb[ch] += dy;
           }
           const double gamma_v = pg->data[ch];
           const double n = static_cast<double>(hw);
@@ -53,18 +56,29 @@ Tensor NormalizePerChannel(const Tensor& input, const Tensor& gamma,
             const double dy = self.grad[idx];
             if (stats_from_input) {
               // Full batch-norm backward: statistics depend on the input.
-              pin->grad[idx] += gamma_v * inv_std[ch] *
-                                (dy - sum_dy / n - xhat[idx] * sum_dy_xhat / n);
+              gx[idx] += gamma_v * inv_std[ch] *
+                         (dy - sum_dy / n - xhat[idx] * sum_dy_xhat / n);
             } else {
               // Running statistics are constants.
-              pin->grad[idx] += gamma_v * inv_std[ch] * dy;
+              gx[idx] += gamma_v * inv_std[ch] * dy;
             }
           }
         }
       });
 }
 
+thread_local BnStatsLog* tls_bn_log = nullptr;
+
 }  // namespace
+
+BnCaptureScope::BnCaptureScope(BnStatsLog* log) {
+  if (tls_bn_log != nullptr) {
+    throw std::logic_error("BnCaptureScope: capture already installed");
+  }
+  tls_bn_log = log;
+}
+
+BnCaptureScope::~BnCaptureScope() { tls_bn_log = nullptr; }
 
 Conv2dLayer::Conv2dLayer(size_t in_channels, size_t out_channels, size_t kh,
                          size_t kw, size_t pad_h, size_t pad_w, util::Rng& rng)
@@ -113,14 +127,27 @@ Tensor BatchNorm2d::Forward(const Tensor& input) {
         v += d * d;
       }
       var[ch] = v / static_cast<double>(hw);
-      running_mean_[ch] = (1.0 - momentum_) * running_mean_[ch] + momentum_ * mu[ch];
-      running_var_[ch] = (1.0 - momentum_) * running_var_[ch] + momentum_ * var[ch];
+    }
+    if (tls_bn_log != nullptr) {
+      tls_bn_log->push_back({this, mu, var});
+    } else {
+      ApplyMomentumUpdate(mu, var);
     }
     return NormalizePerChannel(input, gamma_, beta_, mu, var, eps_,
                                /*stats_from_input=*/true);
   }
   return NormalizePerChannel(input, gamma_, beta_, running_mean_, running_var_,
                              eps_, /*stats_from_input=*/false);
+}
+
+void BatchNorm2d::ApplyMomentumUpdate(const std::vector<double>& mu,
+                                      const std::vector<double>& var) {
+  for (size_t ch = 0; ch < channels_; ++ch) {
+    running_mean_[ch] =
+        (1.0 - momentum_) * running_mean_[ch] + momentum_ * mu[ch];
+    running_var_[ch] =
+        (1.0 - momentum_) * running_var_[ch] + momentum_ * var[ch];
+  }
 }
 
 std::vector<Tensor> BatchNorm2d::Parameters() { return {gamma_, beta_}; }

@@ -51,6 +51,14 @@ class BatchNorm2d : public Module {
   const std::vector<double>& running_mean() const { return running_mean_; }
   const std::vector<double>& running_var() const { return running_var_; }
 
+  // Applies one exponential-moving-average step to the running statistics.
+  // Training forwards do this inline, except while a BnCaptureScope is
+  // active on the thread — then the (layer, mu, var) triple is recorded
+  // instead and the trainer replays the records later in sample order, so
+  // parallel training updates the EMA in exactly the serial order.
+  void ApplyMomentumUpdate(const std::vector<double>& mu,
+                           const std::vector<double>& var);
+
  private:
   size_t channels_;
   double momentum_, eps_;
@@ -58,6 +66,26 @@ class BatchNorm2d : public Module {
   Tensor beta_;   // [C]
   std::vector<double> running_mean_;
   std::vector<double> running_var_;
+};
+
+// One deferred running-statistics update recorded during a captured
+// training forward.
+struct BnStatsRecord {
+  BatchNorm2d* bn;
+  std::vector<double> mu;
+  std::vector<double> var;
+};
+using BnStatsLog = std::vector<BnStatsRecord>;
+
+// RAII: while alive on a thread, BatchNorm2d training forwards append their
+// running-statistics updates to `log` instead of applying them. Not
+// reentrant.
+class BnCaptureScope {
+ public:
+  explicit BnCaptureScope(BnStatsLog* log);
+  ~BnCaptureScope();
+  BnCaptureScope(const BnCaptureScope&) = delete;
+  BnCaptureScope& operator=(const BnCaptureScope&) = delete;
 };
 
 // The ResNet block of Fig. 6 (Eq. 5-8): three convolutions over the

@@ -37,10 +37,21 @@ std::vector<Tensor> Lstm::ForwardAll(const std::vector<Tensor>& inputs) const {
   Tensor c = Tensor::Zeros({hidden_dim_});
   std::vector<Tensor> hidden_states;
   hidden_states.reserve(inputs.size());
+  const bool fused = GetKernelMode() == KernelMode::kVector;
   for (const Tensor& x : inputs) {
     if (x.ndim() != 1 || x.dim(0) != input_dim_) {
       throw std::invalid_argument("Lstm::Forward: bad input shape " +
                                   x.ShapeString());
+    }
+    if (fused) {
+      // kVector fast path: the whole cell is one graph node (the composed
+      // form below builds ~14), sliced back into h and c views.
+      const Tensor hc =
+          LstmCellFused(x, h, c, wf_, wi_, wo_, wc_, bf_, bi_, bo_, bc_);
+      h = SliceVec(hc, 0, hidden_dim_);
+      c = SliceVec(hc, hidden_dim_, 2 * hidden_dim_);
+      hidden_states.push_back(h);
+      continue;
     }
     const Tensor xh = ConcatVec({x, h});
     const Tensor f = Sigmoid(Affine(wf_, xh, bf_));   // Eq. 12

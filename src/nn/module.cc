@@ -27,11 +27,10 @@ Tensor Linear::Forward(const Tensor& x) const {
   if (x.ndim() == 1) return Affine(w_, x, b_);
   if (x.ndim() == 2) {
     // [N, in] x [in, out] + b — batched path.
-    Tensor wt = Reshape(w_, {out_dim_, in_dim_});
     // MatMul expects [N,in] x [in,out]; transpose via explicit op-free path:
     // we materialise W^T once per call. For our scale this is fine and keeps
     // the op set small.
-    std::vector<double> wt_data(in_dim_ * out_dim_);
+    auto wt_data = AcquireBuffer(in_dim_ * out_dim_);
     const auto& wd = w_.data();
     for (size_t o = 0; o < out_dim_; ++o) {
       for (size_t i = 0; i < in_dim_; ++i) {
@@ -44,9 +43,10 @@ Tensor Linear::Forward(const Tensor& x) const {
     Tensor w_transposed = Tensor::MakeOpResult(
         {in_dim_, out_dim_}, std::move(wt_data), {pw},
         [pw, in_dim, out_dim](Tensor::Impl& self) {
+          double* gw = pw->grad_sink();
           for (size_t i = 0; i < in_dim; ++i) {
             for (size_t o = 0; o < out_dim; ++o) {
-              pw->grad[o * in_dim + i] += self.grad[i * out_dim + o];
+              gw[o * in_dim + i] += self.grad[i * out_dim + o];
             }
           }
         });

@@ -1,5 +1,6 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -20,15 +21,288 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 template <typename F, typename DF>
 Tensor UnaryOp(const Tensor& a, F f, DF df) {
   const auto& x = a.data();
-  std::vector<double> out(x.size());
+  auto out = AcquireBuffer(x.size());
   for (size_t i = 0; i < x.size(); ++i) out[i] = f(x[i]);
   auto pa = a.impl();
   return Tensor::MakeOpResult(
       a.shape(), std::move(out), {pa}, [pa, df](Impl& self) {
+        double* ga = pa->grad_sink();
         for (size_t i = 0; i < self.data.size(); ++i) {
-          pa->grad[i] += self.grad[i] * df(pa->data[i], self.data[i]);
+          ga[i] += self.grad[i] * df(pa->data[i], self.data[i]);
         }
       });
+}
+
+// Reassociated dot product: four independent accumulators let the
+// compiler vectorise. Only used in KernelMode::kVector (the changed
+// summation order perturbs last-bit rounding).
+double DotUnrolled(const double* a, const double* b, size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += a[i] * b[i];
+    s1 += a[i + 1] * b[i + 1];
+    s2 += a[i + 2] * b[i + 2];
+    s3 += a[i + 3] * b[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+// --- MatMul kernels ---------------------------------------------------------
+//
+// The naive and blocked kernels accumulate each output entry over k in
+// ascending order, so the blocked (packed/B-transposed) kernel is
+// bit-identical to the naive one; it only changes memory access patterns,
+// never the floating-point summation order. The j-block size keeps a B^T
+// tile plus an A row resident in L1 while streaming over rows of A. The
+// vector kernel additionally reassociates the dots.
+constexpr size_t kMatMulJBlock = 48;
+
+void MatMulForwardNaive(const double* xa, const double* xb, double* out,
+                        size_t n, size_t k, size_t m) {
+  std::fill(out, out + n * m, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t p = 0; p < k; ++p) {
+      const double av = xa[i * k + p];
+      if (av == 0.0) continue;
+      const double* brow = &xb[p * m];
+      double* orow = &out[i * m];
+      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+// Packs B^T (bt[j*k+p] = b[p*m+j]) into `bt`, which must hold k*m doubles.
+void PackBTransposed(const double* xb, double* bt, size_t k, size_t m) {
+  for (size_t p = 0; p < k; ++p) {
+    const double* brow = &xb[p * m];
+    for (size_t j = 0; j < m; ++j) bt[j * k + p] = brow[j];
+  }
+}
+
+void MatMulForwardBlocked(const double* xa, const double* bt, double* out,
+                          size_t n, size_t k, size_t m, bool reassociate) {
+  for (size_t jb = 0; jb < m; jb += kMatMulJBlock) {
+    const size_t je = std::min(m, jb + kMatMulJBlock);
+    for (size_t i = 0; i < n; ++i) {
+      const double* arow = &xa[i * k];
+      double* orow = &out[i * m];
+      for (size_t j = jb; j < je; ++j) {
+        const double* btrow = &bt[j * k];
+        if (reassociate) {
+          orow[j] = DotUnrolled(arow, btrow, k);
+        } else {
+          double s = 0.0;
+          for (size_t p = 0; p < k; ++p) s += arow[p] * btrow[p];
+          orow[j] = s;
+        }
+      }
+    }
+  }
+}
+
+// --- Conv2d kernels ---------------------------------------------------------
+//
+// The blocked kernel hoists the zero-padding bounds out of the inner loops
+// (the naive kernel re-checks them per multiply) and walks kx over
+// contiguous input/kernel runs; the (ic, ky, kx) accumulation order of each
+// output entry is unchanged, so results are bit-identical to the naive
+// kernel.
+
+struct ConvGeom {
+  size_t cin, h, w, cout, kh, kw, oh, ow, pad_h, pad_w;
+};
+
+void ConvForwardNaive(const ConvGeom& g, const double* xin, const double* xk,
+                      double* out) {
+  std::fill(out, out + g.cout * g.oh * g.ow, 0.0);
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    for (size_t oy = 0; oy < g.oh; ++oy) {
+      for (size_t ox = 0; ox < g.ow; ++ox) {
+        double s = 0.0;
+        for (size_t ic = 0; ic < g.cin; ++ic) {
+          for (size_t ky = 0; ky < g.kh; ++ky) {
+            const long iy = static_cast<long>(oy + ky) - static_cast<long>(g.pad_h);
+            if (iy < 0 || iy >= static_cast<long>(g.h)) continue;
+            for (size_t kx = 0; kx < g.kw; ++kx) {
+              const long ix = static_cast<long>(ox + kx) - static_cast<long>(g.pad_w);
+              if (ix < 0 || ix >= static_cast<long>(g.w)) continue;
+              s += xin[(ic * g.h + iy) * g.w + ix] *
+                   xk[((oc * g.cin + ic) * g.kh + ky) * g.kw + kx];
+            }
+          }
+        }
+        out[(oc * g.oh + oy) * g.ow + ox] = s;
+      }
+    }
+  }
+}
+
+void ConvForwardBlocked(const ConvGeom& g, const double* xin, const double* xk,
+                        double* out) {
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    const double* koc = xk + oc * g.cin * g.kh * g.kw;
+    for (size_t oy = 0; oy < g.oh; ++oy) {
+      const size_t ky_lo = g.pad_h > oy ? g.pad_h - oy : 0;
+      const size_t ky_hi = std::min(g.kh, g.h + g.pad_h - oy);
+      for (size_t ox = 0; ox < g.ow; ++ox) {
+        const size_t kx_lo = g.pad_w > ox ? g.pad_w - ox : 0;
+        const size_t kx_hi = std::min(g.kw, g.w + g.pad_w - ox);
+        const long xoff = static_cast<long>(ox) - static_cast<long>(g.pad_w);
+        double s = 0.0;
+        for (size_t ic = 0; ic < g.cin; ++ic) {
+          for (size_t ky = ky_lo; ky < ky_hi; ++ky) {
+            const size_t iy = oy + ky - g.pad_h;
+            const double* in_row = xin + (ic * g.h + iy) * g.w;
+            const double* k_row = koc + (ic * g.kh + ky) * g.kw;
+            for (size_t kx = kx_lo; kx < kx_hi; ++kx) {
+              s += in_row[xoff + static_cast<long>(kx)] * k_row[kx];
+            }
+          }
+        }
+        out[(oc * g.oh + oy) * g.ow + ox] = s;
+      }
+    }
+  }
+}
+
+// Planar kernel for KernelMode::kVector: accumulates whole shifted rows
+// per (oc, ic, ky, kx) tap, which turns the innermost loop into a
+// vectorisable contiguous axpy. Sums each output entry in (ic, ky, kx,
+// then tap-major) order — deterministic but not bit-identical to the
+// per-point kernels.
+void ConvForwardVector(const ConvGeom& g, const double* xin, const double* xk,
+                       double* out) {
+  std::fill(out, out + g.cout * g.oh * g.ow, 0.0);
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    const double* koc = xk + oc * g.cin * g.kh * g.kw;
+    double* out_plane = out + oc * g.oh * g.ow;
+    for (size_t ic = 0; ic < g.cin; ++ic) {
+      const double* in_plane = xin + ic * g.h * g.w;
+      for (size_t ky = 0; ky < g.kh; ++ky) {
+        const size_t oy_lo = g.pad_h > ky ? g.pad_h - ky : 0;
+        const size_t oy_hi = std::min(g.oh, g.h + g.pad_h - ky);
+        for (size_t kx = 0; kx < g.kw; ++kx) {
+          const double kval = koc[(ic * g.kh + ky) * g.kw + kx];
+          if (kval == 0.0) continue;
+          const size_t ox_lo = g.pad_w > kx ? g.pad_w - kx : 0;
+          const size_t ox_hi = std::min(g.ow, g.w + g.pad_w - kx);
+          if (ox_hi <= ox_lo) continue;
+          const size_t len = ox_hi - ox_lo;
+          const size_t ix_lo = ox_lo + kx - g.pad_w;
+          for (size_t oy = oy_lo; oy < oy_hi; ++oy) {
+            const size_t iy = oy + ky - g.pad_h;
+            const double* in_row = in_plane + iy * g.w + ix_lo;
+            double* o_row = out_plane + oy * g.ow + ox_lo;
+            for (size_t i = 0; i < len; ++i) o_row[i] += kval * in_row[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvBackwardVector(const ConvGeom& g, const double* grad_out,
+                        const double* xin, const double* xk, double* gin,
+                        double* gk) {
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    const double* koc = xk + oc * g.cin * g.kh * g.kw;
+    double* gkoc = gk + oc * g.cin * g.kh * g.kw;
+    const double* go_plane = grad_out + oc * g.oh * g.ow;
+    for (size_t ic = 0; ic < g.cin; ++ic) {
+      const double* in_plane = xin + ic * g.h * g.w;
+      double* gin_plane = gin + ic * g.h * g.w;
+      for (size_t ky = 0; ky < g.kh; ++ky) {
+        const size_t oy_lo = g.pad_h > ky ? g.pad_h - ky : 0;
+        const size_t oy_hi = std::min(g.oh, g.h + g.pad_h - ky);
+        for (size_t kx = 0; kx < g.kw; ++kx) {
+          const size_t ox_lo = g.pad_w > kx ? g.pad_w - kx : 0;
+          const size_t ox_hi = std::min(g.ow, g.w + g.pad_w - kx);
+          if (ox_hi <= ox_lo) continue;
+          const size_t len = ox_hi - ox_lo;
+          const size_t ix_lo = ox_lo + kx - g.pad_w;
+          const size_t k_idx = (ic * g.kh + ky) * g.kw + kx;
+          const double kval = koc[k_idx];
+          double acc = 0.0;
+          for (size_t oy = oy_lo; oy < oy_hi; ++oy) {
+            const size_t iy = oy + ky - g.pad_h;
+            const double* go_row = go_plane + oy * g.ow + ox_lo;
+            const double* in_row = in_plane + iy * g.w + ix_lo;
+            double* gin_row = gin_plane + iy * g.w + ix_lo;
+            for (size_t i = 0; i < len; ++i) gin_row[i] += kval * go_row[i];
+            acc += DotUnrolled(go_row, in_row, len);
+          }
+          gkoc[k_idx] += acc;
+        }
+      }
+    }
+  }
+}
+
+void ConvBackwardNaive(const ConvGeom& g, const double* grad_out,
+                       const double* xin, const double* xk, double* gin,
+                       double* gk) {
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    for (size_t oy = 0; oy < g.oh; ++oy) {
+      for (size_t ox = 0; ox < g.ow; ++ox) {
+        const double go = grad_out[(oc * g.oh + oy) * g.ow + ox];
+        if (go == 0.0) continue;
+        for (size_t ic = 0; ic < g.cin; ++ic) {
+          for (size_t ky = 0; ky < g.kh; ++ky) {
+            const long iy = static_cast<long>(oy + ky) - static_cast<long>(g.pad_h);
+            if (iy < 0 || iy >= static_cast<long>(g.h)) continue;
+            for (size_t kx = 0; kx < g.kw; ++kx) {
+              const long ix = static_cast<long>(ox + kx) - static_cast<long>(g.pad_w);
+              if (ix < 0 || ix >= static_cast<long>(g.w)) continue;
+              const size_t in_idx = (ic * g.h + iy) * g.w + ix;
+              const size_t k_idx = ((oc * g.cin + ic) * g.kh + ky) * g.kw + kx;
+              gin[in_idx] += go * xk[k_idx];
+              gk[k_idx] += go * xin[in_idx];
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+void ConvBackwardBlocked(const ConvGeom& g, const double* grad_out,
+                         const double* xin, const double* xk, double* gin,
+                         double* gk) {
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    const double* koc = xk + oc * g.cin * g.kh * g.kw;
+    double* gkoc = gk + oc * g.cin * g.kh * g.kw;
+    for (size_t oy = 0; oy < g.oh; ++oy) {
+      const size_t ky_lo = g.pad_h > oy ? g.pad_h - oy : 0;
+      const size_t ky_hi = std::min(g.kh, g.h + g.pad_h - oy);
+      for (size_t ox = 0; ox < g.ow; ++ox) {
+        const double go = grad_out[(oc * g.oh + oy) * g.ow + ox];
+        if (go == 0.0) continue;
+        const size_t kx_lo = g.pad_w > ox ? g.pad_w - ox : 0;
+        const size_t kx_hi = std::min(g.kw, g.w + g.pad_w - ox);
+        const long xoff = static_cast<long>(ox) - static_cast<long>(g.pad_w);
+        for (size_t ic = 0; ic < g.cin; ++ic) {
+          for (size_t ky = ky_lo; ky < ky_hi; ++ky) {
+            const size_t iy = oy + ky - g.pad_h;
+            const size_t in_base = (ic * g.h + iy) * g.w;
+            const double* in_row = xin + in_base;
+            double* gin_row = gin + in_base;
+            const size_t k_base = (ic * g.kh + ky) * g.kw;
+            const double* k_row = koc + k_base;
+            double* gk_row = gkoc + k_base;
+            for (size_t kx = kx_lo; kx < kx_hi; ++kx) {
+              gin_row[xoff + static_cast<long>(kx)] += go * k_row[kx];
+            }
+            for (size_t kx = kx_lo; kx < kx_hi; ++kx) {
+              gk_row[kx] += go * in_row[xoff + static_cast<long>(kx)];
+            }
+          }
+        }
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -37,14 +311,16 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Add");
   const auto& xa = a.data();
   const auto& xb = b.data();
-  std::vector<double> out(xa.size());
+  auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] + xb[i];
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
+                                double* ga = pa->grad_sink();
+                                double* gb = pb->grad_sink();
                                 for (size_t i = 0; i < self.grad.size(); ++i) {
-                                  pa->grad[i] += self.grad[i];
-                                  pb->grad[i] += self.grad[i];
+                                  ga[i] += self.grad[i];
+                                  gb[i] += self.grad[i];
                                 }
                               });
 }
@@ -53,14 +329,16 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Sub");
   const auto& xa = a.data();
   const auto& xb = b.data();
-  std::vector<double> out(xa.size());
+  auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] - xb[i];
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
+                                double* ga = pa->grad_sink();
+                                double* gb = pb->grad_sink();
                                 for (size_t i = 0; i < self.grad.size(); ++i) {
-                                  pa->grad[i] += self.grad[i];
-                                  pb->grad[i] -= self.grad[i];
+                                  ga[i] += self.grad[i];
+                                  gb[i] -= self.grad[i];
                                 }
                               });
 }
@@ -69,14 +347,16 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   CheckSameShape(a, b, "Mul");
   const auto& xa = a.data();
   const auto& xb = b.data();
-  std::vector<double> out(xa.size());
+  auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] * xb[i];
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
+                                double* ga = pa->grad_sink();
+                                double* gb = pb->grad_sink();
                                 for (size_t i = 0; i < self.grad.size(); ++i) {
-                                  pa->grad[i] += self.grad[i] * pb->data[i];
-                                  pb->grad[i] += self.grad[i] * pa->data[i];
+                                  ga[i] += self.grad[i] * pb->data[i];
+                                  gb[i] += self.grad[i] * pa->data[i];
                                 }
                               });
 }
@@ -136,28 +416,55 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   const auto& xa = a.data();
   const auto& xb = b.data();
-  std::vector<double> out(n * m, 0.0);
-  for (size_t i = 0; i < n; ++i) {
-    for (size_t p = 0; p < k; ++p) {
-      const double av = xa[i * k + p];
-      if (av == 0.0) continue;
-      const double* brow = &xb[p * m];
-      double* orow = &out[i * m];
-      for (size_t j = 0; j < m; ++j) orow[j] += av * brow[j];
-    }
+  auto out = AcquireBuffer(n * m);
+  if (GetKernelMode() != KernelMode::kLegacy) {
+    auto bt = AcquireBuffer(k * m);
+    PackBTransposed(xb.data(), bt.data(), k, m);
+    MatMulForwardBlocked(xa.data(), bt.data(), out.data(), n, k, m,
+                         GetKernelMode() == KernelMode::kVector);
+  } else {
+    MatMulForwardNaive(xa.data(), xb.data(), out.data(), n, k, m);
   }
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(
       {n, m}, std::move(out), {pa, pb}, [pa, pb, n, k, m](Impl& self) {
-        // dA = dY * B^T ; dB = A^T * dY
-        for (size_t i = 0; i < n; ++i) {
-          for (size_t j = 0; j < m; ++j) {
-            const double g = self.grad[i * m + j];
-            if (g == 0.0) continue;
-            for (size_t p = 0; p < k; ++p) {
-              pa->grad[i * k + p] += g * pb->data[p * m + j];
-              pb->grad[p * m + j] += g * pa->data[i * k + p];
+        // dA = dY * B^T ; dB = A^T * dY. Both accumulation orders match the
+        // naive triple loop (j ascending for dA, i ascending for dB).
+        double* ga = pa->grad_sink();
+        double* gb = pb->grad_sink();
+        if (GetKernelMode() == KernelMode::kLegacy) {
+          for (size_t i = 0; i < n; ++i) {
+            for (size_t j = 0; j < m; ++j) {
+              const double g = self.grad[i * m + j];
+              if (g == 0.0) continue;
+              for (size_t p = 0; p < k; ++p) {
+                ga[i * k + p] += g * pb->data[p * m + j];
+                gb[p * m + j] += g * pa->data[i * k + p];
+              }
             }
+          }
+          return;
+        }
+        auto bt = AcquireBuffer(k * m);
+        PackBTransposed(pb->data.data(), bt.data(), k, m);
+        for (size_t i = 0; i < n; ++i) {
+          const double* grow = &self.grad[i * m];
+          double* garow = ga + i * k;
+          for (size_t j = 0; j < m; ++j) {
+            const double g = grow[j];
+            if (g == 0.0) continue;
+            const double* btrow = &bt[j * k];
+            for (size_t p = 0; p < k; ++p) garow[p] += g * btrow[p];
+          }
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double* arow = &pa->data[i * k];
+          const double* grow = &self.grad[i * m];
+          for (size_t p = 0; p < k; ++p) {
+            const double av = arow[p];
+            if (av == 0.0) continue;
+            double* gbrow = gb + p * m;
+            for (size_t j = 0; j < m; ++j) gbrow[j] += av * grow[j];
           }
         }
       });
@@ -172,18 +479,20 @@ Tensor AddRow(const Tensor& a, const Tensor& row) {
   const size_t n = a.dim(0), d = a.dim(1);
   const auto& xa = a.data();
   const auto& xr = row.data();
-  std::vector<double> out(n * d);
+  auto out = AcquireBuffer(n * d);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < d; ++j) out[i * d + j] = xa[i * d + j] + xr[j];
   }
   auto pa = a.impl(), pr = row.impl();
   return Tensor::MakeOpResult({n, d}, std::move(out), {pa, pr},
                               [pa, pr, n, d](Impl& self) {
+                                double* ga = pa->grad_sink();
+                                double* gr = pr->grad_sink();
                                 for (size_t i = 0; i < n; ++i) {
                                   for (size_t j = 0; j < d; ++j) {
                                     const double g = self.grad[i * d + j];
-                                    pa->grad[i * d + j] += g;
-                                    pr->grad[j] += g;
+                                    ga[i * d + j] += g;
+                                    gr[j] += g;
                                   }
                                 }
                               });
@@ -200,24 +509,35 @@ Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
   const auto& xw = w.data();
   const auto& xx = x.data();
   const auto& xb = b.data();
-  std::vector<double> out(o);
-  for (size_t i = 0; i < o; ++i) {
-    double s = xb[i];
-    const double* wrow = &xw[i * in];
-    for (size_t j = 0; j < in; ++j) s += wrow[j] * xx[j];
-    out[i] = s;
+  auto out = AcquireBuffer(o);
+  if (GetKernelMode() == KernelMode::kVector) {
+    for (size_t i = 0; i < o; ++i) {
+      out[i] = xb[i] + DotUnrolled(&xw[i * in], xx.data(), in);
+    }
+  } else {
+    for (size_t i = 0; i < o; ++i) {
+      double s = xb[i];
+      const double* wrow = &xw[i * in];
+      for (size_t j = 0; j < in; ++j) s += wrow[j] * xx[j];
+      out[i] = s;
+    }
   }
   auto pw = w.impl(), px = x.impl(), pb = b.impl();
   return Tensor::MakeOpResult(
       {o}, std::move(out), {pw, px, pb}, [pw, px, pb, o, in](Impl& self) {
+        double* gw = pw->grad_sink();
+        double* gx = px->grad_sink();
+        double* gb = pb->grad_sink();
+        const double* xd = px->data.data();
+        const double* wd = pw->data.data();
         for (size_t i = 0; i < o; ++i) {
           const double g = self.grad[i];
           if (g == 0.0) continue;
-          pb->grad[i] += g;
-          for (size_t j = 0; j < in; ++j) {
-            pw->grad[i * in + j] += g * px->data[j];
-            px->grad[j] += g * pw->data[i * in + j];
-          }
+          gb[i] += g;
+          double* gwrow = gw + i * in;
+          const double* wrow = wd + i * in;
+          for (size_t j = 0; j < in; ++j) gwrow[j] += g * xd[j];
+          for (size_t j = 0; j < in; ++j) gx[j] += g * wrow[j];
         }
       });
 }
@@ -235,18 +555,20 @@ Tensor ConcatVec(const std::vector<Tensor>& parts) {
     total += p.dim(0);
     parents.push_back(p.impl());
   }
-  std::vector<double> out;
-  out.reserve(total);
+  auto out = AcquireBuffer(total);
+  size_t offset = 0;
   for (const auto& p : parts) {
     const auto& d = p.data();
-    out.insert(out.end(), d.begin(), d.end());
+    std::copy(d.begin(), d.end(), out.begin() + offset);
+    offset += d.size();
   }
   return Tensor::MakeOpResult({total}, std::move(out), parents,
                               [parents](Impl& self) {
                                 size_t off = 0;
                                 for (const auto& p : parents) {
+                                  double* gp = p->grad_sink();
                                   for (size_t i = 0; i < p->data.size(); ++i) {
-                                    p->grad[i] += self.grad[off + i];
+                                    gp[i] += self.grad[off + i];
                                   }
                                   off += p->data.size();
                                 }
@@ -258,23 +580,24 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
   const size_t d = rows[0].dim(0);
   std::vector<std::shared_ptr<Impl>> parents;
   parents.reserve(rows.size());
-  std::vector<double> out;
-  out.reserve(rows.size() * d);
+  auto out = AcquireBuffer(rows.size() * d);
+  size_t offset = 0;
   for (const auto& r : rows) {
     if (r.ndim() != 1 || r.dim(0) != d) {
       throw std::invalid_argument("StackRows: inconsistent row shapes");
     }
     const auto& x = r.data();
-    out.insert(out.end(), x.begin(), x.end());
+    std::copy(x.begin(), x.end(), out.begin() + offset);
+    offset += d;
     parents.push_back(r.impl());
   }
   const size_t n = rows.size();
   return Tensor::MakeOpResult({n, d}, std::move(out), parents,
                               [parents, d](Impl& self) {
                                 for (size_t i = 0; i < parents.size(); ++i) {
+                                  double* gp = parents[i]->grad_sink();
                                   for (size_t j = 0; j < d; ++j) {
-                                    parents[i]->grad[j] +=
-                                        self.grad[i * d + j];
+                                    gp[j] += self.grad[i * d + j];
                                   }
                                 }
                               });
@@ -285,12 +608,14 @@ Tensor Row(const Tensor& matrix, size_t i) {
   const size_t n = matrix.dim(0), d = matrix.dim(1);
   if (i >= n) throw std::out_of_range("Row: index out of range");
   const auto& x = matrix.data();
-  std::vector<double> out(x.begin() + i * d, x.begin() + (i + 1) * d);
+  auto out = AcquireBuffer(d);
+  std::copy(x.begin() + i * d, x.begin() + (i + 1) * d, out.begin());
   auto pm = matrix.impl();
   return Tensor::MakeOpResult({d}, std::move(out), {pm},
                               [pm, i, d](Impl& self) {
+                                double* gm = pm->grad_sink();
                                 for (size_t j = 0; j < d; ++j) {
-                                  pm->grad[i * d + j] += self.grad[j];
+                                  gm[i * d + j] += self.grad[j];
                                 }
                               });
 }
@@ -298,21 +623,24 @@ Tensor Row(const Tensor& matrix, size_t i) {
 Tensor GatherRows(const Tensor& matrix, const std::vector<size_t>& indices) {
   if (matrix.ndim() != 2) throw std::invalid_argument("GatherRows: input not 2-D");
   const size_t n = matrix.dim(0), d = matrix.dim(1);
-  std::vector<double> out;
-  out.reserve(indices.size() * d);
+  auto out = AcquireBuffer(indices.size() * d);
   const auto& x = matrix.data();
+  size_t offset = 0;
   for (size_t idx : indices) {
     if (idx >= n) throw std::out_of_range("GatherRows: index out of range");
-    out.insert(out.end(), x.begin() + idx * d, x.begin() + (idx + 1) * d);
+    std::copy(x.begin() + idx * d, x.begin() + (idx + 1) * d,
+              out.begin() + offset);
+    offset += d;
   }
   auto pm = matrix.impl();
   auto idx_copy = indices;
   return Tensor::MakeOpResult(
       {indices.size(), d}, std::move(out), {pm},
       [pm, idx_copy, d](Impl& self) {
+        double* gm = pm->grad_sink();
         for (size_t r = 0; r < idx_copy.size(); ++r) {
           for (size_t j = 0; j < d; ++j) {
-            pm->grad[idx_copy[r] * d + j] += self.grad[r * d + j];
+            gm[idx_copy[r] * d + j] += self.grad[r * d + j];
           }
         }
       });
@@ -325,8 +653,9 @@ Tensor Reshape(const Tensor& a, std::vector<size_t> new_shape) {
   auto pa = a.impl();
   return Tensor::MakeOpResult(std::move(new_shape), a.data(), {pa},
                               [pa](Impl& self) {
+                                double* ga = pa->grad_sink();
                                 for (size_t i = 0; i < self.grad.size(); ++i) {
-                                  pa->grad[i] += self.grad[i];
+                                  ga[i] += self.grad[i];
                                 }
                               });
 }
@@ -337,7 +666,8 @@ Tensor Sum(const Tensor& a) {
   auto pa = a.impl();
   return Tensor::MakeOpResult({1}, {s}, {pa}, [pa](Impl& self) {
     const double g = self.grad[0];
-    for (double& gi : pa->grad) gi += g;
+    double* ga = pa->grad_sink();
+    for (size_t i = 0; i < pa->data.size(); ++i) ga[i] += g;
   });
 }
 
@@ -350,7 +680,7 @@ Tensor MeanRows(const Tensor& a) {
   if (a.ndim() != 2) throw std::invalid_argument("MeanRows: input not 2-D");
   const size_t n = a.dim(0), d = a.dim(1);
   const auto& x = a.data();
-  std::vector<double> out(d, 0.0);
+  auto out = AcquireZeroBuffer(d);
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < d; ++j) out[j] += x[i * d + j];
   }
@@ -359,9 +689,10 @@ Tensor MeanRows(const Tensor& a) {
   auto pa = a.impl();
   return Tensor::MakeOpResult({d}, std::move(out), {pa},
                               [pa, n, d, inv](Impl& self) {
+                                double* ga = pa->grad_sink();
                                 for (size_t i = 0; i < n; ++i) {
                                   for (size_t j = 0; j < d; ++j) {
-                                    pa->grad[i * d + j] += self.grad[j] * inv;
+                                    ga[i * d + j] += self.grad[j] * inv;
                                   }
                                 }
                               });
@@ -381,56 +712,39 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
   }
   const size_t oh = h + 2 * pad_h - kh + 1;
   const size_t ow = w + 2 * pad_w - kw + 1;
+  const ConvGeom geom{cin, h, w, cout, kh, kw, oh, ow, pad_h, pad_w};
   const auto& xin = input.data();
   const auto& xk = kernel.data();
-  std::vector<double> out(cout * oh * ow, 0.0);
-  for (size_t oc = 0; oc < cout; ++oc) {
-    for (size_t oy = 0; oy < oh; ++oy) {
-      for (size_t ox = 0; ox < ow; ++ox) {
-        double s = 0.0;
-        for (size_t ic = 0; ic < cin; ++ic) {
-          for (size_t ky = 0; ky < kh; ++ky) {
-            const long iy = static_cast<long>(oy + ky) - static_cast<long>(pad_h);
-            if (iy < 0 || iy >= static_cast<long>(h)) continue;
-            for (size_t kx = 0; kx < kw; ++kx) {
-              const long ix = static_cast<long>(ox + kx) - static_cast<long>(pad_w);
-              if (ix < 0 || ix >= static_cast<long>(w)) continue;
-              s += xin[(ic * h + iy) * w + ix] *
-                   xk[((oc * cin + ic) * kh + ky) * kw + kx];
-            }
-          }
-        }
-        out[(oc * oh + oy) * ow + ox] = s;
-      }
-    }
+  auto out = AcquireBuffer(cout * oh * ow);
+  switch (GetKernelMode()) {
+    case KernelMode::kLegacy:
+      ConvForwardNaive(geom, xin.data(), xk.data(), out.data());
+      break;
+    case KernelMode::kBlocked:
+      ConvForwardBlocked(geom, xin.data(), xk.data(), out.data());
+      break;
+    case KernelMode::kVector:
+      ConvForwardVector(geom, xin.data(), xk.data(), out.data());
+      break;
   }
   auto pin = input.impl(), pk = kernel.impl();
   return Tensor::MakeOpResult(
-      {cout, oh, ow}, std::move(out), {pin, pk},
-      [pin, pk, cin, h, w, cout, kh, kw, oh, ow, pad_h, pad_w](Impl& self) {
-        for (size_t oc = 0; oc < cout; ++oc) {
-          for (size_t oy = 0; oy < oh; ++oy) {
-            for (size_t ox = 0; ox < ow; ++ox) {
-              const double g = self.grad[(oc * oh + oy) * ow + ox];
-              if (g == 0.0) continue;
-              for (size_t ic = 0; ic < cin; ++ic) {
-                for (size_t ky = 0; ky < kh; ++ky) {
-                  const long iy =
-                      static_cast<long>(oy + ky) - static_cast<long>(pad_h);
-                  if (iy < 0 || iy >= static_cast<long>(h)) continue;
-                  for (size_t kx = 0; kx < kw; ++kx) {
-                    const long ix =
-                        static_cast<long>(ox + kx) - static_cast<long>(pad_w);
-                    if (ix < 0 || ix >= static_cast<long>(w)) continue;
-                    const size_t in_idx = (ic * h + iy) * w + ix;
-                    const size_t k_idx = ((oc * cin + ic) * kh + ky) * kw + kx;
-                    pin->grad[in_idx] += g * pk->data[k_idx];
-                    pk->grad[k_idx] += g * pin->data[in_idx];
-                  }
-                }
-              }
-            }
-          }
+      {cout, oh, ow}, std::move(out), {pin, pk}, [pin, pk, geom](Impl& self) {
+        double* gin = pin->grad_sink();
+        double* gk = pk->grad_sink();
+        switch (GetKernelMode()) {
+          case KernelMode::kLegacy:
+            ConvBackwardNaive(geom, self.grad.data(), pin->data.data(),
+                              pk->data.data(), gin, gk);
+            break;
+          case KernelMode::kBlocked:
+            ConvBackwardBlocked(geom, self.grad.data(), pin->data.data(),
+                                pk->data.data(), gin, gk);
+            break;
+          case KernelMode::kVector:
+            ConvBackwardVector(geom, self.grad.data(), pin->data.data(),
+                               pk->data.data(), gin, gk);
+            break;
         }
       });
 }
@@ -442,18 +756,20 @@ Tensor AddChannelBias(const Tensor& input, const Tensor& bias) {
   const size_t c = input.dim(0), hw = input.dim(1) * input.dim(2);
   const auto& xin = input.data();
   const auto& xb = bias.data();
-  std::vector<double> out(xin.size());
+  auto out = AcquireBuffer(xin.size());
   for (size_t ch = 0; ch < c; ++ch) {
     for (size_t i = 0; i < hw; ++i) out[ch * hw + i] = xin[ch * hw + i] + xb[ch];
   }
   auto pin = input.impl(), pb = bias.impl();
   return Tensor::MakeOpResult(input.shape(), std::move(out), {pin, pb},
                               [pin, pb, c, hw](Impl& self) {
+                                double* gin = pin->grad_sink();
+                                double* gb = pb->grad_sink();
                                 for (size_t ch = 0; ch < c; ++ch) {
                                   for (size_t i = 0; i < hw; ++i) {
                                     const double g = self.grad[ch * hw + i];
-                                    pin->grad[ch * hw + i] += g;
-                                    pb->grad[ch] += g;
+                                    gin[ch * hw + i] += g;
+                                    gb[ch] += g;
                                   }
                                 }
                               });
@@ -463,7 +779,7 @@ Tensor GlobalAvgPool(const Tensor& input) {
   if (input.ndim() != 3) throw std::invalid_argument("GlobalAvgPool: input not 3-D");
   const size_t c = input.dim(0), hw = input.dim(1) * input.dim(2);
   const auto& xin = input.data();
-  std::vector<double> out(c, 0.0);
+  auto out = AcquireBuffer(c);
   const double inv = 1.0 / static_cast<double>(hw);
   for (size_t ch = 0; ch < c; ++ch) {
     double s = 0.0;
@@ -473,11 +789,133 @@ Tensor GlobalAvgPool(const Tensor& input) {
   auto pin = input.impl();
   return Tensor::MakeOpResult({c}, std::move(out), {pin},
                               [pin, c, hw, inv](Impl& self) {
+                                double* gin = pin->grad_sink();
                                 for (size_t ch = 0; ch < c; ++ch) {
                                   const double g = self.grad[ch] * inv;
                                   for (size_t i = 0; i < hw; ++i) {
-                                    pin->grad[ch * hw + i] += g;
+                                    gin[ch * hw + i] += g;
                                   }
+                                }
+                              });
+}
+
+Tensor LstmCellFused(const Tensor& x, const Tensor& h_prev,
+                     const Tensor& c_prev, const Tensor& wf, const Tensor& wi,
+                     const Tensor& wo, const Tensor& wc, const Tensor& bf,
+                     const Tensor& bi, const Tensor& bo, const Tensor& bc) {
+  const size_t in = x.dim(0), hd = h_prev.dim(0), cd = in + hd;
+  if (c_prev.dim(0) != hd || wf.ndim() != 2 || wf.dim(0) != hd ||
+      wf.dim(1) != cd || wi.shape() != wf.shape() || wo.shape() != wf.shape() ||
+      wc.shape() != wf.shape() || bf.dim(0) != hd || bi.dim(0) != hd ||
+      bo.dim(0) != hd || bc.dim(0) != hd) {
+    throw std::invalid_argument("LstmCellFused: incompatible shapes");
+  }
+  const double* xd = x.data().data();
+  const double* hp = h_prev.data().data();
+  const double* cp = c_prev.data().data();
+  const double* wfd = wf.data().data();
+  const double* wid = wi.data().data();
+  const double* wod = wo.data().data();
+  const double* wcd = wc.data().data();
+  // Saved activations for backward: [f ; i ; o ; g], each hd long.
+  std::vector<double> gates(4 * hd);
+  auto out = AcquireBuffer(2 * hd);
+  for (size_t j = 0; j < hd; ++j) {
+    const size_t r = j * cd;
+    const double af = bf.data()[j] + DotUnrolled(wfd + r, xd, in) +
+                      DotUnrolled(wfd + r + in, hp, hd);
+    const double ai = bi.data()[j] + DotUnrolled(wid + r, xd, in) +
+                      DotUnrolled(wid + r + in, hp, hd);
+    const double ao = bo.data()[j] + DotUnrolled(wod + r, xd, in) +
+                      DotUnrolled(wod + r + in, hp, hd);
+    const double ac = bc.data()[j] + DotUnrolled(wcd + r, xd, in) +
+                      DotUnrolled(wcd + r + in, hp, hd);
+    const double f = 1.0 / (1.0 + std::exp(-af));
+    const double i = 1.0 / (1.0 + std::exp(-ai));
+    const double o = 1.0 / (1.0 + std::exp(-ao));
+    const double g = std::tanh(ac);
+    const double cn = f * cp[j] + i * g;
+    gates[j] = f;
+    gates[hd + j] = i;
+    gates[2 * hd + j] = o;
+    gates[3 * hd + j] = g;
+    out[j] = o * std::tanh(cn);
+    out[hd + j] = cn;
+  }
+  // The backward reads parents through self.parents (fixed order below) so
+  // the closure stays small enough for SmallFn's inline buffer.
+  return Tensor::MakeOpResult(
+      {2 * hd}, std::move(out),
+      {x.impl(), h_prev.impl(), c_prev.impl(), wf.impl(), wi.impl(), wo.impl(),
+       wc.impl(), bf.impl(), bi.impl(), bo.impl(), bc.impl()},
+      [in, hd, cd, gates = std::move(gates)](Impl& self) {
+        Impl* px = self.parents[0].get();
+        Impl* ph = self.parents[1].get();
+        Impl* pc = self.parents[2].get();
+        Impl* pw[4] = {self.parents[3].get(), self.parents[4].get(),
+                       self.parents[5].get(), self.parents[6].get()};
+        Impl* pb[4] = {self.parents[7].get(), self.parents[8].get(),
+                       self.parents[9].get(), self.parents[10].get()};
+        const double* xd = px->data.data();
+        const double* hp = ph->data.data();
+        const double* cp = pc->data.data();
+        double* gx = px->grad_sink();
+        double* gh = ph->grad_sink();
+        double* gc = pc->grad_sink();
+        double* gw[4];
+        double* gb[4];
+        const double* wd[4];
+        for (int k = 0; k < 4; ++k) {
+          gw[k] = pw[k]->grad_sink();
+          gb[k] = pb[k]->grad_sink();
+          wd[k] = pw[k]->data.data();
+        }
+        for (size_t j = 0; j < hd; ++j) {
+          const double dh = self.grad[j];
+          const double dcout = self.grad[hd + j];
+          if (dh == 0.0 && dcout == 0.0) continue;
+          const double f = gates[j];
+          const double i = gates[hd + j];
+          const double o = gates[2 * hd + j];
+          const double g = gates[3 * hd + j];
+          const double tc = std::tanh(self.data[hd + j]);
+          const double do_ = dh * tc;
+          const double dc = dcout + dh * o * (1.0 - tc * tc);
+          gc[j] += dc * f;
+          // Pre-activation gradients in the f/i/o/c weight order.
+          const double da[4] = {dc * cp[j] * f * (1.0 - f),
+                                dc * g * i * (1.0 - i),
+                                do_ * o * (1.0 - o),
+                                dc * i * (1.0 - g * g)};
+          const size_t r = j * cd;
+          for (int k = 0; k < 4; ++k) {
+            const double a = da[k];
+            if (a == 0.0) continue;
+            gb[k][j] += a;
+            double* grow = gw[k] + r;
+            const double* wrow = wd[k] + r;
+            for (size_t t = 0; t < in; ++t) grow[t] += a * xd[t];
+            for (size_t t = 0; t < hd; ++t) grow[in + t] += a * hp[t];
+            for (size_t t = 0; t < in; ++t) gx[t] += a * wrow[t];
+            for (size_t t = 0; t < hd; ++t) gh[t] += a * wrow[in + t];
+          }
+        }
+      });
+}
+
+Tensor SliceVec(const Tensor& a, size_t begin, size_t end) {
+  if (a.ndim() != 1 || begin > end || end > a.dim(0)) {
+    throw std::invalid_argument("SliceVec: bad range for " + a.ShapeString());
+  }
+  const size_t n = end - begin;
+  auto out = AcquireBuffer(n);
+  std::copy(a.data().begin() + begin, a.data().begin() + end, out.begin());
+  auto pa = a.impl();
+  return Tensor::MakeOpResult({n}, std::move(out), {pa},
+                              [pa, begin, n](Impl& self) {
+                                double* ga = pa->grad_sink();
+                                for (size_t i = 0; i < n; ++i) {
+                                  ga[begin + i] += self.grad[i];
                                 }
                               });
 }

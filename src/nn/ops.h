@@ -72,6 +72,24 @@ Tensor AddChannelBias(const Tensor& input, const Tensor& bias);
 // Mean over the spatial dims of a [C,H,W] tensor -> [C].
 Tensor GlobalAvgPool(const Tensor& input);
 
+// --- Fused recurrent cell --------------------------------------------------
+
+// One LSTM cell step (Eq. 12-16) as a single graph node: gates f/i/o and the
+// candidate are computed from x [I] and h_prev [H] with weights [H, I+H]
+// (layout [W_x | W_h], identical to the composed Affine-over-concat form) and
+// biases [H]. Returns a [2H] vector holding [h_new ; c_new]; slice the halves
+// apart with SliceVec. Mathematically identical to the composed-op
+// formulation but with a different floating-point association, so it is only
+// used on the kVector fast path (Lstm::ForwardAll).
+Tensor LstmCellFused(const Tensor& x, const Tensor& h_prev,
+                     const Tensor& c_prev, const Tensor& wf, const Tensor& wi,
+                     const Tensor& wo, const Tensor& wc, const Tensor& bf,
+                     const Tensor& bi, const Tensor& bo, const Tensor& bc);
+
+// Contiguous sub-range [begin, end) of a 1-D vector as a 1-D vector
+// (gradient scatters back into the range).
+Tensor SliceVec(const Tensor& a, size_t begin, size_t end);
+
 // --- Losses ----------------------------------------------------------------
 
 // Mean absolute error between two same-shaped tensors -> scalar.

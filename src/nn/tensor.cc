@@ -1,10 +1,96 @@
 #include "nn/tensor.h"
 
+#include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace deepod::nn {
+namespace {
+
+// --- Thread-local buffer pool ----------------------------------------------
+//
+// Training builds and destroys a few hundred small tensors per sample; the
+// data/grad vectors are recycled here instead of round-tripping through the
+// allocator. The pool is a plain thread_local pointer (trivially
+// destructible) so recycling stays safe even during thread shutdown, when
+// the owning object may already be gone.
+struct BufferPool {
+  std::vector<std::vector<double>> buffers;
+};
+
+thread_local BufferPool* tls_pool = nullptr;
+thread_local bool tls_pool_dead = false;
+
+struct BufferPoolOwner {
+  BufferPool pool;
+  BufferPoolOwner() { tls_pool = &pool; }
+  ~BufferPoolOwner() {
+    tls_pool = nullptr;
+    tls_pool_dead = true;
+  }
+};
+
+BufferPool* GetPool() {
+  if (tls_pool == nullptr && !tls_pool_dead) {
+    static thread_local BufferPoolOwner owner;
+  }
+  return tls_pool;
+}
+
+constexpr size_t kMaxPooledBuffers = 4096;
+constexpr size_t kMaxPooledCapacity = 1u << 22;  // 32 MiB of doubles
+
+thread_local KernelMode tls_kernel_mode = KernelMode::kBlocked;
+
+void RecycleBuffer(std::vector<double>&& v) {
+  if (tls_kernel_mode == KernelMode::kLegacy || v.capacity() == 0 ||
+      v.capacity() > kMaxPooledCapacity) {
+    return;
+  }
+  BufferPool* pool = GetPool();
+  if (pool == nullptr || pool->buffers.size() >= kMaxPooledBuffers) return;
+  pool->buffers.push_back(std::move(v));
+}
+
+// --- Thread-local grad arena ------------------------------------------------
+
+thread_local GradArena* tls_arena = nullptr;
+
+// Backward sweep id; stamped into visited op nodes (see Impl::visit_stamp).
+// Process-wide atomic so sweep ids stay unique even if a graph is built on
+// one thread and backwarded on another.
+std::atomic<uint64_t> g_backward_epoch{0};
+
+}  // namespace
+
+void SetKernelMode(KernelMode mode) { tls_kernel_mode = mode; }
+
+KernelMode GetKernelMode() { return tls_kernel_mode; }
+
+KernelModeScope::KernelModeScope(KernelMode mode) : prev_(tls_kernel_mode) {
+  tls_kernel_mode = mode;
+}
+
+KernelModeScope::~KernelModeScope() { tls_kernel_mode = prev_; }
+
+std::vector<double> AcquireBuffer(size_t size) {
+  if (tls_kernel_mode != KernelMode::kLegacy) {
+    if (BufferPool* pool = GetPool(); pool && !pool->buffers.empty()) {
+      std::vector<double> v = std::move(pool->buffers.back());
+      pool->buffers.pop_back();
+      v.resize(size);
+      return v;
+    }
+  }
+  return std::vector<double>(size);
+}
+
+std::vector<double> AcquireZeroBuffer(size_t size) {
+  std::vector<double> v = AcquireBuffer(size);
+  std::fill(v.begin(), v.end(), 0.0);
+  return v;
+}
 
 size_t NumElements(const std::vector<size_t>& shape) {
   size_t n = 1;
@@ -12,9 +98,59 @@ size_t NumElements(const std::vector<size_t>& shape) {
   return n;
 }
 
-void Tensor::Impl::EnsureGrad() {
-  if (grad.size() != data.size()) grad.assign(data.size(), 0.0);
+Tensor::Impl::~Impl() {
+  RecycleBuffer(std::move(data));
+  RecycleBuffer(std::move(grad));
 }
+
+void Tensor::Impl::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    grad = AcquireBuffer(data.size());
+    std::fill(grad.begin(), grad.end(), 0.0);
+  }
+}
+
+double* Tensor::Impl::grad_sink() {
+  if (tls_arena != nullptr) {
+    if (double* redirected = tls_arena->Find(this)) return redirected;
+  }
+  EnsureGrad();
+  return grad.data();
+}
+
+GradArena::GradArena(const std::vector<Tensor>& params) : params_(params) {
+  buffers_.reserve(params_.size());
+  index_.reserve(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    buffers_.emplace_back(params_[i].size(), 0.0);
+    index_.emplace(params_[i].impl().get(), i);
+  }
+}
+
+double* GradArena::Find(const Tensor::Impl* impl) {
+  auto it = index_.find(impl);
+  return it == index_.end() ? nullptr : buffers_[it->second].data();
+}
+
+void GradArena::MergeIntoParamsAndReset() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& grad = params_[i].mutable_grad();
+    auto& buffer = buffers_[i];
+    for (size_t j = 0; j < buffer.size(); ++j) {
+      grad[j] += buffer[j];
+      buffer[j] = 0.0;
+    }
+  }
+}
+
+GradArenaScope::GradArenaScope(GradArena* arena) {
+  if (tls_arena != nullptr) {
+    throw std::logic_error("GradArenaScope: arena already installed");
+  }
+  tls_arena = arena;
+}
+
+GradArenaScope::~GradArenaScope() { tls_arena = nullptr; }
 
 Tensor Tensor::Zeros(std::vector<size_t> shape) {
   return Full(std::move(shape), 0.0);
@@ -139,22 +275,32 @@ void Tensor::Backward() {
   if (size() != 1) {
     throw std::logic_error("Tensor::Backward: only scalar roots supported");
   }
-  // Iterative post-order topological sort of the reachable DAG.
+  // Iterative post-order topological sort of the reachable DAG. Only op
+  // nodes (backward_fn set) are traversed and stamped: leaves have no
+  // parents and run no closure, and skipping the stamp on them keeps the
+  // sweep free of writes to shared parameter tensors. Visited bookkeeping
+  // uses a per-thread sweep id instead of a hash set.
+  const uint64_t sweep =
+      g_backward_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
   std::vector<Impl*> order;
-  std::unordered_set<Impl*> visited;
   struct Frame {
     Impl* node;
     size_t next_child;
   };
   std::vector<Frame> stack;
-  stack.push_back({impl_.get(), 0});
-  visited.insert(impl_.get());
+  if (impl_->backward_fn) {
+    impl_->visit_stamp = sweep;
+    stack.push_back({impl_.get(), 0});
+  }
   while (!stack.empty()) {
     Frame& f = stack.back();
     if (f.next_child < f.node->parents.size()) {
       Impl* child = f.node->parents[f.next_child].get();
       ++f.next_child;
-      if (visited.insert(child).second) stack.push_back({child, 0});
+      if (child->backward_fn && child->visit_stamp != sweep) {
+        child->visit_stamp = sweep;
+        stack.push_back({child, 0});
+      }
     } else {
       order.push_back(f.node);
       stack.pop_back();
@@ -189,7 +335,7 @@ std::string Tensor::ShapeString() const {
 
 Tensor Tensor::MakeOpResult(std::vector<size_t> shape, std::vector<double> data,
                             std::vector<std::shared_ptr<Impl>> parents,
-                            std::function<void(Impl&)> backward_fn) {
+                            BackwardFn backward_fn) {
   if (NumElements(shape) != data.size()) {
     throw std::invalid_argument("MakeOpResult: shape/data size mismatch");
   }

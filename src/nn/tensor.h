@@ -2,14 +2,19 @@
 #define DEEPOD_NN_TENSOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "util/rng.h"
+#include "util/small_fn.h"
 
 namespace deepod::nn {
+
+class GradArena;
 
 // A dense, row-major, double-precision tensor participating in a dynamic
 // reverse-mode autodiff graph (the style PyTorch popularised and the paper's
@@ -86,17 +91,40 @@ class Tensor {
 
   // --- Internal (used by ops.h) --------------------------------------------
 
+  struct Impl;
+  // Backward closures capture a few shared_ptrs plus loop bounds; the
+  // SmallFn inline buffer keeps them off the heap (tensor graphs allocate
+  // hundreds of closures per training sample).
+  using BackwardFn = util::SmallFn<void(Impl&)>;
+
   struct Impl {
     std::vector<size_t> shape;
     std::vector<double> data;
     std::vector<double> grad;  // lazily sized
     bool requires_grad = false;
+    // Backward() bookkeeping: DAG nodes are marked with the id of the
+    // sweep that last visited them instead of being tracked in a hash set.
+    // Only non-leaf (op-result) nodes are ever stamped, and op results are
+    // private to the thread that built the graph, so this is race-free
+    // even with shared leaf parameters.
+    uint64_t visit_stamp = 0;
     // Parents in the autodiff DAG plus the function that routes this
     // tensor's grad into the parents' grads.
     std::vector<std::shared_ptr<Impl>> parents;
-    std::function<void(Impl&)> backward_fn;
+    BackwardFn backward_fn;
+
+    ~Impl();  // recycles data/grad buffers into the thread-local pool
 
     void EnsureGrad();
+
+    // Gradient write target for backward functions. Normally this is the
+    // tensor's own grad buffer; when a GradArena is installed on the
+    // current thread and covers this Impl (i.e. it is a shared model
+    // parameter), writes are redirected into the arena's detached
+    // per-worker buffer so concurrent backward passes never race on the
+    // shared parameter gradients. Backward closures must route every
+    // gradient write through this.
+    double* grad_sink();
   };
 
   explicit Tensor(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -107,7 +135,7 @@ class Tensor {
   static Tensor MakeOpResult(std::vector<size_t> shape,
                              std::vector<double> data,
                              std::vector<std::shared_ptr<Impl>> parents,
-                             std::function<void(Impl&)> backward_fn);
+                             BackwardFn backward_fn);
 
  private:
   std::shared_ptr<Impl> impl_;
@@ -115,6 +143,82 @@ class Tensor {
 
 // Number of elements implied by a shape (product; 1 for rank-0).
 size_t NumElements(const std::vector<size_t>& shape);
+
+// --- Data-parallel gradient arenas -----------------------------------------
+
+// A detached set of gradient buffers for a fixed parameter list. While a
+// GradArenaScope is active on a thread, every backward write that targets
+// one of the covered parameters lands in the arena instead of the shared
+// parameter gradient, so N workers can run forward+backward concurrently
+// and the trainer merges the arenas afterwards in a fixed worker order
+// (keeping results deterministic for a given worker count).
+class GradArena {
+ public:
+  explicit GradArena(const std::vector<Tensor>& params);
+
+  // Arena buffer for the parameter Impl, or nullptr if not covered.
+  double* Find(const Tensor::Impl* impl);
+
+  size_t num_params() const { return buffers_.size(); }
+  const std::vector<double>& buffer(size_t i) const { return buffers_[i]; }
+
+  // Adds every arena buffer into the matching parameter's grad and clears
+  // the arena to zero.
+  void MergeIntoParamsAndReset();
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::vector<double>> buffers_;
+  std::unordered_map<const Tensor::Impl*, size_t> index_;
+};
+
+// RAII installation of a GradArena on the current thread. Not reentrant.
+class GradArenaScope {
+ public:
+  explicit GradArenaScope(GradArena* arena);
+  ~GradArenaScope();
+  GradArenaScope(const GradArenaScope&) = delete;
+  GradArenaScope& operator=(const GradArenaScope&) = delete;
+};
+
+// --- Runtime kernel/allocator mode -----------------------------------------
+
+// Per-thread selection of the compute kernels used by the hot ops
+// (MatMul / Affine / Conv2d):
+//  - kLegacy:  the seed implementation's naive loops and plain allocation.
+//    Kept so the perf benches can measure an honest before/after in one
+//    binary and tests can pin down bit-identity with the original code.
+//  - kBlocked: cache-blocked, B-transposed kernels plus the thread-local
+//    buffer pool. Same floating-point summation order as kLegacy, so
+//    results are bit-identical — this is the default.
+//  - kVector:  reassociated (multi-accumulator / planar-axpy) kernels that
+//    the compiler can vectorise. Fastest, but the changed summation order
+//    perturbs last-bit rounding, so results are deterministic yet not
+//    bit-identical to kLegacy. Used by the data-parallel trainer
+//    (num_threads > 1) and opt-in benches.
+enum class KernelMode { kLegacy, kBlocked, kVector };
+
+void SetKernelMode(KernelMode mode);
+KernelMode GetKernelMode();
+
+// RAII kernel-mode override for the current thread.
+class KernelModeScope {
+ public:
+  explicit KernelModeScope(KernelMode mode);
+  ~KernelModeScope();
+  KernelModeScope(const KernelModeScope&) = delete;
+  KernelModeScope& operator=(const KernelModeScope&) = delete;
+
+ private:
+  KernelMode prev_;
+};
+
+// Acquires a buffer of `size` doubles with unspecified contents, reusing
+// the calling thread's recycled tensor storage (disabled in kLegacy mode
+// so the legacy baseline keeps its original allocation behaviour).
+// Callers must overwrite every element (or use AcquireZeroBuffer).
+std::vector<double> AcquireBuffer(size_t size);
+std::vector<double> AcquireZeroBuffer(size_t size);
 
 }  // namespace deepod::nn
 

@@ -44,6 +44,12 @@ temporal::Timestamp SpeedMatrixBuilder::SnapshotTime(
 
 std::vector<double> SpeedMatrixBuilder::MatrixAt(temporal::Timestamp t) const {
   const temporal::Timestamp snap = SnapshotTime(t);
+  const long long key = static_cast<long long>(std::llround(snap));
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return *it->second;
+  }
   const double weather_mult =
       WeatherProcess::SpeedFactor(weather_.TypeAt(std::max(0.0, snap)));
   std::vector<double> matrix(rows_ * cols_, 0.0);
@@ -62,6 +68,13 @@ std::vector<double> SpeedMatrixBuilder::MatrixAt(temporal::Timestamp t) const {
   const double fill = filled > 0 ? total / static_cast<double>(filled) : 0.5;
   for (size_t c = 0; c < cell_segments_.size(); ++c) {
     if (cell_segments_[c].empty()) matrix[c] = fill;
+  }
+  {
+    std::lock_guard<std::mutex> lock(cache_mu_);
+    constexpr size_t kMaxCachedSnapshots = 32768;
+    if (cache_.size() >= kMaxCachedSnapshots) cache_.clear();
+    cache_.emplace(key,
+                   std::make_shared<const std::vector<double>>(matrix));
   }
   return matrix;
 }

@@ -1,6 +1,9 @@
 #ifndef DEEPOD_SIM_SPEED_MATRIX_H_
 #define DEEPOD_SIM_SPEED_MATRIX_H_
 
+#include <memory>
+#include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "road/road_network.h"
@@ -44,6 +47,14 @@ class SpeedMatrixBuilder {
   size_t rows_ = 0, cols_ = 0;
   double max_speed_ = 1.0;
   std::vector<std::vector<size_t>> cell_segments_;  // cell -> segment ids
+
+  // Snapshot-time memo: MatrixAt quantises t to a snapshot before doing
+  // any work, so the matrix for each snapshot is computed once and reused
+  // (training touches the same handful of snapshots thousands of times).
+  // Mutex-guarded because the parallel trainer queries from many threads.
+  mutable std::mutex cache_mu_;
+  mutable std::unordered_map<long long, std::shared_ptr<const std::vector<double>>>
+      cache_;
 };
 
 }  // namespace deepod::sim

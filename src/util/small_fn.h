@@ -1,0 +1,125 @@
+#ifndef DEEPOD_UTIL_SMALL_FN_H_
+#define DEEPOD_UTIL_SMALL_FN_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace deepod::util {
+
+// Move-only type-erased callable with a large inline buffer.
+//
+// std::function's inline buffer (16 bytes in libstdc++) is too small for
+// autograd backward closures, which capture a few shared_ptrs plus loop
+// bounds — so every op node costs a heap allocation. SmallFn stores
+// callables up to InlineBytes in place (144 covers every closure in
+// src/nn) and only falls back to the heap beyond that.
+template <typename Sig, size_t InlineBytes = 144>
+class SmallFn;
+
+template <typename R, typename... Args, size_t InlineBytes>
+class SmallFn<R(Args...), InlineBytes> {
+ public:
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= InlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      call_ = [](void* s, Args&&... args) -> R {
+        return (*static_cast<Fn*>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            static_cast<Fn*>(s)->~Fn();
+            break;
+          case Op::kMove:
+            ::new (other) Fn(std::move(*static_cast<Fn*>(s)));
+            static_cast<Fn*>(s)->~Fn();
+            break;
+        }
+      };
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      call_ = [](void* s, Args&&... args) -> R {
+        return (**static_cast<Fn**>(s))(std::forward<Args>(args)...);
+      };
+      manage_ = [](Op op, void* s, void* other) {
+        switch (op) {
+          case Op::kDestroy:
+            delete *static_cast<Fn**>(s);
+            break;
+          case Op::kMove:
+            *reinterpret_cast<Fn**>(other) = *static_cast<Fn**>(s);
+            break;
+        }
+      };
+    }
+  }
+
+  SmallFn(SmallFn&& other) noexcept { MoveFrom(other); }
+
+  SmallFn& operator=(SmallFn&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+
+  SmallFn& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { Reset(); }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+  R operator()(Args... args) const {
+    return call_(const_cast<void*>(static_cast<const void*>(storage_)),
+                 std::forward<Args>(args)...);
+  }
+
+ private:
+  enum class Op { kDestroy, kMove };
+
+  void Reset() {
+    if (manage_ != nullptr) manage_(Op::kDestroy, storage_, nullptr);
+    call_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void MoveFrom(SmallFn& other) {
+    if (other.manage_ != nullptr) {
+      other.manage_(Op::kMove, other.storage_, storage_);
+    }
+    call_ = other.call_;
+    manage_ = other.manage_;
+    other.call_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  using CallFn = R (*)(void*, Args&&...);
+  using ManageFn = void (*)(Op, void*, void*);
+
+  alignas(std::max_align_t) unsigned char storage_[InlineBytes];
+  CallFn call_ = nullptr;
+  ManageFn manage_ = nullptr;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_SMALL_FN_H_

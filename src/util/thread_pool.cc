@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+namespace deepod::util {
+
+ThreadPool::ThreadPool(size_t num_threads)
+    : num_threads_(std::max<size_t>(1, num_threads)) {
+  // The caller participates in ParallelFor, so n-way parallelism needs only
+  // n-1 dedicated workers.
+  workers_.reserve(num_threads_ - 1);
+  for (size_t i = 0; i + 1 < num_threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::DrainBatch(std::unique_lock<std::mutex>& lock) {
+  while (batch_.next_task < batch_.num_tasks) {
+    const size_t task = batch_.next_task++;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      (*batch_.fn)(task);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !batch_.error) batch_.error = error;
+    if (--batch_.unfinished == 0) done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  uint64_t seen_generation = 0;
+  while (true) {
+    work_cv_.wait(lock, [&] {
+      return shutdown_ || generation_ != seen_generation;
+    });
+    if (shutdown_) return;
+    seen_generation = generation_;
+    DrainBatch(lock);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& fn) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || workers_.empty()) {
+    for (size_t i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_.fn = &fn;
+  batch_.num_tasks = num_tasks;
+  batch_.next_task = 0;
+  batch_.unfinished = num_tasks;
+  batch_.error = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  DrainBatch(lock);  // the caller works too
+  done_cv_.wait(lock, [&] { return batch_.unfinished == 0; });
+  batch_.fn = nullptr;
+  if (batch_.error) {
+    std::exception_ptr error = batch_.error;
+    batch_.error = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+std::pair<size_t, size_t> ThreadPool::ChunkRange(size_t total,
+                                                 size_t num_tasks,
+                                                 size_t w) {
+  const size_t tasks = std::max<size_t>(1, num_tasks);
+  const size_t chunk = (total + tasks - 1) / tasks;
+  const size_t begin = std::min(total, w * chunk);
+  const size_t end = std::min(total, begin + chunk);
+  return {begin, end};
+}
+
+size_t ThreadPool::ResolveThreadCount(size_t configured) {
+  if (configured > 0) return configured;
+  if (const char* env = std::getenv("DEEPOD_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<size_t>(hw) : 1;
+}
+
+}  // namespace deepod::util

@@ -1,0 +1,81 @@
+#ifndef DEEPOD_UTIL_THREAD_POOL_H_
+#define DEEPOD_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace deepod::util {
+
+// Fixed-size pool of worker threads driving index-based parallel loops.
+//
+// There is deliberately no work stealing and no dynamic scheduling: callers
+// split their work into a fixed number of tasks (normally one per worker)
+// and ParallelFor hands task w to whichever executor claims it. All
+// determinism contracts in this codebase are expressed in terms of the task
+// index, never the executing thread, so the claiming order does not matter.
+//
+// The calling thread participates in executing tasks, so a ParallelFor
+// issued from inside another pool's task cannot deadlock waiting for
+// starved workers.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers. `num_threads == 0` is treated as 1.
+  // With 1 thread no workers are spawned and ParallelFor runs inline.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return num_threads_; }
+
+  // Runs fn(w) for every w in [0, num_tasks), distributing tasks over the
+  // workers plus the calling thread, and blocks until all complete. If any
+  // task throws, the first exception (in completion order) is rethrown
+  // after every task has finished.
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& fn);
+
+  // Inclusive-exclusive [begin, end) range of items task `w` of `num_tasks`
+  // should process when splitting `total` items into contiguous chunks.
+  // Deterministic in (total, num_tasks, w).
+  static std::pair<size_t, size_t> ChunkRange(size_t total, size_t num_tasks,
+                                              size_t w);
+
+  // Worker count resolution used across the project: `configured` wins when
+  // non-zero; otherwise the DEEPOD_THREADS environment variable; otherwise
+  // std::thread::hardware_concurrency(). Always at least 1.
+  static size_t ResolveThreadCount(size_t configured);
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t num_tasks = 0;
+    size_t next_task = 0;   // next unclaimed task index
+    size_t unfinished = 0;  // tasks not yet completed
+    std::exception_ptr error;
+  };
+
+  void WorkerLoop();
+  // Claims and runs tasks of the current batch until none are left.
+  // Returns once every task it claimed has run. Requires `lock` held.
+  void DrainBatch(std::unique_lock<std::mutex>& lock);
+
+  size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // signals workers: batch or shutdown
+  std::condition_variable done_cv_;  // signals caller: batch complete
+  Batch batch_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor, wakes workers
+  bool shutdown_ = false;
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_THREAD_POOL_H_
