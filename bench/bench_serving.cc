@@ -1,0 +1,190 @@
+// Serving-path bench: drives DeepOdModel's graph-free query engine and the
+// EtaService front-end with a synthetic query stream from the simulator and
+// writes BENCH_serving.json:
+//   - serving/single_query/{before,after}: per-query latency of the
+//     training-mode forward (autograd graph built, the pre-inference-mode
+//     Predict) vs. the graph-free Predict. `speedup` carries the ratio in
+//     samples_per_sec.
+//   - serving/batch_qps/batch=B[/threads=T]: PredictBatch throughput vs.
+//     micro-batch size, single-threaded and fanned over the pool.
+//   - serving/cache/capacity=C/{qps,hit_rate}: EtaService cache sweep over a
+//     skewed stream; hit_rate records carry the hit fraction in
+//     wall_seconds (it is a ratio, not a time).
+//   - serving/microbatch/qps: Submit() through the bounded queue and the
+//     dispatcher's micro-batching.
+// Usage: bench_serving [num_queries]  (default 2000; CI smoke passes 200).
+#include <cstdio>
+#include <cstdlib>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/deepod_model.h"
+#include "serve/eta_service.h"
+#include "sim/dataset.h"
+#include "util/rng.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+using namespace deepod;
+
+namespace {
+
+// A synthetic serving stream: OD pairs drawn from the test split with
+// departure times resampled into a 30-minute window around "now" — live
+// queries ask about departures near the present, which is also what keeps
+// the external-feature snapshots and time-slot keys warm. `hot_fraction` of
+// the queries are drawn from a small hot set to model popular OD pairs.
+std::vector<traj::OdInput> MakeQueryStream(const sim::Dataset& dataset,
+                                           size_t n, double hot_fraction,
+                                           size_t hot_set_size,
+                                           util::Rng& rng) {
+  const auto& trips = dataset.test.empty() ? dataset.train : dataset.test;
+  std::vector<traj::OdInput> hot_set;
+  for (size_t i = 0; i < hot_set_size; ++i) {
+    hot_set.push_back(trips[rng.UniformInt(trips.size())].od);
+  }
+  std::vector<traj::OdInput> stream;
+  stream.reserve(n);
+  const double now = 10.0 * 86400.0 + 8.0 * 3600.0;  // day 10, 08:00
+  for (size_t i = 0; i < n; ++i) {
+    traj::OdInput od = rng.Bernoulli(hot_fraction)
+                           ? hot_set[rng.UniformInt(hot_set.size())]
+                           : trips[rng.UniformInt(trips.size())].od;
+    od.departure_time = now + rng.Uniform(0.0, 1800.0);
+    stream.push_back(od);
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const size_t num_queries =
+      argc > 1 ? static_cast<size_t>(std::atoll(argv[1])) : 2000;
+  bench::PrintBanner("Serving path — graph-free inference, batching, cache");
+
+  const sim::Dataset dataset =
+      sim::BuildDataset(bench::MiniConfig(bench::City::kXian));
+  core::DeepOdConfig config = bench::BenchModelConfig();
+  core::DeepOdModel model(config, dataset);
+  model.SetTraining(false);
+
+  util::Rng rng(20240806);
+  const std::vector<traj::OdInput> stream =
+      MakeQueryStream(dataset, num_queries, /*hot_fraction=*/0.8,
+                      /*hot_set_size=*/64, rng);
+
+  std::vector<bench::BenchJsonRecord> records;
+  const size_t auto_threads = util::ThreadPool::ResolveThreadCount(0);
+
+  // --- Single-query latency: training-mode forward vs. graph-free ----------
+  // "Before" reproduces the pre-inference-mode Predict: EncodeOd +
+  // EstimateFromCode outside any InferenceGuard builds the full autograd
+  // graph per query. "After" is the shipped Predict (graph-free + ocode
+  // memo). Values are bit-identical; only bookkeeping differs.
+  double sink = 0.0;
+  util::Stopwatch sw;
+  for (const auto& od : stream) {
+    sink += model.EstimateFromCode(model.EncodeOd(od)).item();
+  }
+  const double before_secs = sw.ElapsedSeconds();
+  sw.Reset();
+  for (const auto& od : stream) sink += model.Predict(od);
+  const double after_secs = sw.ElapsedSeconds();
+  const double n = static_cast<double>(stream.size());
+  const double speedup = after_secs > 0.0 ? before_secs / after_secs : 0.0;
+  std::printf(
+      "Single query (%zu queries):\n"
+      "  before (training-mode forward): %.3f ms/query\n"
+      "  after  (graph-free Predict):    %.3f ms/query\n"
+      "  speedup: %.2fx\n",
+      stream.size(), 1000.0 * before_secs / n, 1000.0 * after_secs / n,
+      speedup);
+  records.push_back(
+      {"serving/single_query/before", before_secs, 1, n / before_secs});
+  records.push_back(
+      {"serving/single_query/after", after_secs, 1, n / after_secs});
+  records.push_back({"serving/single_query/speedup", 0.0, 1, speedup});
+
+  // --- Batched QPS vs. batch size -------------------------------------------
+  for (const size_t batch : {size_t{1}, size_t{8}, size_t{32}, size_t{128}}) {
+    sw.Reset();
+    for (size_t pos = 0; pos < stream.size(); pos += batch) {
+      const size_t m = std::min(batch, stream.size() - pos);
+      const auto etas = model.PredictBatch({&stream[pos], m});
+      sink += etas[0];
+    }
+    const double secs = sw.ElapsedSeconds();
+    std::printf("PredictBatch batch=%-4zu: %8.0f queries/s\n", batch,
+                n / secs);
+    records.push_back({"serving/batch_qps/batch=" + std::to_string(batch),
+                       secs, 1, n / secs});
+  }
+  if (auto_threads > 1) {
+    util::ThreadPool pool(auto_threads);
+    for (const size_t batch : {size_t{128}, size_t{512}}) {
+      sw.Reset();
+      for (size_t pos = 0; pos < stream.size(); pos += batch) {
+        const size_t m = std::min(batch, stream.size() - pos);
+        const auto etas = model.PredictBatch({&stream[pos], m}, &pool);
+        sink += etas[0];
+      }
+      const double secs = sw.ElapsedSeconds();
+      std::printf("PredictBatch batch=%-4zu threads=%zu: %8.0f queries/s\n",
+                  batch, auto_threads, n / secs);
+      records.push_back({"serving/batch_qps/batch=" + std::to_string(batch) +
+                             "/threads=" + std::to_string(auto_threads),
+                         secs, auto_threads, n / secs});
+    }
+  }
+
+  // --- Cache hit-rate sweep --------------------------------------------------
+  for (const size_t capacity : {size_t{0}, size_t{64}, size_t{1024}}) {
+    serve::EtaServiceOptions options;
+    options.cache_capacity = capacity;
+    serve::EtaService service(model, options);
+    sw.Reset();
+    for (const auto& od : stream) sink += service.Estimate(od);
+    const double secs = sw.ElapsedSeconds();
+    const auto stats = service.Snapshot();
+    const double hit_rate =
+        stats.cache_hits + stats.cache_misses == 0
+            ? 0.0
+            : static_cast<double>(stats.cache_hits) /
+                  static_cast<double>(stats.cache_hits + stats.cache_misses);
+    std::printf(
+        "EtaService capacity=%-5zu: %8.0f queries/s  hit rate %.1f%%  "
+        "p50 %.3f ms  p99 %.3f ms\n",
+        capacity, n / secs, 100.0 * hit_rate, stats.p50_ms, stats.p99_ms);
+    const std::string prefix =
+        "serving/cache/capacity=" + std::to_string(capacity);
+    records.push_back({prefix + "/qps", secs, 1, n / secs});
+    records.push_back({prefix + "/hit_rate", hit_rate, 1, 0.0});
+  }
+
+  // --- Micro-batched Submit --------------------------------------------------
+  {
+    serve::EtaServiceOptions options;
+    options.batch_threads = auto_threads;
+    serve::EtaService service(model, options);
+    std::vector<std::future<double>> futures;
+    futures.reserve(stream.size());
+    sw.Reset();
+    for (const auto& od : stream) futures.push_back(service.Submit(od));
+    for (auto& f : futures) sink += f.get();
+    const double secs = sw.ElapsedSeconds();
+    const auto stats = service.Snapshot();
+    std::printf(
+        "Submit micro-batching:     %8.0f queries/s  avg batch %.1f  "
+        "p50 %.3f ms  p99 %.3f ms\n",
+        n / secs, stats.avg_batch_size, stats.p50_ms, stats.p99_ms);
+    records.push_back(
+        {"serving/microbatch/qps", secs, auto_threads, n / secs});
+  }
+
+  std::printf("(checksum %.6f)\n", sink);
+  bench::WriteBenchJson("BENCH_serving.json", records);
+  return 0;
+}

@@ -280,9 +280,11 @@ void WriteBenchJson(const std::string& path,
   for (size_t i = 0; i < records.size(); ++i) {
     const auto& r = records[i];
     out << "    {\"name\": \"" << r.name << "\", \"wall_seconds\": "
-        << r.wall_seconds << ", \"threads\": " << r.threads
-        << ", \"samples_per_sec\": " << r.samples_per_sec << "}"
-        << (i + 1 < records.size() ? "," : "") << "\n";
+        << r.wall_seconds << ", \"threads\": " << r.threads;
+    if (r.samples_per_sec > 0.0) {
+      out << ", \"samples_per_sec\": " << r.samples_per_sec;
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
   std::fprintf(stderr, "[bench] wrote %s (%zu records)\n", path.c_str(),

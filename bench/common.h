@@ -73,6 +73,8 @@ void PrintBanner(const std::string& experiment);
 // --- Machine-readable bench output ----------------------------------------
 
 // One timed measurement for the BENCH_*.json files consumed by tooling.
+// `samples_per_sec <= 0` means "not measured" and the field is omitted from
+// the JSON rather than written as a misleading 0.
 struct BenchJsonRecord {
   std::string name;
   double wall_seconds = 0.0;

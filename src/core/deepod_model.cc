@@ -93,7 +93,6 @@ DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset
 nn::Tensor DeepOdModel::EncodeOd(const traj::OdInput& od) {
   const bool use_sp = config_.ablation != Ablation::kNoSp;
   const bool use_tp = config_.ablation != Ablation::kNoTp;
-  const bool use_other = config_.ablation != Ablation::kNoOther;
 
   nn::Tensor ds1 = use_sp ? road_embedding_->Forward(od.origin_segment)
                           : nn::Tensor::Zeros({config_.ds});
@@ -120,15 +119,7 @@ nn::Tensor DeepOdModel::EncodeOd(const traj::OdInput& od) {
     tr_norm = slotter_.Remainder(od.departure_time) / slotter_.slot_seconds();
   }
 
-  nn::Tensor ocode;
-  if (use_other && dataset_.speed_matrices != nullptr) {
-    const auto matrix = dataset_.speed_matrices->MatrixAt(od.departure_time);
-    ocode = external_encoder_->Forward(od.weather_type, matrix,
-                                       dataset_.speed_matrices->rows(),
-                                       dataset_.speed_matrices->cols());
-  } else {
-    ocode = nn::Tensor::Zeros({config_.dm6});
-  }
+  const nn::Tensor ocode = EncodeExternal(od);
 
   const nn::Tensor extras = nn::Tensor::FromData(
       {3}, {od.origin_ratio, od.dest_ratio, tr_norm});
@@ -145,14 +136,139 @@ nn::Tensor DeepOdModel::EstimateFromCode(const nn::Tensor& code) {
   return mlp2_->Forward(code);  // Eq. 20 (normalised units)
 }
 
+nn::Tensor DeepOdModel::EncodeExternal(const traj::OdInput& od) {
+  const bool use_other = config_.ablation != Ablation::kNoOther;
+  if (!use_other || dataset_.speed_matrices == nullptr) {
+    return nn::Tensor::Zeros({config_.dm6});
+  }
+  const auto& matrices = *dataset_.speed_matrices;
+  // Memo only in serving conditions: no autograd (a memoised leaf has no
+  // graph to offer) and training off (a training-mode forward updates
+  // BatchNorm running statistics, a side effect a memo hit would skip).
+  const bool memoize =
+      !nn::GradEnabled() && !training_ && ocode_memo_capacity_ > 0;
+  uint64_t key = 0;
+  if (memoize) {
+    const auto snapshot = static_cast<int64_t>(
+        matrices.SnapshotTime(od.departure_time) / matrices.snapshot_seconds());
+    key = (static_cast<uint64_t>(static_cast<uint32_t>(od.weather_type)) << 32) ^
+          static_cast<uint64_t>(snapshot);
+    std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+    auto it = ocode_memo_.find(key);
+    if (it != ocode_memo_.end()) {
+      return nn::Tensor::FromData({config_.dm6},
+                                  std::vector<double>(*it->second));
+    }
+  }
+  const auto matrix = matrices.MatrixAt(od.departure_time);
+  nn::Tensor ocode = external_encoder_->Forward(od.weather_type, matrix,
+                                                matrices.rows(),
+                                                matrices.cols());
+  if (memoize) {
+    auto entry = std::make_shared<const std::vector<double>>(ocode.data());
+    std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+    if (ocode_memo_.size() >= ocode_memo_capacity_) ocode_memo_.clear();
+    ocode_memo_.emplace(key, std::move(entry));
+  }
+  return ocode;
+}
+
 double DeepOdModel::Predict(const traj::OdInput& od) {
+  const nn::InferenceGuard guard;
   const nn::Tensor code = EncodeOd(od);
   const nn::Tensor y = EstimateFromCode(code);
   return y.item() * time_scale_;
 }
 
-double DeepOdModel::PredictForRoute(const traj::OdInput& od,
-                                    const std::vector<size_t>& route_segments) {
+void DeepOdModel::FillOdFeatureRow(const traj::OdInput& od, double* row) {
+  const bool use_sp = config_.ablation != Ablation::kNoSp;
+  const bool use_tp = config_.ablation != Ablation::kNoTp;
+  double* p = row;
+
+  const auto& road_table = road_embedding_->table().data();
+  if (use_sp) {
+    std::copy_n(&road_table[od.origin_segment * config_.ds], config_.ds, p);
+    std::copy_n(&road_table[od.dest_segment * config_.ds], config_.ds,
+                p + config_.ds);
+  } else {
+    std::fill_n(p, 2 * config_.ds, 0.0);
+  }
+  p += 2 * config_.ds;
+
+  double tr_norm = 0.0;
+  if (!use_tp) {
+    std::fill_n(p, config_.dt, 0.0);
+  } else if (config_.time_init == TimeInit::kTimestamp) {
+    std::fill_n(p, config_.dt, 0.0);
+    p[0] = od.departure_time / temporal::kSecondsPerDay;
+  } else {
+    const int64_t slot = slotter_.Slot(od.departure_time);
+    const int64_t node = config_.time_init == TimeInit::kDailyGraph
+                             ? slotter_.DailyNode(slot)
+                             : slotter_.WeeklyNode(slot);
+    const auto& time_table = time_slot_embedding_->table().data();
+    std::copy_n(&time_table[static_cast<size_t>(node) * config_.dt],
+                config_.dt, p);
+    tr_norm = slotter_.Remainder(od.departure_time) / slotter_.slot_seconds();
+  }
+  p += config_.dt;
+
+  const nn::Tensor ocode = EncodeExternal(od);
+  const auto& od_data = ocode.data();
+  std::copy(od_data.begin(), od_data.end(), p);
+  p += config_.dm6;
+
+  p[0] = od.origin_ratio;
+  p[1] = od.dest_ratio;
+  p[2] = tr_norm;
+}
+
+std::vector<double> DeepOdModel::PredictBatch(
+    std::span<const traj::OdInput> ods, util::ThreadPool* pool) {
+  std::vector<double> out(ods.size());
+  if (ods.empty()) return out;
+  const size_t n = ods.size();
+  const size_t z9 = z9_dim();
+  const auto run_chunk = [&](size_t begin, size_t end) {
+    const nn::InferenceGuard guard;
+    const size_t m = end - begin;
+    auto rows = nn::AcquireBuffer(m * z9);
+    for (size_t i = begin; i < end; ++i) {
+      FillOdFeatureRow(ods[i], &rows[(i - begin) * z9]);
+    }
+    const nn::Tensor x = nn::Tensor::FromData({m, z9}, std::move(rows));
+    const nn::Tensor codes = mlp1_->ForwardBatch(x);   // Eq. 19, batched
+    const nn::Tensor ys = mlp2_->ForwardBatch(codes);  // Eq. 20, batched
+    const auto& yd = ys.data();
+    for (size_t i = begin; i < end; ++i) {
+      out[i] = yd[i - begin] * time_scale_;
+    }
+  };
+  const size_t tasks =
+      pool != nullptr ? std::min(pool->num_threads(), n) : size_t{1};
+  if (tasks <= 1) {
+    run_chunk(0, n);
+    return out;
+  }
+  // Workers inherit the caller's kernel mode; rows are independent in every
+  // stage, so the chunk boundaries cannot change any result.
+  const nn::KernelMode mode = nn::GetKernelMode();
+  pool->ParallelFor(tasks, [&](size_t w) {
+    const nn::KernelModeScope mode_scope(mode);
+    const auto [begin, end] = util::ThreadPool::ChunkRange(n, tasks, w);
+    run_chunk(begin, end);
+  });
+  return out;
+}
+
+void DeepOdModel::SetOcodeMemoCapacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+  ocode_memo_capacity_ = capacity;
+  ocode_memo_.clear();
+}
+
+traj::MatchedTrajectory DeepOdModel::BuildRoutePseudoTrajectory(
+    const traj::OdInput& od, const std::vector<size_t>& route_segments) const {
   if (route_segments.empty()) {
     throw std::invalid_argument("PredictForRoute: empty route");
   }
@@ -185,6 +301,14 @@ double DeepOdModel::PredictForRoute(const traj::OdInput& od,
   pseudo.path = match::InterpolateIntervals(
       dataset_.network, route_segments, od.origin_ratio, od.dest_ratio,
       od.departure_time, od.departure_time + expected_seconds);
+  return pseudo;
+}
+
+double DeepOdModel::PredictForRoute(const traj::OdInput& od,
+                                    const std::vector<size_t>& route_segments) {
+  const traj::MatchedTrajectory pseudo =
+      BuildRoutePseudoTrajectory(od, route_segments);
+  const nn::InferenceGuard guard;
   const nn::Tensor stcode = EncodeTrajectory(pseudo);
   return EstimateFromCode(stcode).item() * time_scale_;
 }
@@ -231,6 +355,8 @@ void DeepOdModel::Load(const std::string& path) {
   params.push_back(scale);
   nn::LoadParameters(path, params);
   time_scale_ = scale.item();
+  std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+  ocode_memo_.clear();
 }
 
 std::vector<nn::Tensor> DeepOdModel::Parameters() {
@@ -251,6 +377,10 @@ void DeepOdModel::SetTraining(bool training) {
   Module::SetTraining(training);
   trajectory_encoder_->SetTraining(training);
   external_encoder_->SetTraining(training);
+  // Mode flips bracket parameter updates (the trainer toggles around every
+  // validation pass), so cached ocodes may be stale — drop them.
+  std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+  ocode_memo_.clear();
 }
 
 }  // namespace deepod::core

@@ -1,7 +1,11 @@
 #ifndef DEEPOD_CORE_DEEPOD_MODEL_H_
 #define DEEPOD_CORE_DEEPOD_MODEL_H_
 
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "core/deepod_config.h"
@@ -10,6 +14,7 @@
 #include "sim/dataset.h"
 #include "temporal/time_slot.h"
 #include "traj/trajectory.h"
+#include "util/thread_pool.h"
 
 namespace deepod::core {
 
@@ -39,8 +44,36 @@ class DeepOdModel : public nn::Module {
   // M_E: normalised travel-time estimate from `code` (Eq. 20).
   nn::Tensor EstimateFromCode(const nn::Tensor& code);
 
+  // External-features encoding (§4.5): ocode for the OD's departure time and
+  // weather. In serving conditions (inference mode, training off) the result
+  // is memoised per (weather, speed-matrix snapshot) — the CNN is
+  // deterministic given those, so a memo hit returns bit-identical values
+  // while skipping the dominant per-query compute.
+  nn::Tensor EncodeExternal(const traj::OdInput& od);
+
   // Online estimation (Algorithm 1, Estimation): seconds for an OD input.
+  // Runs graph-free (nn::InferenceGuard): identical values to the training
+  // forward, no autograd allocations.
   double Predict(const traj::OdInput& od);
+
+  // Batched estimation: one travel time per OD input, bit-identical to
+  // calling Predict in a loop in every kernel mode (the batched MLP uses
+  // AffineRows, which preserves Affine's per-row floating-point order).
+  // When `pool` is given the batch is split into contiguous chunks fanned
+  // out over the pool's workers; chunking never changes results.
+  std::vector<double> PredictBatch(std::span<const traj::OdInput> ods,
+                                   util::ThreadPool* pool = nullptr);
+
+  // Capacity of the ocode memo used by EncodeExternal (entries; 0 disables).
+  // The memo is invalidated on SetTraining and Load since parameter or mode
+  // changes would make cached codes stale.
+  void SetOcodeMemoCapacity(size_t capacity);
+
+  // The pseudo spatio-temporal path PredictForRoute feeds to M_T: intervals
+  // from free-flow expectations via the §2 linear interpolation. Exposed so
+  // the serving layer and tests can inspect or reuse it.
+  traj::MatchedTrajectory BuildRoutePseudoTrajectory(
+      const traj::OdInput& od, const std::vector<size_t>& route_segments) const;
 
   // Extension: what-if ETA for a concrete candidate route. §4.4 notes that
   // generating `code` "is analogous to generating a proper trajectory"; this
@@ -77,10 +110,24 @@ class DeepOdModel : public nn::Module {
   nn::Embedding& time_slot_embedding() { return *time_slot_embedding_; }
 
  private:
+  // Writes the z9 feature vector of `od` (Eq. 19 input) into row[0..z9_dim):
+  // the exact doubles EncodeOd's ConcatVec would produce. Callers must hold
+  // an inference guard when the ocode memo should engage.
+  void FillOdFeatureRow(const traj::OdInput& od, double* row);
+  size_t z9_dim() const {
+    return config_.ds * 2 + config_.dt + config_.dm6 + 3;
+  }
+
   DeepOdConfig config_;
   const sim::Dataset& dataset_;
   temporal::TimeSlotter slotter_;
   double time_scale_ = 1.0;
+
+  // ocode memo (see EncodeExternal).
+  size_t ocode_memo_capacity_ = 64;
+  std::mutex ocode_memo_mu_;
+  std::unordered_map<uint64_t, std::shared_ptr<const std::vector<double>>>
+      ocode_memo_;
 
   std::unique_ptr<nn::Embedding> road_embedding_;       // Ws
   std::unique_ptr<nn::Embedding> time_slot_embedding_;  // Wt

@@ -30,28 +30,40 @@ DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
 double DeepOdTrainer::ValidationMae(size_t max_samples) {
   model_.SetTraining(false);
   const size_t n = std::min(max_samples, dataset_.validation.size());
-  if (n == 0) return 0.0;
+  if (n == 0) {
+    model_.SetTraining(true);
+    return 0.0;
+  }
+  // Graph-free batched evaluation. The serial path is bit-identical to the
+  // historical per-sample Predict loop (PredictBatch's contract); the
+  // parallel path keeps the vectorised kernels the data-parallel trainer
+  // always used for evaluation.
+  std::vector<traj::OdInput> ods(n);
+  for (size_t i = 0; i < n; ++i) ods[i] = dataset_.validation[i].od;
+  std::vector<double> preds;
+  if (pool_ == nullptr) {
+    preds = model_.PredictBatch(ods);
+  } else {
+    nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+    preds = model_.PredictBatch(ods, pool_.get());
+  }
   double sum = 0.0;
   if (pool_ == nullptr) {
     for (size_t i = 0; i < n; ++i) {
-      const auto& trip = dataset_.validation[i];
-      sum += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+      sum += std::fabs(preds[i] - dataset_.validation[i].travel_time);
     }
   } else {
+    // Merge in chunk order, matching the historical parallel reduction so
+    // the result stays stable for a fixed thread count.
     const size_t tasks = std::min(num_threads_, n);
-    std::vector<double> partial(tasks, 0.0);
-    pool_->ParallelFor(tasks, [&](size_t w) {
-      nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+    for (size_t w = 0; w < tasks; ++w) {
       const auto [begin, end] = util::ThreadPool::ChunkRange(n, tasks, w);
       double s = 0.0;
       for (size_t i = begin; i < end; ++i) {
-        const auto& trip = dataset_.validation[i];
-        s += std::fabs(model_.Predict(trip.od) - trip.travel_time);
+        s += std::fabs(preds[i] - dataset_.validation[i].travel_time);
       }
-      partial[w] = s;
-    });
-    // Merge in chunk order: deterministic for a fixed thread count.
-    for (double s : partial) sum += s;
+      sum += s;
+    }
   }
   model_.SetTraining(true);
   return sum / static_cast<double>(n);
@@ -172,18 +184,12 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
 std::vector<double> DeepOdTrainer::PredictAll(
     const std::vector<traj::TripRecord>& trips) {
   model_.SetTraining(false);
-  std::vector<double> out(trips.size());
-  if (pool_ == nullptr || trips.empty()) {
-    for (size_t i = 0; i < trips.size(); ++i) out[i] = model_.Predict(trips[i].od);
-    return out;
-  }
-  const size_t tasks = std::min(num_threads_, trips.size());
-  pool_->ParallelFor(tasks, [&](size_t w) {
-    nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
-    const auto [begin, end] = util::ThreadPool::ChunkRange(trips.size(), tasks, w);
-    for (size_t i = begin; i < end; ++i) out[i] = model_.Predict(trips[i].od);
-  });
-  return out;
+  if (trips.empty()) return {};
+  std::vector<traj::OdInput> ods(trips.size());
+  for (size_t i = 0; i < trips.size(); ++i) ods[i] = trips[i].od;
+  if (pool_ == nullptr) return model_.PredictBatch(ods);
+  nn::KernelModeScope mode_scope(nn::KernelMode::kVector);
+  return model_.PredictBatch(ods, pool_.get());
 }
 
 }  // namespace deepod::core

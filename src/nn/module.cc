@@ -37,6 +37,10 @@ Tensor Linear::Forward(const Tensor& x) const {
         wt_data[i * out_dim_ + o] = wd[o * in_dim_ + i];
       }
     }
+    if (!GradEnabled()) {
+      Tensor wt = Tensor::FromData({in_dim_, out_dim_}, std::move(wt_data));
+      return AddRow(MatMul(x, wt), b_);
+    }
     // Build a view tensor that back-propagates into w_.
     auto pw = w_.impl();
     const size_t in_dim = in_dim_, out_dim = out_dim_;
@@ -55,6 +59,10 @@ Tensor Linear::Forward(const Tensor& x) const {
   throw std::invalid_argument("Linear::Forward: input must be 1-D or 2-D");
 }
 
+Tensor Linear::ForwardBatch(const Tensor& x) const {
+  return AffineRows(x, w_, b_);
+}
+
 std::vector<Tensor> Linear::Parameters() { return {w_, b_}; }
 
 Mlp2::Mlp2(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng& rng)
@@ -62,6 +70,10 @@ Mlp2::Mlp2(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng& rng)
 
 Tensor Mlp2::Forward(const Tensor& x) const {
   return layer2_.Forward(Relu(layer1_.Forward(x)));
+}
+
+Tensor Mlp2::ForwardBatch(const Tensor& x) const {
+  return layer2_.ForwardBatch(Relu(layer1_.ForwardBatch(x)));
 }
 
 std::vector<Tensor> Mlp2::Parameters() {

@@ -16,6 +16,11 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
   }
 }
 
+// Every op takes this exit when gradients are disabled (InferenceGuard):
+// the forward value is identical, but no parent list or backward closure is
+// ever constructed, so the query path builds no graph to destruct.
+bool Inference() { return !GradEnabled(); }
+
 // Elementwise unary op helper: forward f(x), backward df(x, y) where y is
 // the forward output value.
 template <typename F, typename DF>
@@ -23,6 +28,7 @@ Tensor UnaryOp(const Tensor& a, F f, DF df) {
   const auto& x = a.data();
   auto out = AcquireBuffer(x.size());
   for (size_t i = 0; i < x.size(); ++i) out[i] = f(x[i]);
+  if (Inference()) return Tensor::FromData(a.shape(), std::move(out));
   auto pa = a.impl();
   return Tensor::MakeOpResult(
       a.shape(), std::move(out), {pa}, [pa, df](Impl& self) {
@@ -313,6 +319,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const auto& xb = b.data();
   auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] + xb[i];
+  if (Inference()) return Tensor::FromData(a.shape(), std::move(out));
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
@@ -331,6 +338,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const auto& xb = b.data();
   auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] - xb[i];
+  if (Inference()) return Tensor::FromData(a.shape(), std::move(out));
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
@@ -349,6 +357,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const auto& xb = b.data();
   auto out = AcquireBuffer(xa.size());
   for (size_t i = 0; i < xa.size(); ++i) out[i] = xa[i] * xb[i];
+  if (Inference()) return Tensor::FromData(a.shape(), std::move(out));
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(a.shape(), std::move(out), {pa, pb},
                               [pa, pb](Impl& self) {
@@ -425,6 +434,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   } else {
     MatMulForwardNaive(xa.data(), xb.data(), out.data(), n, k, m);
   }
+  if (Inference()) return Tensor::FromData({n, m}, std::move(out));
   auto pa = a.impl(), pb = b.impl();
   return Tensor::MakeOpResult(
       {n, m}, std::move(out), {pa, pb}, [pa, pb, n, k, m](Impl& self) {
@@ -483,6 +493,7 @@ Tensor AddRow(const Tensor& a, const Tensor& row) {
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = 0; j < d; ++j) out[i * d + j] = xa[i * d + j] + xr[j];
   }
+  if (Inference()) return Tensor::FromData({n, d}, std::move(out));
   auto pa = a.impl(), pr = row.impl();
   return Tensor::MakeOpResult({n, d}, std::move(out), {pa, pr},
                               [pa, pr, n, d](Impl& self) {
@@ -522,6 +533,7 @@ Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
       out[i] = s;
     }
   }
+  if (Inference()) return Tensor::FromData({o}, std::move(out));
   auto pw = w.impl(), px = x.impl(), pb = b.impl();
   return Tensor::MakeOpResult(
       {o}, std::move(out), {pw, px, pb}, [pw, px, pb, o, in](Impl& self) {
@@ -542,18 +554,76 @@ Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
       });
 }
 
+Tensor AffineRows(const Tensor& x, const Tensor& w, const Tensor& b) {
+  if (x.ndim() != 2 || w.ndim() != 2 || b.ndim() != 1 ||
+      w.dim(1) != x.dim(1) || w.dim(0) != b.dim(0)) {
+    throw std::invalid_argument("AffineRows: incompatible shapes " +
+                                x.ShapeString() + " x " + w.ShapeString() +
+                                " + " + b.ShapeString());
+  }
+  const size_t n = x.dim(0), in = x.dim(1), o = w.dim(0);
+  const auto& xx = x.data();
+  const auto& xw = w.data();
+  const auto& xb = b.data();
+  auto out = AcquireBuffer(n * o);
+  // Row r is computed exactly like Affine(w, x[r], b): bias-first, then the
+  // dot product in the active kernel tier's summation order. That keeps
+  // PredictBatch bit-identical to a per-query Predict loop in every mode.
+  if (GetKernelMode() == KernelMode::kVector) {
+    for (size_t r = 0; r < n; ++r) {
+      const double* xrow = &xx[r * in];
+      double* orow = &out[r * o];
+      for (size_t i = 0; i < o; ++i) {
+        orow[i] = xb[i] + DotUnrolled(&xw[i * in], xrow, in);
+      }
+    }
+  } else {
+    for (size_t r = 0; r < n; ++r) {
+      const double* xrow = &xx[r * in];
+      double* orow = &out[r * o];
+      for (size_t i = 0; i < o; ++i) {
+        double s = xb[i];
+        const double* wrow = &xw[i * in];
+        for (size_t j = 0; j < in; ++j) s += wrow[j] * xrow[j];
+        orow[i] = s;
+      }
+    }
+  }
+  if (Inference()) return Tensor::FromData({n, o}, std::move(out));
+  auto px = x.impl(), pw = w.impl(), pb = b.impl();
+  return Tensor::MakeOpResult(
+      {n, o}, std::move(out), {px, pw, pb}, [px, pw, pb, n, in, o](Impl& self) {
+        double* gx = px->grad_sink();
+        double* gw = pw->grad_sink();
+        double* gb = pb->grad_sink();
+        const double* xd = px->data.data();
+        const double* wd = pw->data.data();
+        for (size_t r = 0; r < n; ++r) {
+          const double* grow = &self.grad[r * o];
+          const double* xrow = xd + r * in;
+          double* gxrow = gx + r * in;
+          for (size_t i = 0; i < o; ++i) {
+            const double g = grow[i];
+            if (g == 0.0) continue;
+            gb[i] += g;
+            double* gwrow = gw + i * in;
+            const double* wrow = wd + i * in;
+            for (size_t j = 0; j < in; ++j) gwrow[j] += g * xrow[j];
+            for (size_t j = 0; j < in; ++j) gxrow[j] += g * wrow[j];
+          }
+        }
+      });
+}
+
 Tensor ConcatVec(const std::vector<Tensor>& parts) {
   if (parts.empty()) throw std::invalid_argument("ConcatVec: no inputs");
   size_t total = 0;
-  std::vector<std::shared_ptr<Impl>> parents;
-  parents.reserve(parts.size());
   for (const auto& p : parts) {
     if (p.ndim() != 1) {
       throw std::invalid_argument("ConcatVec: all inputs must be 1-D, got " +
                                   p.ShapeString());
     }
     total += p.dim(0);
-    parents.push_back(p.impl());
   }
   auto out = AcquireBuffer(total);
   size_t offset = 0;
@@ -562,6 +632,10 @@ Tensor ConcatVec(const std::vector<Tensor>& parts) {
     std::copy(d.begin(), d.end(), out.begin() + offset);
     offset += d.size();
   }
+  if (Inference()) return Tensor::FromData({total}, std::move(out));
+  std::vector<std::shared_ptr<Impl>> parents;
+  parents.reserve(parts.size());
+  for (const auto& p : parts) parents.push_back(p.impl());
   return Tensor::MakeOpResult({total}, std::move(out), parents,
                               [parents](Impl& self) {
                                 size_t off = 0;
@@ -578,8 +652,6 @@ Tensor ConcatVec(const std::vector<Tensor>& parts) {
 Tensor StackRows(const std::vector<Tensor>& rows) {
   if (rows.empty()) throw std::invalid_argument("StackRows: no inputs");
   const size_t d = rows[0].dim(0);
-  std::vector<std::shared_ptr<Impl>> parents;
-  parents.reserve(rows.size());
   auto out = AcquireBuffer(rows.size() * d);
   size_t offset = 0;
   for (const auto& r : rows) {
@@ -589,9 +661,12 @@ Tensor StackRows(const std::vector<Tensor>& rows) {
     const auto& x = r.data();
     std::copy(x.begin(), x.end(), out.begin() + offset);
     offset += d;
-    parents.push_back(r.impl());
   }
   const size_t n = rows.size();
+  if (Inference()) return Tensor::FromData({n, d}, std::move(out));
+  std::vector<std::shared_ptr<Impl>> parents;
+  parents.reserve(rows.size());
+  for (const auto& r : rows) parents.push_back(r.impl());
   return Tensor::MakeOpResult({n, d}, std::move(out), parents,
                               [parents, d](Impl& self) {
                                 for (size_t i = 0; i < parents.size(); ++i) {
@@ -610,6 +685,7 @@ Tensor Row(const Tensor& matrix, size_t i) {
   const auto& x = matrix.data();
   auto out = AcquireBuffer(d);
   std::copy(x.begin() + i * d, x.begin() + (i + 1) * d, out.begin());
+  if (Inference()) return Tensor::FromData({d}, std::move(out));
   auto pm = matrix.impl();
   return Tensor::MakeOpResult({d}, std::move(out), {pm},
                               [pm, i, d](Impl& self) {
@@ -632,6 +708,7 @@ Tensor GatherRows(const Tensor& matrix, const std::vector<size_t>& indices) {
               out.begin() + offset);
     offset += d;
   }
+  if (Inference()) return Tensor::FromData({indices.size(), d}, std::move(out));
   auto pm = matrix.impl();
   auto idx_copy = indices;
   return Tensor::MakeOpResult(
@@ -650,6 +727,7 @@ Tensor Reshape(const Tensor& a, std::vector<size_t> new_shape) {
   if (NumElements(new_shape) != a.size()) {
     throw std::invalid_argument("Reshape: element count mismatch");
   }
+  if (Inference()) return Tensor::FromData(std::move(new_shape), a.data());
   auto pa = a.impl();
   return Tensor::MakeOpResult(std::move(new_shape), a.data(), {pa},
                               [pa](Impl& self) {
@@ -663,6 +741,7 @@ Tensor Reshape(const Tensor& a, std::vector<size_t> new_shape) {
 Tensor Sum(const Tensor& a) {
   double s = 0.0;
   for (double x : a.data()) s += x;
+  if (Inference()) return Tensor::FromData({1}, {s});
   auto pa = a.impl();
   return Tensor::MakeOpResult({1}, {s}, {pa}, [pa](Impl& self) {
     const double g = self.grad[0];
@@ -686,6 +765,7 @@ Tensor MeanRows(const Tensor& a) {
   }
   const double inv = 1.0 / static_cast<double>(n);
   for (double& v : out) v *= inv;
+  if (Inference()) return Tensor::FromData({d}, std::move(out));
   auto pa = a.impl();
   return Tensor::MakeOpResult({d}, std::move(out), {pa},
                               [pa, n, d, inv](Impl& self) {
@@ -727,6 +807,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
       ConvForwardVector(geom, xin.data(), xk.data(), out.data());
       break;
   }
+  if (Inference()) return Tensor::FromData({cout, oh, ow}, std::move(out));
   auto pin = input.impl(), pk = kernel.impl();
   return Tensor::MakeOpResult(
       {cout, oh, ow}, std::move(out), {pin, pk}, [pin, pk, geom](Impl& self) {
@@ -760,6 +841,7 @@ Tensor AddChannelBias(const Tensor& input, const Tensor& bias) {
   for (size_t ch = 0; ch < c; ++ch) {
     for (size_t i = 0; i < hw; ++i) out[ch * hw + i] = xin[ch * hw + i] + xb[ch];
   }
+  if (Inference()) return Tensor::FromData(input.shape(), std::move(out));
   auto pin = input.impl(), pb = bias.impl();
   return Tensor::MakeOpResult(input.shape(), std::move(out), {pin, pb},
                               [pin, pb, c, hw](Impl& self) {
@@ -786,6 +868,7 @@ Tensor GlobalAvgPool(const Tensor& input) {
     for (size_t i = 0; i < hw; ++i) s += xin[ch * hw + i];
     out[ch] = s * inv;
   }
+  if (Inference()) return Tensor::FromData({c}, std::move(out));
   auto pin = input.impl();
   return Tensor::MakeOpResult({c}, std::move(out), {pin},
                               [pin, c, hw, inv](Impl& self) {
@@ -842,6 +925,7 @@ Tensor LstmCellFused(const Tensor& x, const Tensor& h_prev,
     out[j] = o * std::tanh(cn);
     out[hd + j] = cn;
   }
+  if (Inference()) return Tensor::FromData({2 * hd}, std::move(out));
   // The backward reads parents through self.parents (fixed order below) so
   // the closure stays small enough for SmallFn's inline buffer.
   return Tensor::MakeOpResult(
@@ -910,6 +994,7 @@ Tensor SliceVec(const Tensor& a, size_t begin, size_t end) {
   const size_t n = end - begin;
   auto out = AcquireBuffer(n);
   std::copy(a.data().begin() + begin, a.data().begin() + end, out.begin());
+  if (Inference()) return Tensor::FromData({n}, std::move(out));
   auto pa = a.impl();
   return Tensor::MakeOpResult({n}, std::move(out), {pa},
                               [pa, begin, n](Impl& self) {

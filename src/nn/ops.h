@@ -38,6 +38,12 @@ Tensor AddRow(const Tensor& a, const Tensor& row);
 // W x + b for vector x: W [O,I], x [I], b [O] -> [O]. This is the exact
 // form the paper's MLP equations (Eq. 11, 17-20) are written in.
 Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b);
+// Batched Affine over rows: X [N,I], W [O,I], b [O] -> [N,O], row i being
+// W X[i] + b. Each output row is accumulated bias-first in ascending input
+// index — exactly Affine's floating-point order in every kernel tier — so
+// the batched serving path (DeepOdModel::PredictBatch) is bit-identical to
+// a per-query Affine loop.
+Tensor AffineRows(const Tensor& x, const Tensor& w, const Tensor& b);
 
 // --- Shape ops -------------------------------------------------------------
 

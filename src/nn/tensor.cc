@@ -42,6 +42,7 @@ constexpr size_t kMaxPooledBuffers = 4096;
 constexpr size_t kMaxPooledCapacity = 1u << 22;  // 32 MiB of doubles
 
 thread_local KernelMode tls_kernel_mode = KernelMode::kBlocked;
+thread_local bool tls_grad_enabled = true;
 
 void RecycleBuffer(std::vector<double>&& v) {
   if (tls_kernel_mode == KernelMode::kLegacy || v.capacity() == 0 ||
@@ -63,6 +64,14 @@ thread_local GradArena* tls_arena = nullptr;
 std::atomic<uint64_t> g_backward_epoch{0};
 
 }  // namespace
+
+bool GradEnabled() { return tls_grad_enabled; }
+
+InferenceGuard::InferenceGuard() : prev_(tls_grad_enabled) {
+  tls_grad_enabled = false;
+}
+
+InferenceGuard::~InferenceGuard() { tls_grad_enabled = prev_; }
 
 void SetKernelMode(KernelMode mode) { tls_kernel_mode = mode; }
 
@@ -344,12 +353,16 @@ Tensor Tensor::MakeOpResult(std::vector<size_t> shape, std::vector<double> data,
   impl->data = std::move(data);
   // The result needs grad tracking if any parent does. Ops may still attach
   // a backward_fn unconditionally; the topological sweep is harmless for
-  // grad-free subgraphs but we prune for speed.
+  // grad-free subgraphs but we prune for speed. With gradients disabled
+  // (InferenceGuard) the graph is never built at all — ops that missed
+  // their own early return still produce plain leaf tensors here.
   bool any_grad = false;
-  for (const auto& p : parents) {
-    if (p->requires_grad || p->backward_fn) {
-      any_grad = true;
-      break;
+  if (tls_grad_enabled) {
+    for (const auto& p : parents) {
+      if (p->requires_grad || p->backward_fn) {
+        any_grad = true;
+        break;
+      }
     }
   }
   if (any_grad) {

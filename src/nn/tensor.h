@@ -181,6 +181,31 @@ class GradArenaScope {
   GradArenaScope& operator=(const GradArenaScope&) = delete;
 };
 
+// --- Inference mode ---------------------------------------------------------
+
+// Per-thread autograd switch. While gradients are disabled the ops in ops.h
+// compute forward values exactly as usual (same kernels, same floating-point
+// order, so results stay bit-identical to the training-mode forward) but
+// skip every piece of graph bookkeeping: no parent lists, no backward
+// closures, no requires_grad propagation. Combined with the thread-local
+// buffer pool this makes a forward pass allocation-light and leaves nothing
+// behind to destruct as a graph chain — the serving hot path (Algorithm 1,
+// Estimation) runs on this.
+bool GradEnabled();
+
+// RAII gradient-disable for the current thread (nests safely; restores the
+// previous state). The query path of DeepOdModel installs this.
+class InferenceGuard {
+ public:
+  InferenceGuard();
+  ~InferenceGuard();
+  InferenceGuard(const InferenceGuard&) = delete;
+  InferenceGuard& operator=(const InferenceGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 // --- Runtime kernel/allocator mode -----------------------------------------
 
 // Per-thread selection of the compute kernels used by the hot ops

@@ -1,0 +1,192 @@
+#include "serve/eta_service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::serve {
+namespace {
+
+// Ring size for latency percentiles: large enough that p99 over a bench run
+// is stable, small enough to copy cheaply in Snapshot().
+constexpr size_t kLatencyRing = 1 << 16;
+
+double PercentileMs(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+}  // namespace
+
+EtaService::EtaService(core::DeepOdModel& model,
+                       const EtaServiceOptions& options)
+    : model_(model),
+      options_(options),
+      slotter_(0.0, model.config().slot_seconds),
+      cache_(options.cache_capacity, options.cache_shards),
+      start_time_(std::chrono::steady_clock::now()) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.ratio_bucket <= 0.0) options_.ratio_bucket = 0.05;
+  if (options_.batch_threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(options_.batch_threads);
+  }
+  latency_ring_ms_.assign(kLatencyRing, 0.0);
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+EtaService::~EtaService() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    stopping_ = true;
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+OdCacheKey EtaService::MakeKey(const traj::OdInput& od) const {
+  OdCacheKey key;
+  key.segments = (static_cast<uint64_t>(od.origin_segment) << 32) |
+                 static_cast<uint64_t>(od.dest_segment & 0xffffffffull);
+  const int64_t slot = slotter_.Slot(od.departure_time);
+  const uint64_t node =
+      static_cast<uint64_t>(slotter_.WeeklyNode(slot)) & 0xffffffffull;
+  const auto bucket = [this](double ratio) -> uint64_t {
+    const double clamped = std::clamp(ratio, 0.0, 1.0);
+    return static_cast<uint64_t>(clamped / options_.ratio_bucket) & 0xffull;
+  };
+  key.context = (node << 32) |
+                (static_cast<uint64_t>(static_cast<uint32_t>(od.weather_type) &
+                                       0xffffu)
+                 << 16) |
+                (bucket(od.origin_ratio) << 8) | bucket(od.dest_ratio);
+  return key;
+}
+
+void EtaService::RecordLatency(std::chrono::steady_clock::time_point start) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(latency_mu_);
+  latency_ring_ms_[latency_count_ % kLatencyRing] = ms;
+  ++latency_count_;
+}
+
+double EtaService::Estimate(const traj::OdInput& od) {
+  const auto start = std::chrono::steady_clock::now();
+  const OdCacheKey key = MakeKey(od);
+  if (auto cached = cache_.Get(key)) {
+    RecordLatency(start);
+    return *cached;
+  }
+  const double eta = model_.Predict(od);
+  cache_.Put(key, eta);
+  RecordLatency(start);
+  return eta;
+}
+
+std::future<double> EtaService::Submit(const traj::OdInput& od) {
+  Pending pending;
+  pending.od = od;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<double> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    queue_not_full_.wait(lock, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (stopping_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("EtaService: shutting down")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+void EtaService::DispatchLoop() {
+  std::vector<Pending> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    batch.clear();
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_not_empty_.wait(lock,
+                            [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping, queue drained
+      const size_t take = std::min(options_.max_batch, queue_.size());
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    queue_not_full_.notify_all();
+
+    // Resolve cache hits, then answer all misses with one batched forward.
+    std::vector<size_t> miss_index;
+    std::vector<traj::OdInput> miss_ods;
+    std::vector<OdCacheKey> miss_keys;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const OdCacheKey key = MakeKey(batch[i].od);
+      if (auto cached = cache_.Get(key)) {
+        batch[i].promise.set_value(*cached);
+        RecordLatency(batch[i].enqueued);
+      } else {
+        miss_index.push_back(i);
+        miss_ods.push_back(batch[i].od);
+        miss_keys.push_back(key);
+      }
+    }
+    if (!miss_ods.empty()) {
+      const std::vector<double> etas =
+          model_.PredictBatch(miss_ods, pool_.get());
+      for (size_t m = 0; m < miss_index.size(); ++m) {
+        cache_.Put(miss_keys[m], etas[m]);
+        batch[miss_index[m]].promise.set_value(etas[m]);
+        RecordLatency(batch[miss_index[m]].enqueued);
+      }
+    }
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+}
+
+EtaServiceStats EtaService::Snapshot() const {
+  EtaServiceStats stats;
+  stats.requests = completed_.load(std::memory_order_relaxed);
+  stats.cache_hits = cache_.hits();
+  stats.cache_misses = cache_.misses();
+  stats.batches = batches_.load(std::memory_order_relaxed);
+  const uint64_t batched = batched_requests_.load(std::memory_order_relaxed);
+  stats.avg_batch_size =
+      stats.batches == 0
+          ? 0.0
+          : static_cast<double>(batched) / static_cast<double>(stats.batches);
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(latency_mu_);
+    const size_t n =
+        static_cast<size_t>(std::min<uint64_t>(latency_count_, kLatencyRing));
+    window.assign(latency_ring_ms_.begin(), latency_ring_ms_.begin() + n);
+  }
+  std::sort(window.begin(), window.end());
+  stats.p50_ms = PercentileMs(window, 0.50);
+  stats.p95_ms = PercentileMs(window, 0.95);
+  stats.p99_ms = PercentileMs(window, 0.99);
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_time_)
+                             .count();
+  stats.qps = elapsed > 0.0 ? static_cast<double>(stats.requests) / elapsed
+                            : 0.0;
+  return stats;
+}
+
+}  // namespace deepod::serve

@@ -1,0 +1,142 @@
+#ifndef DEEPOD_SERVE_ETA_SERVICE_H_
+#define DEEPOD_SERVE_ETA_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/deepod_model.h"
+#include "temporal/time_slot.h"
+#include "traj/trajectory.h"
+#include "util/lru_cache.h"
+#include "util/thread_pool.h"
+
+namespace deepod::serve {
+
+// Cache key of one OD query. Exact (not a hash digest): two packed 64-bit
+// words hold the origin/destination segment ids, the weekly time-slot node,
+// the weather category and the quantised position ratios, so two queries
+// share a key only when every keyed field matches — no collision aliasing.
+struct OdCacheKey {
+  uint64_t segments = 0;  // origin << 32 | dest
+  uint64_t context = 0;   // slot << 32 | weather << 16 | r1_bucket << 8 | rn_bucket
+
+  bool operator==(const OdCacheKey& other) const {
+    return segments == other.segments && context == other.context;
+  }
+};
+
+struct OdCacheKeyHash {
+  size_t operator()(const OdCacheKey& k) const {
+    uint64_t h = k.segments * 0x9e3779b97f4a7c15ull;
+    h ^= k.context + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    return static_cast<size_t>(h);
+  }
+};
+
+struct EtaServiceOptions {
+  // LRU cache over answered queries.
+  size_t cache_capacity = 4096;
+  size_t cache_shards = 8;
+  // Position ratios are quantised into buckets of this width for keying
+  // (two queries whose ratios fall in the same bucket share the cached
+  // answer; 0.05 keeps the induced error well under the model's own).
+  double ratio_bucket = 0.05;
+
+  // Micro-batching: Submit() enqueues into a bounded queue; a dispatcher
+  // thread drains up to `max_batch` requests at a time into one
+  // PredictBatch call. Submit blocks while the queue holds
+  // `queue_capacity` requests (back-pressure, no unbounded growth).
+  size_t max_batch = 32;
+  size_t queue_capacity = 1024;
+  // Worker threads for the batched forward (1 = run inline on the
+  // dispatcher thread).
+  size_t batch_threads = 1;
+};
+
+// Counter/latency snapshot. Latency percentiles are computed over a ring of
+// the most recent completions (both Estimate and Submit requests).
+struct EtaServiceStats {
+  uint64_t requests = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t batches = 0;          // micro-batches dispatched
+  double avg_batch_size = 0.0;   // requests per dispatched batch
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double qps = 0.0;  // completed requests / seconds since construction
+};
+
+// The online estimation front-end (Algorithm 1, Estimation, as a service):
+// answers OD travel-time queries from a sharded LRU cache, falling through
+// to the model's graph-free forward on a miss. Two entry points:
+//  - Estimate(): synchronous, caller-thread inference. Bit-identical to
+//    DeepOdModel::Predict for the first query of each key; later queries of
+//    the key return the cached answer.
+//  - Submit(): asynchronous; requests are micro-batched by a dispatcher
+//    thread into PredictBatch calls (amortising per-query overhead) and
+//    resolved through the same cache.
+// Thread-safe; the model must not be trained while the service is running.
+class EtaService {
+ public:
+  EtaService(core::DeepOdModel& model, const EtaServiceOptions& options);
+  ~EtaService();
+
+  EtaService(const EtaService&) = delete;
+  EtaService& operator=(const EtaService&) = delete;
+
+  // Synchronous estimate in seconds.
+  double Estimate(const traj::OdInput& od);
+
+  // Asynchronous estimate; blocks only when the request queue is full.
+  std::future<double> Submit(const traj::OdInput& od);
+
+  EtaServiceStats Snapshot() const;
+
+  OdCacheKey MakeKey(const traj::OdInput& od) const;
+
+ private:
+  struct Pending {
+    traj::OdInput od;
+    std::promise<double> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatchLoop();
+  void RecordLatency(std::chrono::steady_clock::time_point start);
+
+  core::DeepOdModel& model_;
+  EtaServiceOptions options_;
+  temporal::TimeSlotter slotter_;
+  util::ShardedLruCache<OdCacheKey, double, OdCacheKeyHash> cache_;
+  std::unique_ptr<util::ThreadPool> pool_;  // batched-forward workers
+
+  // Bounded request queue (Submit side).
+  mutable std::mutex queue_mu_;
+  std::condition_variable queue_not_empty_;
+  std::condition_variable queue_not_full_;
+  std::deque<Pending> queue_;
+  bool stopping_ = false;
+  std::thread dispatcher_;
+
+  // Stats.
+  std::chrono::steady_clock::time_point start_time_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  mutable std::mutex latency_mu_;
+  std::vector<double> latency_ring_ms_;  // ring buffer, latency_count_ total
+  uint64_t latency_count_ = 0;
+};
+
+}  // namespace deepod::serve
+
+#endif  // DEEPOD_SERVE_ETA_SERVICE_H_

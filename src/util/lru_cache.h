@@ -1,0 +1,112 @@
+#ifndef DEEPOD_UTIL_LRU_CACHE_H_
+#define DEEPOD_UTIL_LRU_CACHE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace deepod::util {
+
+// A sharded least-recently-used cache. Keys are hashed onto one of
+// `num_shards` independent shards, each with its own mutex, LRU list and
+// index, so concurrent readers/writers only contend when they land on the
+// same shard. Capacity is split evenly across shards (rounded up), and
+// eviction is strictly LRU *within a shard* — the usual trade of sharded
+// caches: global recency order is approximated, per-shard order is exact.
+//
+// Get/Put are linearisable per shard; hit/miss counters are atomics so a
+// stats snapshot never takes a lock.
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class ShardedLruCache {
+ public:
+  explicit ShardedLruCache(size_t capacity, size_t num_shards = 8)
+      : shards_(num_shards == 0 ? 1 : num_shards) {
+    const size_t n = shards_.size();
+    // Round up so total capacity is never below the request; a capacity
+    // smaller than the shard count still gives every shard one slot.
+    per_shard_capacity_ = capacity == 0 ? 0 : (capacity + n - 1) / n;
+  }
+
+  // Returns the cached value and promotes the entry to most-recently-used.
+  std::optional<Value> Get(const Key& key) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it == shard.index.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second->second;
+  }
+
+  // Inserts or refreshes `key`, evicting the shard's least-recently-used
+  // entry when the shard is full.
+  void Put(const Key& key, Value value) {
+    if (per_shard_capacity_ == 0) return;
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    if (shard.lru.size() >= per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+  }
+
+  size_t size() const {
+    size_t total = 0;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      total += shard.lru.size();
+    }
+    return total;
+  }
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+
+  size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // front = most recently used.
+    std::list<std::pair<Key, Value>> lru;
+    std::unordered_map<Key, typename std::list<std::pair<Key, Value>>::iterator,
+                       Hash>
+        index;
+  };
+
+  Shard& ShardFor(const Key& key) {
+    // Spread the hash before reducing modulo the shard count so shard
+    // selection and the shard map's bucket choice don't correlate.
+    uint64_t h = static_cast<uint64_t>(Hash{}(key));
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    return shards_[h % shards_.size()];
+  }
+
+  std::vector<Shard> shards_;
+  size_t per_shard_capacity_ = 0;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+};
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_LRU_CACHE_H_
