@@ -5,8 +5,6 @@
 // samples/sec) for tooling.
 #include <benchmark/benchmark.h>
 
-#include <fstream>
-#include <thread>
 #include <vector>
 
 #include "nn/conv.h"
@@ -14,6 +12,7 @@
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 
 namespace {
@@ -132,8 +131,9 @@ void BM_AdamStep(benchmark::State& state) {
 BENCHMARK(BM_AdamStep);
 
 // Console reporter that also collects per-benchmark wall time into the
-// compact BENCH_nn_micro.json schema shared with the table benches (see
-// bench/common.h). Piggybacks on the display reporter because
+// shared obs record schema (the same one bench/common.h and the obs
+// registry exports use, so one validator/compare tool covers every
+// BENCH_*.json). Piggybacks on the display reporter because
 // google-benchmark only accepts a separate file reporter together with
 // --benchmark_out.
 class JsonCollector : public benchmark::ConsoleReporter {
@@ -146,35 +146,21 @@ class JsonCollector : public benchmark::ConsoleReporter {
           run.iterations > 0
               ? run.real_accumulated_time / static_cast<double>(run.iterations)
               : run.real_accumulated_time;
-      lines_.push_back(
-          {run.benchmark_name(), secs_per_iter, static_cast<size_t>(run.threads),
-           secs_per_iter > 0.0 ? 1.0 / secs_per_iter : 0.0});
+      obs::Record rec;
+      rec.name = run.benchmark_name();
+      rec.wall_seconds = secs_per_iter;
+      rec.threads = static_cast<size_t>(run.threads);
+      if (secs_per_iter > 0.0) rec.samples_per_sec = 1.0 / secs_per_iter;
+      records_.push_back(std::move(rec));
     }
   }
 
   void WriteJson(const std::string& path) const {
-    std::ofstream out(path);
-    out.precision(9);
-    out << "{\n  \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n  \"records\": [\n";
-    for (size_t i = 0; i < lines_.size(); ++i) {
-      const auto& l = lines_[i];
-      out << "    {\"name\": \"" << l.name << "\", \"wall_seconds\": "
-          << l.wall_seconds << ", \"threads\": " << l.threads
-          << ", \"samples_per_sec\": " << l.samples_per_sec << "}"
-          << (i + 1 < lines_.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
+    obs::WriteRecordsJson(path, records_);
   }
 
  private:
-  struct Line {
-    std::string name;
-    double wall_seconds;
-    size_t threads;
-    double samples_per_sec;
-  };
-  std::vector<Line> lines_;
+  std::vector<obs::Record> records_;
 };
 
 }  // namespace

@@ -15,12 +15,14 @@
 // Usage: bench_serving [num_queries]  (default 2000; CI smoke passes 200).
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <future>
 #include <string>
 #include <vector>
 
 #include "bench/common.h"
 #include "core/deepod_model.h"
+#include "obs/trace.h"
 #include "serve/eta_service.h"
 #include "sim/dataset.h"
 #include "util/rng.h"
@@ -148,7 +150,7 @@ int main(int argc, char** argv) {
     sw.Reset();
     for (const auto& od : stream) sink += service.Estimate(od);
     const double secs = sw.ElapsedSeconds();
-    const auto stats = service.Snapshot();
+    const auto stats = service.StatsSnapshot();
     const double hit_rate =
         stats.cache_hits + stats.cache_misses == 0
             ? 0.0
@@ -175,16 +177,27 @@ int main(int argc, char** argv) {
     for (const auto& od : stream) futures.push_back(service.Submit(od));
     for (auto& f : futures) sink += f.get();
     const double secs = sw.ElapsedSeconds();
-    const auto stats = service.Snapshot();
+    const auto stats = service.StatsSnapshot();
     std::printf(
         "Submit micro-batching:     %8.0f queries/s  avg batch %.1f  "
         "p50 %.3f ms  p99 %.3f ms\n",
         n / secs, stats.avg_batch_size, stats.p50_ms, stats.p99_ms);
     records.push_back(
         {"serving/microbatch/qps", secs, auto_threads, n / secs});
+
+    // The obs-exported serving stats share the BENCH-json schema, so the
+    // same validator covers them (tools/validate_bench_json.py).
+    std::ofstream stats_out("BENCH_serving_stats.json");
+    stats_out << service.ExportJson();
+    std::fprintf(stderr, "[bench] wrote BENCH_serving_stats.json\n");
   }
 
   std::printf("(checksum %.6f)\n", sink);
   bench::WriteBenchJson("BENCH_serving.json", records);
+  if (obs::TraceEnabled()) {
+    obs::WriteTraceJson("deepod_trace.json");
+    std::fprintf(stderr, "[bench] wrote deepod_trace.json (%zu events)\n",
+                 obs::TraceEventCount());
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 #include "core/deepod_model.h"
 #include "core/trainer.h"
 #include "nn/serialize.h"
+#include "obs/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -272,21 +273,22 @@ void PrewarmStandardRuns() {
 
 void WriteBenchJson(const std::string& path,
                     const std::vector<BenchJsonRecord>& records) {
-  std::ofstream out(path);
-  out.precision(6);
-  out << std::fixed;
-  out << "{\n  \"hardware_concurrency\": "
-      << std::thread::hardware_concurrency() << ",\n  \"records\": [\n";
-  for (size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    out << "    {\"name\": \"" << r.name << "\", \"wall_seconds\": "
-        << r.wall_seconds << ", \"threads\": " << r.threads;
-    if (r.samples_per_sec > 0.0) {
-      out << ", \"samples_per_sec\": " << r.samples_per_sec;
-    }
-    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  // All BENCH_*.json emitters funnel through the obs record schema so the
+  // bench files and Registry::ExportJson stay validatable/compare-able by
+  // the same tools (tools/validate_bench_json.py, tools/bench_compare.py).
+  std::vector<obs::Record> out;
+  out.reserve(records.size());
+  for (const auto& r : records) {
+    obs::Record rec;
+    rec.name = r.name;
+    rec.wall_seconds = r.wall_seconds;
+    rec.threads = r.threads;
+    // <= 0 means "not measured": the field is omitted rather than written
+    // as a misleading 0.
+    if (r.samples_per_sec > 0.0) rec.samples_per_sec = r.samples_per_sec;
+    out.push_back(std::move(rec));
   }
-  out << "  ]\n}\n";
+  obs::WriteRecordsJson(path, out);
   std::fprintf(stderr, "[bench] wrote %s (%zu records)\n", path.c_str(),
                records.size());
 }

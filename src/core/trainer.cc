@@ -6,6 +6,7 @@
 
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 
 namespace deepod::core {
@@ -25,9 +26,23 @@ DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
     }
     bn_logs_.resize(num_threads_);
   }
+  if (obs::MetricsEnabled()) {
+    // Grad-arena occupancy: detached gradient buffers held per worker (the
+    // data-parallel path's extra memory footprint vs. serial training).
+    size_t param_doubles = 0;
+    for (const auto& p : model_.Parameters()) param_doubles += p.size();
+    obs::Registry::Global()
+        .gauge("trainer/grad_arena_bytes")
+        .Set(static_cast<double>(arenas_.size() * param_doubles *
+                                 sizeof(double)));
+    obs::Registry::Global()
+        .gauge("trainer/threads")
+        .Set(static_cast<double>(num_threads_));
+  }
 }
 
 double DeepOdTrainer::ValidationMae(size_t max_samples) {
+  OBS_SPAN("trainer/validation");
   model_.SetTraining(false);
   const size_t n = std::min(max_samples, dataset_.validation.size());
   if (n == 0) {
@@ -73,6 +88,11 @@ void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
                                             size_t pos, size_t batch_n,
                                             size_t bs) {
   const size_t tasks = std::min(num_threads_, batch_n);
+  obs::Gauge* queue_depth = nullptr;
+  if (obs::MetricsEnabled()) {
+    queue_depth = &obs::Registry::Global().gauge("trainer/pool/queue_depth");
+    queue_depth->Set(static_cast<double>(tasks));
+  }
   pool_->ParallelFor(tasks, [&](size_t w) {
     const auto [begin, end] = util::ThreadPool::ChunkRange(batch_n, tasks, w);
     // All shared-parameter gradient writes of this chunk land in arena `w`;
@@ -97,6 +117,7 @@ void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
     for (const auto& rec : bn_logs_[w]) rec.bn->ApplyMomentumUpdate(rec.mu, rec.var);
     bn_logs_[w].clear();
   }
+  if (queue_depth != nullptr) queue_depth->Set(0.0);
 }
 
 double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
@@ -112,6 +133,7 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
   std::vector<uint8_t> best_checkpoint;
   double best_val = std::numeric_limits<double>::infinity();
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    OBS_SPAN("trainer/epoch");
     // §6.1: learning rate reduced by the decay factor every 2 epochs.
     const double lr =
         config.learning_rate *
@@ -125,17 +147,23 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
       // stay bit-identical to the pre-threading implementation.
       size_t in_batch = 0;
       for (size_t idx : order) {
-        // Per-sample backward accumulates gradients; scaling by 1/bs makes
-        // the accumulated gradient the mini-batch mean (Algorithm 1 trains
-        // on mini-batches).
-        nn::Tensor loss =
-            nn::Scale(model_.SampleLoss(dataset_.train[idx]),
-                      1.0 / static_cast<double>(bs));
-        loss.Backward();
+        {
+          OBS_SPAN("trainer/forward_backward");
+          // Per-sample backward accumulates gradients; scaling by 1/bs makes
+          // the accumulated gradient the mini-batch mean (Algorithm 1 trains
+          // on mini-batches).
+          nn::Tensor loss =
+              nn::Scale(model_.SampleLoss(dataset_.train[idx]),
+                        1.0 / static_cast<double>(bs));
+          loss.Backward();
+        }
         if (++in_batch == bs) {
-          optimizer_.ClipGradNorm(config.grad_clip);
-          optimizer_.Step();
-          optimizer_.ZeroGrad();
+          {
+            OBS_SPAN("trainer/optimizer");
+            optimizer_.ClipGradNorm(config.grad_clip);
+            optimizer_.Step();
+            optimizer_.ZeroGrad();
+          }
           in_batch = 0;
           ++step_;
           if (callback && step_ % eval_every == 0) {
@@ -144,6 +172,7 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
         }
       }
       if (in_batch > 0) {
+        OBS_SPAN("trainer/optimizer");
         optimizer_.ClipGradNorm(config.grad_clip);
         optimizer_.Step();
         optimizer_.ZeroGrad();
@@ -154,10 +183,16 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
       size_t pos = 0;
       while (pos < order.size()) {
         const size_t batch_n = std::min(bs, order.size() - pos);
-        AccumulateBatchParallel(order, pos, batch_n, bs);
-        optimizer_.ClipGradNorm(config.grad_clip);
-        optimizer_.Step();
-        optimizer_.ZeroGrad();
+        {
+          OBS_SPAN("trainer/forward_backward");
+          AccumulateBatchParallel(order, pos, batch_n, bs);
+        }
+        {
+          OBS_SPAN("trainer/optimizer");
+          optimizer_.ClipGradNorm(config.grad_clip);
+          optimizer_.Step();
+          optimizer_.ZeroGrad();
+        }
         ++step_;
         // Mirrors the serial path: the trailing partial batch steps but
         // never fires the callback.

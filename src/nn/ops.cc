@@ -4,6 +4,22 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
+// Per-KernelMode invocation counters for the hot kernels, compiled in only
+// when the DEEPOD_OBS_KERNEL_COUNTS CMake option is ON (the default build
+// carries no code for this, not even a branch).
+#if defined(DEEPOD_OBS_KERNEL_COUNTS)
+#define DEEPOD_COUNT_KERNEL(op)                                      \
+  do {                                                               \
+    static ::deepod::obs::KernelOpCounters deepod_kernel_counts(op); \
+    deepod_kernel_counts.Bump(                                       \
+        static_cast<size_t>(::deepod::nn::GetKernelMode()));         \
+  } while (0)
+#else
+#define DEEPOD_COUNT_KERNEL(op) ((void)0)
+#endif
+
 namespace deepod::nn {
 namespace {
 
@@ -422,6 +438,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     throw std::invalid_argument("MatMul: incompatible shapes " +
                                 a.ShapeString() + " x " + b.ShapeString());
   }
+  DEEPOD_COUNT_KERNEL("matmul");
   const size_t n = a.dim(0), k = a.dim(1), m = b.dim(1);
   const auto& xa = a.data();
   const auto& xb = b.data();
@@ -516,6 +533,7 @@ Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
                                 w.ShapeString() + " * " + x.ShapeString() +
                                 " + " + b.ShapeString());
   }
+  DEEPOD_COUNT_KERNEL("affine");
   const size_t o = w.dim(0), in = w.dim(1);
   const auto& xw = w.data();
   const auto& xx = x.data();
@@ -561,6 +579,7 @@ Tensor AffineRows(const Tensor& x, const Tensor& w, const Tensor& b) {
                                 x.ShapeString() + " x " + w.ShapeString() +
                                 " + " + b.ShapeString());
   }
+  DEEPOD_COUNT_KERNEL("affine_rows");
   const size_t n = x.dim(0), in = x.dim(1), o = w.dim(0);
   const auto& xx = x.data();
   const auto& xw = w.data();
@@ -790,6 +809,7 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
   if (h + 2 * pad_h < kh || w + 2 * pad_w < kw) {
     throw std::invalid_argument("Conv2d: kernel larger than padded input");
   }
+  DEEPOD_COUNT_KERNEL("conv2d");
   const size_t oh = h + 2 * pad_h - kh + 1;
   const size_t ow = w + 2 * pad_w - kw + 1;
   const ConvGeom geom{cin, h, w, cout, kh, kw, oh, ow, pad_h, pad_w};
@@ -893,6 +913,7 @@ Tensor LstmCellFused(const Tensor& x, const Tensor& h_prev,
       bo.dim(0) != hd || bc.dim(0) != hd) {
     throw std::invalid_argument("LstmCellFused: incompatible shapes");
   }
+  DEEPOD_COUNT_KERNEL("lstm_cell_fused");
   const double* xd = x.data().data();
   const double* hp = h_prev.data().data();
   const double* cp = c_prev.data().data();

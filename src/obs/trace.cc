@@ -1,0 +1,125 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace deepod::obs {
+namespace {
+
+// Cap keeps a runaway trace (e.g. a span inside a per-sample loop over a
+// long training run) from growing without bound: ~100 bytes/event puts the
+// ceiling around 50 MB of JSON.
+constexpr size_t kMaxTraceEvents = 1 << 19;
+
+struct TraceEvent {
+  const char* name;
+  double ts_us;
+  double dur_us;
+  uint32_t tid;
+};
+
+struct TraceBuffer {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t dropped = 0;
+  bool have_epoch = false;
+  std::chrono::steady_clock::time_point epoch;
+};
+
+TraceBuffer& Buffer() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+uint32_t ThisThreadTraceId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+}  // namespace
+
+SpanScope::SpanScope(const char* name, Registry* registry)
+    : name_(name), registry_(registry), active_(MetricsEnabled()) {
+  if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+SpanScope::~SpanScope() {
+  if (!active_) return;
+  const auto end = std::chrono::steady_clock::now();
+  const double seconds =
+      std::chrono::duration<double>(end - start_).count();
+  Registry& registry = registry_ != nullptr ? *registry_ : Registry::Global();
+  registry.histogram(name_).Observe(seconds);
+  if (TraceEnabled()) AppendTraceEvent(name_, start_, end);
+}
+
+void AppendTraceEvent(const char* name,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end) {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  if (!buffer.have_epoch) {
+    buffer.have_epoch = true;
+    buffer.epoch = start;
+  }
+  if (buffer.events.size() >= kMaxTraceEvents) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(
+      {name,
+       std::chrono::duration<double, std::micro>(start - buffer.epoch).count(),
+       std::chrono::duration<double, std::micro>(end - start).count(),
+       ThisThreadTraceId()});
+}
+
+void ClearTrace() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.clear();
+  buffer.dropped = 0;
+  buffer.have_epoch = false;
+}
+
+size_t TraceEventCount() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.events.size();
+}
+
+uint64_t TraceDroppedCount() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  return buffer.dropped;
+}
+
+std::string TraceJson() {
+  TraceBuffer& buffer = Buffer();
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  std::ostringstream out;
+  out.precision(3);
+  out << std::fixed;
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  for (size_t i = 0; i < buffer.events.size(); ++i) {
+    const TraceEvent& e = buffer.events[i];
+    out << "  {\"name\": \"" << e.name << "\", \"cat\": \"deepod\", "
+        << "\"ph\": \"X\", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us
+        << ", \"pid\": 1, \"tid\": " << e.tid << "}"
+        << (i + 1 < buffer.events.size() ? "," : "") << "\n";
+  }
+  out << "]}\n";
+  return out.str();
+}
+
+bool WriteTraceJson(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << TraceJson();
+  return static_cast<bool>(out);
+}
+
+}  // namespace deepod::obs

@@ -1,0 +1,66 @@
+#ifndef DEEPOD_OBS_TRACE_H_
+#define DEEPOD_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace deepod::obs {
+
+// Scoped wall-time span. On destruction (when mode() != kOff) the elapsed
+// time is recorded into `registry->histogram(name)` in seconds, and in
+// trace mode a Chrome trace_event "complete" (ph:"X") record is appended to
+// the process trace buffer. With observability off the constructor is a
+// single relaxed load and branch — no clock reads.
+//
+// `name` must outlive the scope (string literals in practice).
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, Registry* registry = nullptr);
+  ~SpanScope();
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_;
+  Registry* registry_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+#define DEEPOD_OBS_CONCAT2(a, b) a##b
+#define DEEPOD_OBS_CONCAT(a, b) DEEPOD_OBS_CONCAT2(a, b)
+// Times the enclosing scope into the global registry histogram `name`
+// (e.g. OBS_SPAN("trainer/epoch")).
+#define OBS_SPAN(name) \
+  ::deepod::obs::SpanScope DEEPOD_OBS_CONCAT(obs_span_, __LINE__)(name)
+
+// --- Trace buffer ------------------------------------------------------------
+
+// Completed spans recorded while mode() == kTrace, in Chrome trace_event
+// format (chrome://tracing, Perfetto). Timestamps are microseconds relative
+// to the first event after the last ClearTrace(). The buffer is global,
+// mutex-guarded (trace mode is an offline-inspection tool, not the
+// zero-overhead path) and capped — events past the cap are dropped and
+// counted.
+void ClearTrace();
+size_t TraceEventCount();
+uint64_t TraceDroppedCount();
+// {"displayTimeUnit": "ms", "traceEvents": [...]}
+std::string TraceJson();
+// Writes TraceJson() to `path`; returns false if the file could not be
+// opened.
+bool WriteTraceJson(const std::string& path);
+
+// Appends one complete ("ph":"X") event. Called by ~SpanScope in trace
+// mode; also callable directly when a span's endpoints are explicit time
+// points (always-on instruments that time with their own clock reads).
+void AppendTraceEvent(const char* name,
+                      std::chrono::steady_clock::time_point start,
+                      std::chrono::steady_clock::time_point end);
+
+}  // namespace deepod::obs
+
+#endif  // DEEPOD_OBS_TRACE_H_

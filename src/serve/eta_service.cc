@@ -4,20 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/trace.h"
+
 namespace deepod::serve {
 namespace {
 
-// Ring size for latency percentiles: large enough that p99 over a bench run
-// is stable, small enough to copy cheaply in Snapshot().
-constexpr size_t kLatencyRing = 1 << 16;
-
-double PercentileMs(std::vector<double>& sorted, double q) {
-  if (sorted.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
 }
 
 }  // namespace
@@ -28,6 +22,15 @@ EtaService::EtaService(core::DeepOdModel& model,
       options_(options),
       slotter_(0.0, model.config().slot_seconds),
       cache_(options.cache_capacity, options.cache_shards),
+      requests_(registry_.counter("serve/requests")),
+      hits_(registry_.counter("serve/cache_hits")),
+      misses_(registry_.counter("serve/cache_misses")),
+      batches_(registry_.counter("serve/batches")),
+      batched_requests_(registry_.counter("serve/batched_requests")),
+      queue_depth_(registry_.gauge("serve/queue_depth")),
+      latency_(registry_.histogram("serve/latency")),
+      queue_wait_(registry_.histogram("serve/queue_wait")),
+      batch_assembly_(registry_.histogram("serve/batch_assembly")),
       start_time_(std::chrono::steady_clock::now()) {
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
@@ -35,7 +38,6 @@ EtaService::EtaService(core::DeepOdModel& model,
   if (options_.batch_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.batch_threads);
   }
-  latency_ring_ms_.assign(kLatencyRing, 0.0);
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
@@ -68,26 +70,24 @@ OdCacheKey EtaService::MakeKey(const traj::OdInput& od) const {
   return key;
 }
 
-void EtaService::RecordLatency(std::chrono::steady_clock::time_point start) {
-  const double ms = std::chrono::duration<double, std::milli>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-  completed_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(latency_mu_);
-  latency_ring_ms_[latency_count_ % kLatencyRing] = ms;
-  ++latency_count_;
+void EtaService::RecordCompletion(
+    std::chrono::steady_clock::time_point start) {
+  latency_.Observe(SecondsSince(start, std::chrono::steady_clock::now()));
+  requests_.Add();
 }
 
 double EtaService::Estimate(const traj::OdInput& od) {
   const auto start = std::chrono::steady_clock::now();
   const OdCacheKey key = MakeKey(od);
   if (auto cached = cache_.Get(key)) {
-    RecordLatency(start);
+    hits_.Add();
+    RecordCompletion(start);
     return *cached;
   }
+  misses_.Add();
   const double eta = model_.Predict(od);
   cache_.Put(key, eta);
-  RecordLatency(start);
+  RecordCompletion(start);
   return eta;
 }
 
@@ -107,6 +107,7 @@ std::future<double> EtaService::Submit(const traj::OdInput& od) {
       return future;
     }
     queue_.push_back(std::move(pending));
+    queue_depth_.Set(static_cast<double>(queue_.size()));
   }
   queue_not_empty_.notify_one();
   return future;
@@ -127,23 +128,35 @@ void EtaService::DispatchLoop() {
         batch.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
+      queue_depth_.Set(static_cast<double>(queue_.size()));
     }
     queue_not_full_.notify_all();
 
-    // Resolve cache hits, then answer all misses with one batched forward.
+    // Batch assembly: resolve cache hits and collect the miss list; the
+    // queue-wait histogram records how long each request sat in the queue.
+    const auto assembly_start = std::chrono::steady_clock::now();
     std::vector<size_t> miss_index;
     std::vector<traj::OdInput> miss_ods;
     std::vector<OdCacheKey> miss_keys;
     for (size_t i = 0; i < batch.size(); ++i) {
+      queue_wait_.Observe(SecondsSince(batch[i].enqueued, assembly_start));
       const OdCacheKey key = MakeKey(batch[i].od);
       if (auto cached = cache_.Get(key)) {
+        hits_.Add();
         batch[i].promise.set_value(*cached);
-        RecordLatency(batch[i].enqueued);
+        RecordCompletion(batch[i].enqueued);
       } else {
+        misses_.Add();
         miss_index.push_back(i);
         miss_ods.push_back(batch[i].od);
         miss_keys.push_back(key);
       }
+    }
+    const auto assembly_end = std::chrono::steady_clock::now();
+    batch_assembly_.Observe(SecondsSince(assembly_start, assembly_end));
+    if (obs::TraceEnabled()) {
+      obs::AppendTraceEvent("serve/batch_assembly", assembly_start,
+                            assembly_end);
     }
     if (!miss_ods.empty()) {
       const std::vector<double> etas =
@@ -151,42 +164,45 @@ void EtaService::DispatchLoop() {
       for (size_t m = 0; m < miss_index.size(); ++m) {
         cache_.Put(miss_keys[m], etas[m]);
         batch[miss_index[m]].promise.set_value(etas[m]);
-        RecordLatency(batch[miss_index[m]].enqueued);
+        RecordCompletion(batch[miss_index[m]].enqueued);
+      }
+      if (obs::TraceEnabled()) {
+        obs::AppendTraceEvent("serve/batch_predict", assembly_end,
+                              std::chrono::steady_clock::now());
       }
     }
-    batches_.fetch_add(1, std::memory_order_relaxed);
-    batched_requests_.fetch_add(batch.size(), std::memory_order_relaxed);
+    batches_.Add();
+    batched_requests_.Add(batch.size());
   }
 }
 
-EtaServiceStats EtaService::Snapshot() const {
+EtaServiceStats EtaService::StatsSnapshot() const {
   EtaServiceStats stats;
-  stats.requests = completed_.load(std::memory_order_relaxed);
-  stats.cache_hits = cache_.hits();
-  stats.cache_misses = cache_.misses();
-  stats.batches = batches_.load(std::memory_order_relaxed);
-  const uint64_t batched = batched_requests_.load(std::memory_order_relaxed);
+  stats.requests = requests_.Value();
+  stats.cache_hits = hits_.Value();
+  stats.cache_misses = misses_.Value();
+  stats.batches = batches_.Value();
+  const uint64_t batched = batched_requests_.Value();
   stats.avg_batch_size =
       stats.batches == 0
           ? 0.0
           : static_cast<double>(batched) / static_cast<double>(stats.batches);
-  std::vector<double> window;
-  {
-    std::lock_guard<std::mutex> lock(latency_mu_);
-    const size_t n =
-        static_cast<size_t>(std::min<uint64_t>(latency_count_, kLatencyRing));
-    window.assign(latency_ring_ms_.begin(), latency_ring_ms_.begin() + n);
-  }
-  std::sort(window.begin(), window.end());
-  stats.p50_ms = PercentileMs(window, 0.50);
-  stats.p95_ms = PercentileMs(window, 0.95);
-  stats.p99_ms = PercentileMs(window, 0.99);
-  const double elapsed = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start_time_)
-                             .count();
+  stats.p50_ms = latency_.Percentile(0.50) * 1e3;
+  stats.p95_ms = latency_.Percentile(0.95) * 1e3;
+  stats.p99_ms = latency_.Percentile(0.99) * 1e3;
+  const double elapsed =
+      SecondsSince(start_time_, std::chrono::steady_clock::now());
   stats.qps = elapsed > 0.0 ? static_cast<double>(stats.requests) / elapsed
                             : 0.0;
   return stats;
+}
+
+std::string EtaService::ExportJson() const {
+  return registry_.ExportJson("serve/");
+}
+
+std::string EtaService::ExportPrometheus() const {
+  return registry_.ExportPrometheus("serve/");
 }
 
 }  // namespace deepod::serve

@@ -1,7 +1,6 @@
 #ifndef DEEPOD_SERVE_ETA_SERVICE_H_
 #define DEEPOD_SERVE_ETA_SERVICE_H_
 
-#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -9,10 +8,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/deepod_model.h"
+#include "obs/metrics.h"
 #include "temporal/time_slot.h"
 #include "traj/trajectory.h"
 #include "util/lru_cache.h"
@@ -61,8 +62,9 @@ struct EtaServiceOptions {
   size_t batch_threads = 1;
 };
 
-// Counter/latency snapshot. Latency percentiles are computed over a ring of
-// the most recent completions (both Estimate and Submit requests).
+// Counter/latency snapshot, assembled from the service's metrics registry.
+// Latency percentiles are bucket estimates from a fixed-bucket histogram
+// (≤12.5% relative error; see obs::Histogram); counters are exact.
 struct EtaServiceStats {
   uint64_t requests = 0;
   uint64_t cache_hits = 0;
@@ -84,7 +86,18 @@ struct EtaServiceStats {
 //  - Submit(): asynchronous; requests are micro-batched by a dispatcher
 //    thread into PredictBatch calls (amortising per-query overhead) and
 //    resolved through the same cache.
-// Thread-safe; the model must not be trained while the service is running.
+//
+// Observability: every stat lives in a private obs::Registry under the
+// "serve/" prefix — counters for requests/hits/misses/batches, a latency
+// histogram, queue-wait and batch-assembly histograms, and a queue-depth
+// gauge. The registry is per-instance (stats never bleed between services)
+// and always on: the instruments replace the bespoke stats this class used
+// to keep and are cheaper than the mutex-guarded ring they replaced, so
+// they are not gated on DEEPOD_OBS. StatsSnapshot() is served from the
+// registry; ExportJson() emits the shared BENCH-json schema (validated by
+// tools/validate_bench_json.py) and ExportPrometheus() the text exposition
+// format. Thread-safe; the model must not be trained while the service is
+// running.
 class EtaService {
  public:
   EtaService(core::DeepOdModel& model, const EtaServiceOptions& options);
@@ -99,7 +112,12 @@ class EtaService {
   // Asynchronous estimate; blocks only when the request queue is full.
   std::future<double> Submit(const traj::OdInput& od);
 
-  EtaServiceStats Snapshot() const;
+  EtaServiceStats StatsSnapshot() const;
+  // {"hardware_concurrency": N, "records": [...]} over the serve/* metrics.
+  std::string ExportJson() const;
+  // Prometheus text exposition of the serve/* metrics.
+  std::string ExportPrometheus() const;
+  const obs::Registry& registry() const { return registry_; }
 
   OdCacheKey MakeKey(const traj::OdInput& od) const;
 
@@ -111,13 +129,25 @@ class EtaService {
   };
 
   void DispatchLoop();
-  void RecordLatency(std::chrono::steady_clock::time_point start);
+  void RecordCompletion(std::chrono::steady_clock::time_point start);
 
   core::DeepOdModel& model_;
   EtaServiceOptions options_;
   temporal::TimeSlotter slotter_;
   util::ShardedLruCache<OdCacheKey, double, OdCacheKeyHash> cache_;
   std::unique_ptr<util::ThreadPool> pool_;  // batched-forward workers
+
+  // Metrics (registry_ must precede the instrument references).
+  obs::Registry registry_;
+  obs::Counter& requests_;
+  obs::Counter& hits_;
+  obs::Counter& misses_;
+  obs::Counter& batches_;
+  obs::Counter& batched_requests_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& latency_;         // request completion latency (seconds)
+  obs::Histogram& queue_wait_;      // Submit enqueue -> dispatcher dequeue
+  obs::Histogram& batch_assembly_;  // cache resolution + miss-batch build
 
   // Bounded request queue (Submit side).
   mutable std::mutex queue_mu_;
@@ -127,14 +157,7 @@ class EtaService {
   bool stopping_ = false;
   std::thread dispatcher_;
 
-  // Stats.
   std::chrono::steady_clock::time_point start_time_;
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_requests_{0};
-  mutable std::mutex latency_mu_;
-  std::vector<double> latency_ring_ms_;  // ring buffer, latency_count_ total
-  uint64_t latency_count_ = 0;
 };
 
 }  // namespace deepod::serve

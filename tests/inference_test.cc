@@ -277,7 +277,7 @@ TEST(EtaServiceTest, EstimateServesPredictValuesAndCaches) {
   const double expected = model.Predict(od);
   EXPECT_EQ(service.Estimate(od), expected);   // miss -> model
   EXPECT_EQ(service.Estimate(od), expected);   // hit -> cache
-  const auto stats = service.Snapshot();
+  const auto stats = service.StatsSnapshot();
   EXPECT_EQ(stats.cache_hits, 1u);
   EXPECT_EQ(stats.cache_misses, 1u);
   EXPECT_EQ(stats.requests, 2u);
@@ -301,10 +301,40 @@ TEST(EtaServiceTest, SubmitMicroBatchesAndMatchesEstimate) {
   for (size_t i = 0; i < futures.size(); ++i) {
     EXPECT_EQ(futures[i].get(), expected[i]);
   }
-  const auto stats = service.Snapshot();
+  const auto stats = service.StatsSnapshot();
   EXPECT_EQ(stats.requests, ods.size());
   EXPECT_GE(stats.batches, 1u);
   EXPECT_GT(stats.avg_batch_size, 0.0);
+}
+
+TEST(EtaServiceTest, ExportsRegistryBackedStats) {
+  core::DeepOdModel model(TinyConfig(), TinyDataset());
+  model.SetTraining(false);
+  serve::EtaServiceOptions options;
+  serve::EtaService service(model, options);
+  const auto& od = TinyDataset().test[0].od;
+  service.Estimate(od);
+  service.Estimate(od);
+
+  const std::string json = service.ExportJson();
+  EXPECT_NE(json.find("\"hardware_concurrency\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve/requests\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve/cache_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve/latency\""), std::string::npos);
+  EXPECT_NE(json.find("\"serve/queue_wait\""), std::string::npos);
+
+  const std::string prom = service.ExportPrometheus();
+  EXPECT_NE(prom.find("deepod_serve_requests 2"), std::string::npos);
+  EXPECT_NE(prom.find("# TYPE deepod_serve_latency summary"),
+            std::string::npos);
+
+  // Stats are per-instance: a fresh service starts from zero even though
+  // another service already answered queries in this process.
+  serve::EtaService fresh(model, options);
+  EXPECT_EQ(fresh.StatsSnapshot().requests, 0u);
+  const auto stats = service.StatsSnapshot();
+  EXPECT_EQ(stats.requests, 2u);
+  EXPECT_GT(stats.p50_ms, 0.0);
 }
 
 }  // namespace
