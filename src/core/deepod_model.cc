@@ -37,7 +37,8 @@ void InitEmbedding(nn::Embedding& table, const util::WeightedDigraph& graph,
 
 DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset)
     : config_(config),
-      dataset_(dataset),
+      network_(dataset.network),
+      speed_(dataset.speed_matrices.get()),
       slotter_(0.0, config.slot_seconds) {
   if (config_.dm4 != config_.dm8) {
     throw std::invalid_argument(
@@ -73,14 +74,7 @@ DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset
   }
   // TimeInit::kOneHot and kTimestamp keep / ignore the random table.
 
-  // --- Modules --------------------------------------------------------------
-  trajectory_encoder_ = std::make_unique<TrajectoryEncoder>(
-      config_, slotter_, *road_embedding_, *time_slot_embedding_, rng);
-  external_encoder_ = std::make_unique<ExternalFeaturesEncoder>(config_, rng);
-  // Z9 = concat(Ds_1, Ds_n, Dt, ocode, r[1], r[-1], tr) — §4.6.
-  const size_t z9_dim = config_.ds * 2 + config_.dt + config_.dm6 + 3;
-  mlp1_ = std::make_unique<nn::Mlp2>(z9_dim, config_.dm7, config_.dm8, rng);
-  mlp2_ = std::make_unique<nn::Mlp2>(config_.dm8, config_.dm9, 1, rng);
+  BuildModules(rng);
 
   // Default time scale: mean training travel time.
   if (!dataset.train.empty()) {
@@ -88,6 +82,41 @@ DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset
     for (const auto& t : dataset.train) sum += t.travel_time;
     time_scale_ = sum / static_cast<double>(dataset.train.size());
   }
+}
+
+DeepOdModel::DeepOdModel(const DeepOdConfig& config,
+                         const road::RoadNetwork& network,
+                         const sim::SpeedProvider* speed)
+    : config_(config),
+      network_(network),
+      speed_(speed),
+      slotter_(0.0, config.slot_seconds) {
+  if (config_.dm4 != config_.dm8) {
+    throw std::invalid_argument(
+        "DeepOdModel: dm4 (stcode) must equal dm8 (code), §4.6");
+  }
+  // Predict-only: random tables, no graph-embedding pre-training — every
+  // value is expected to be overwritten by Load before the first Predict.
+  util::Rng rng(config_.seed);
+  road_embedding_ = std::make_unique<nn::Embedding>(network.num_segments(),
+                                                    config_.ds, rng);
+  const size_t num_slots =
+      config_.time_init == TimeInit::kDailyGraph
+          ? static_cast<size_t>(slotter_.slots_per_day())
+          : static_cast<size_t>(slotter_.slots_per_week());
+  time_slot_embedding_ =
+      std::make_unique<nn::Embedding>(num_slots, config_.dt, rng);
+  BuildModules(rng);
+  SetTraining(false);
+}
+
+void DeepOdModel::BuildModules(util::Rng& rng) {
+  trajectory_encoder_ = std::make_unique<TrajectoryEncoder>(
+      config_, slotter_, *road_embedding_, *time_slot_embedding_, rng);
+  external_encoder_ = std::make_unique<ExternalFeaturesEncoder>(config_, rng);
+  // Z9 = concat(Ds_1, Ds_n, Dt, ocode, r[1], r[-1], tr) — §4.6.
+  mlp1_ = std::make_unique<nn::Mlp2>(z9_dim(), config_.dm7, config_.dm8, rng);
+  mlp2_ = std::make_unique<nn::Mlp2>(config_.dm8, config_.dm9, 1, rng);
 }
 
 nn::Tensor DeepOdModel::EncodeOd(const traj::OdInput& od) {
@@ -138,10 +167,10 @@ nn::Tensor DeepOdModel::EstimateFromCode(const nn::Tensor& code) {
 
 nn::Tensor DeepOdModel::EncodeExternal(const traj::OdInput& od) {
   const bool use_other = config_.ablation != Ablation::kNoOther;
-  if (!use_other || dataset_.speed_matrices == nullptr) {
+  if (!use_other || speed_ == nullptr) {
     return nn::Tensor::Zeros({config_.dm6});
   }
-  const auto& matrices = *dataset_.speed_matrices;
+  const auto& matrices = *speed_;
   // Memo only in serving conditions: no autograd (a memoised leaf has no
   // graph to offer) and training off (a training-mode forward updates
   // BatchNorm running statistics, a side effect a memo hit would skip).
@@ -267,6 +296,16 @@ void DeepOdModel::SetOcodeMemoCapacity(size_t capacity) {
   ocode_memo_.clear();
 }
 
+void DeepOdModel::ClearOcodeMemo() {
+  std::lock_guard<std::mutex> lock(ocode_memo_mu_);
+  ocode_memo_.clear();
+}
+
+void DeepOdModel::SetSpeedProvider(const sim::SpeedProvider* speed) {
+  speed_ = speed;
+  ClearOcodeMemo();
+}
+
 traj::MatchedTrajectory DeepOdModel::BuildRoutePseudoTrajectory(
     const traj::OdInput& od, const std::vector<size_t>& route_segments) const {
   if (route_segments.empty()) {
@@ -277,14 +316,14 @@ traj::MatchedTrajectory DeepOdModel::BuildRoutePseudoTrajectory(
     throw std::invalid_argument(
         "PredictForRoute: route must start/end at the OD's matched segments");
   }
-  if (!road::IsConnectedPath(dataset_.network, route_segments)) {
+  if (!road::IsConnectedPath(network_, route_segments)) {
     throw std::invalid_argument("PredictForRoute: route is not connected");
   }
   // Pseudo spatio-temporal path: distribute a free-flow-expected duration
   // over the route with the §2 linear interpolation.
   double expected_seconds = 0.0;
   for (size_t i = 0; i < route_segments.size(); ++i) {
-    const auto& s = dataset_.network.segment(route_segments[i]);
+    const auto& s = network_.segment(route_segments[i]);
     double fraction = 1.0;
     if (route_segments.size() == 1) {
       fraction = std::max(0.01, od.dest_ratio - od.origin_ratio);
@@ -299,7 +338,7 @@ traj::MatchedTrajectory DeepOdModel::BuildRoutePseudoTrajectory(
   pseudo.origin_ratio = od.origin_ratio;
   pseudo.dest_ratio = od.dest_ratio;
   pseudo.path = match::InterpolateIntervals(
-      dataset_.network, route_segments, od.origin_ratio, od.dest_ratio,
+      network_, route_segments, od.origin_ratio, od.dest_ratio,
       od.departure_time, od.departure_time + expected_seconds);
   return pseudo;
 }
@@ -342,21 +381,30 @@ nn::Tensor DeepOdModel::SampleLoss(const traj::TripRecord& record) {
 }
 
 void DeepOdModel::Save(const std::string& path) {
-  // Append the time scale as one extra parameter tensor so a single file
-  // captures everything Predict needs.
-  auto params = Parameters();
-  params.push_back(nn::Tensor::Scalar(time_scale_));
-  nn::SaveParameters(path, params);
+  // Tagged state dict: every parameter, every BatchNorm buffer and the time
+  // scale under hierarchical names — one self-describing file captures
+  // everything Predict needs.
+  nn::StateDict state = State();
+  nn::ThrowIfError(nn::SaveStateDict(path, state));
 }
 
 void DeepOdModel::Load(const std::string& path) {
-  auto params = Parameters();
-  nn::Tensor scale = nn::Tensor::Scalar(0.0);
-  params.push_back(scale);
-  nn::LoadParameters(path, params);
-  time_scale_ = scale.item();
-  std::lock_guard<std::mutex> lock(ocode_memo_mu_);
-  ocode_memo_.clear();
+  std::vector<uint8_t> buffer;
+  nn::ThrowIfError(nn::ReadFileBytes(path, &buffer));
+  if (nn::IsLegacyParameterBuffer(buffer)) {
+    // Legacy positional blob: parameters + a trailing time-scale scalar.
+    // BatchNorm buffers keep their current values — the old format never
+    // stored them (the gap the state-dict format closes).
+    auto params = Parameters();
+    nn::Tensor scale = nn::Tensor::Scalar(0.0);
+    params.push_back(scale);
+    nn::DeserializeParameters(buffer, params);
+    time_scale_ = scale.item();
+  } else {
+    nn::StateDict state = State();
+    nn::ThrowIfError(nn::DeserializeStateDict(buffer, state));
+  }
+  ClearOcodeMemo();
 }
 
 std::vector<nn::Tensor> DeepOdModel::Parameters() {
@@ -371,6 +419,19 @@ std::vector<nn::Tensor> DeepOdModel::Parameters() {
   append(mlp1_->Parameters());
   append(mlp2_->Parameters());
   return params;
+}
+
+void DeepOdModel::AppendState(const std::string& prefix, nn::StateDict& out) {
+  road_embedding_->AppendState(nn::JoinName(prefix, "road_embedding."), out);
+  time_slot_embedding_->AppendState(
+      nn::JoinName(prefix, "time_slot_embedding."), out);
+  trajectory_encoder_->AppendState(
+      nn::JoinName(prefix, "trajectory_encoder."), out);
+  external_encoder_->AppendState(
+      nn::JoinName(prefix, "external_encoder."), out);
+  mlp1_->AppendState(nn::JoinName(prefix, "mlp1."), out);
+  mlp2_->AppendState(nn::JoinName(prefix, "mlp2."), out);
+  out.AddScalarBuffer(nn::JoinName(prefix, "time_scale"), &time_scale_);
 }
 
 void DeepOdModel::SetTraining(bool training) {

@@ -29,9 +29,20 @@ namespace deepod::core {
 // O(1) scale so the paper's weighted combination behaves as described.
 class DeepOdModel : public nn::Module {
  public:
-  // `dataset` provides the road network, the temporal slotter and the
-  // training trajectories used for edge-graph co-occurrence weights.
+  // Training construction. `dataset` provides the road network, the speed
+  // field, the temporal slotter and the training trajectories used for
+  // edge-graph co-occurrence weights (and the time-scale default).
   DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset);
+
+  // Predict-only construction: the model needs only the road network (for
+  // table sizes and route predictions) and a speed provider (may be null —
+  // ocode falls back to zeros, as for the N-other ablation). No graph
+  // embedding pre-training runs and the time scale stays 1.0: every
+  // parameter, buffer and the time scale are expected to come from Load /
+  // the artifact loader. This is the constructor the serving path uses to
+  // stand a model up without any training dataset in memory.
+  DeepOdModel(const DeepOdConfig& config, const road::RoadNetwork& network,
+              const sim::SpeedProvider* speed);
 
   // --- Forward pieces ------------------------------------------------------
 
@@ -69,6 +80,17 @@ class DeepOdModel : public nn::Module {
   // changes would make cached codes stale.
   void SetOcodeMemoCapacity(size_t capacity);
 
+  // Drops every memoised ocode. Callers that mutate model state behind the
+  // model's back (the trainer's checkpoint restore, the artifact loader)
+  // must invalidate the memo themselves.
+  void ClearOcodeMemo();
+
+  // Swaps the external-feature speed source (e.g. a frozen
+  // sim::SnapshotSpeedField from an artifact; null disables ocode). The
+  // provider must outlive the model. Clears the ocode memo.
+  void SetSpeedProvider(const sim::SpeedProvider* speed);
+  const sim::SpeedProvider* speed_provider() const { return speed_; }
+
   // The pseudo spatio-temporal path PredictForRoute feeds to M_T: intervals
   // from free-flow expectations via the §2 linear interpolation. Exposed so
   // the serving layer and tests can inspect or reuse it.
@@ -96,13 +118,20 @@ class DeepOdModel : public nn::Module {
   double time_scale() const { return time_scale_; }
   void set_time_scale(double scale) { time_scale_ = scale; }
 
-  // Checkpointing: writes / restores every parameter plus the time scale.
-  // The model must be constructed with the same config and dataset shape
-  // (same embedding table sizes) before Load.
+  // Checkpointing. Save writes the tagged state-dict format (v2): every
+  // parameter, every BatchNorm running-statistic buffer and the time scale,
+  // each under its hierarchical name. Load sniffs the file magic: v2 files
+  // restore by name (strict — throws nn::SerializeError naming the first
+  // mismatching tensor on truncation, corruption or a config mismatch);
+  // legacy positional blobs still load for backward compatibility, with
+  // BatchNorm buffers keeping their current values (the old format never
+  // stored them). The model must be constructed with the same config and
+  // network shape (same embedding table sizes) before Load.
   void Save(const std::string& path);
   void Load(const std::string& path);
 
   std::vector<nn::Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, nn::StateDict& out) override;
   void SetTraining(bool training) override;
 
   const DeepOdConfig& config() const { return config_; }
@@ -118,8 +147,13 @@ class DeepOdModel : public nn::Module {
     return config_.ds * 2 + config_.dt + config_.dm6 + 3;
   }
 
+  // Shared tail of both constructors: builds the module tree (no embedding
+  // pre-training; the training constructor runs that first).
+  void BuildModules(util::Rng& rng);
+
   DeepOdConfig config_;
-  const sim::Dataset& dataset_;
+  const road::RoadNetwork& network_;
+  const sim::SpeedProvider* speed_;  // may be null (no external features)
   temporal::TimeSlotter slotter_;
   double time_scale_ = 1.0;
 

@@ -57,6 +57,13 @@ std::vector<nn::Tensor> TimeIntervalEncoder::Parameters() {
   return params;
 }
 
+void TimeIntervalEncoder::AppendState(const std::string& prefix,
+                                      nn::StateDict& out) {
+  // The shared time-slot embedding is registered by DeepOdModel.
+  resnet_.AppendState(nn::JoinName(prefix, "resnet."), out);
+  mlp_.AppendState(nn::JoinName(prefix, "mlp."), out);
+}
+
 void TimeIntervalEncoder::SetTraining(bool training) {
   Module::SetTraining(training);
   resnet_.SetTraining(training);
@@ -107,6 +114,13 @@ std::vector<nn::Tensor> TrajectoryEncoder::Parameters() {
   params.insert(params.end(), lstm_params.begin(), lstm_params.end());
   params.insert(params.end(), mlp_params.begin(), mlp_params.end());
   return params;
+}
+
+void TrajectoryEncoder::AppendState(const std::string& prefix,
+                                    nn::StateDict& out) {
+  interval_encoder_.AppendState(nn::JoinName(prefix, "interval_encoder."), out);
+  lstm_.AppendState(nn::JoinName(prefix, "lstm."), out);
+  mlp_.AppendState(nn::JoinName(prefix, "mlp."), out);
 }
 
 void TrajectoryEncoder::SetTraining(bool training) {
@@ -160,6 +174,12 @@ std::vector<nn::Tensor> ExternalFeaturesEncoder::Parameters() {
   auto mlp_params = mlp_.Parameters();
   params.insert(params.end(), mlp_params.begin(), mlp_params.end());
   return params;
+}
+
+void ExternalFeaturesEncoder::AppendState(const std::string& prefix,
+                                          nn::StateDict& out) {
+  cnn_.AppendState(nn::JoinName(prefix, "cnn."), out);
+  mlp_.AppendState(nn::JoinName(prefix, "mlp."), out);
 }
 
 void ExternalFeaturesEncoder::SetTraining(bool training) {

@@ -28,6 +28,7 @@ class TimeIntervalEncoder : public nn::Module {
   nn::Tensor Forward(temporal::Timestamp t1, temporal::Timestamp t2);
 
   std::vector<nn::Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, nn::StateDict& out) override;
   void SetTraining(bool training) override;
 
   size_t out_dim() const;
@@ -54,6 +55,7 @@ class TrajectoryEncoder : public nn::Module {
   nn::Tensor Forward(const traj::MatchedTrajectory& trajectory);
 
   std::vector<nn::Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, nn::StateDict& out) override;
   void SetTraining(bool training) override;
 
   size_t out_dim() const;
@@ -81,6 +83,7 @@ class ExternalFeaturesEncoder : public nn::Module {
                      size_t rows, size_t cols);
 
   std::vector<nn::Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, nn::StateDict& out) override;
   void SetTraining(bool training) override;
 
   size_t out_dim() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "nn/ops.h"
@@ -10,13 +11,41 @@
 #include "util/rng.h"
 
 namespace deepod::core {
+namespace {
+
+// Copies every state-dict entry's values into one flat vector (and back).
+// Used for the in-memory best-epoch snapshot: unlike the old
+// SerializeParameters round-trip this covers buffers (BatchNorm running
+// statistics, the time scale) too, so restoring the best epoch no longer
+// silently reverts the running statistics to their last-epoch values.
+void FlattenState(const nn::StateDict& state, std::vector<double>& out) {
+  out.resize(state.NumElements());
+  size_t offset = 0;
+  for (const auto& e : state.entries()) {
+    std::copy_n(e.data, e.size, out.data() + offset);
+    offset += e.size;
+  }
+}
+
+void UnflattenState(const std::vector<double>& flat, const nn::StateDict& state) {
+  size_t offset = 0;
+  for (const auto& e : state.entries()) {
+    std::copy_n(flat.data() + offset, e.size, e.data);
+    offset += e.size;
+  }
+}
+
+}  // namespace
 
 DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
     : model_(model),
       dataset_(dataset),
       optimizer_(model.Parameters(), model.config().learning_rate),
+      rng_(model.config().seed ^ 0xbadc0ffeull),
+      order_(dataset.train.size()),
       num_threads_(
           util::ThreadPool::ResolveThreadCount(model.config().num_threads)) {
+  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
   if (num_threads_ > 1) {
     pool_ = std::make_unique<util::ThreadPool>(num_threads_);
     auto params = model_.Parameters();
@@ -120,19 +149,19 @@ void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
   if (queue_depth != nullptr) queue_depth->Set(0.0);
 }
 
-double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
-                            size_t max_val_samples) {
+double DeepOdTrainer::TrainPrefix(int end_epoch, const StepCallback& callback,
+                                  size_t eval_every, size_t max_val_samples) {
   const auto& config = model_.config();
-  util::Rng rng(config.seed ^ 0xbadc0ffeull);
-  std::vector<size_t> order(dataset_.train.size());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const int last_epoch = std::min(end_epoch, config.epochs);
+  // The visit order is trainer state (order_), not a local: epoch k
+  // shuffles the permutation epoch k-1 left behind, and a checkpoint must
+  // capture it for a resume to replay the identical sample sequence.
+  std::vector<size_t>& order = order_;
 
   model_.SetTraining(true);
   const size_t bs = std::max<size_t>(1, config.batch_size);
-  auto params = model_.Parameters();
-  std::vector<uint8_t> best_checkpoint;
-  double best_val = std::numeric_limits<double>::infinity();
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  double last_val = std::numeric_limits<double>::quiet_NaN();
+  for (int epoch = epoch_; epoch < last_epoch; ++epoch) {
     OBS_SPAN("trainer/epoch");
     // §6.1: learning rate reduced by the decay factor every 2 epochs.
     const double lr =
@@ -140,7 +169,7 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
         std::pow(config.lr_decay_factor,
                  static_cast<double>(epoch / config.lr_decay_epochs));
     optimizer_.set_learning_rate(lr);
-    rng.Shuffle(order);  // Algorithm 1, ModelTrain line 2
+    rng_.Shuffle(order);  // Algorithm 1, ModelTrain line 2
     optimizer_.ZeroGrad();
     if (pool_ == nullptr) {
       // Legacy serial path (num_threads == 1): kept verbatim so results
@@ -202,18 +231,97 @@ double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
         pos += batch_n;
       }
     }
-    // End-of-epoch validation checkpoint; best epoch is restored below.
+    // End-of-epoch validation snapshot; the best epoch is restored by
+    // Train() once the last epoch finishes. The snapshot is the full state
+    // dict — parameters, BatchNorm running statistics and the time scale.
     const double epoch_val = ValidationMae(max_val_samples);
-    if (epoch_val < best_val) {
-      best_val = epoch_val;
-      best_checkpoint = nn::SerializeParameters(params);
+    last_val = epoch_val;
+    if (epoch_val < best_val_) {
+      best_val_ = epoch_val;
+      FlattenState(model_.State(), best_state_);
     }
+    epoch_ = epoch + 1;
   }
-  if (!best_checkpoint.empty()) {
-    nn::DeserializeParameters(best_checkpoint, params);
+  if (std::isnan(last_val)) last_val = ValidationMae(max_val_samples);
+  return last_val;
+}
+
+double DeepOdTrainer::Train(const StepCallback& callback, size_t eval_every,
+                            size_t max_val_samples) {
+  TrainPrefix(model_.config().epochs, callback, eval_every, max_val_samples);
+  if (!best_state_.empty() && std::isfinite(best_val_)) {
+    const nn::StateDict state = model_.State();
+    UnflattenState(best_state_, state);
+    model_.ClearOcodeMemo();
   }
+  // Score the restored best state, then leave the model in inference mode:
+  // ValidationMae toggles training back on for the next step, but after
+  // Train() callers expect Predict to run BatchNorm off the frozen running
+  // statistics (and not mutate them), matching what Save/WriteModelArtifact
+  // just captured.
+  const double final_mae = ValidationMae(max_val_samples);
   model_.SetTraining(false);
-  return ValidationMae(max_val_samples);
+  return final_mae;
+}
+
+void DeepOdTrainer::EnsureBestState() {
+  if (best_state_.empty()) {
+    best_state_.assign(model_.State().NumElements(), 0.0);
+  }
+}
+
+void DeepOdTrainer::SaveCheckpoint(const std::string& path) {
+  nn::StateDict ckpt = model_.State("model.");
+  optimizer_.AppendState("optim.", ckpt);
+  // Trainer bookkeeping. Counters are exact as doubles; the RNG words are
+  // bit-cast so the xoshiro stream resumes exactly.
+  double step_value = static_cast<double>(step_);
+  double epoch_value = static_cast<double>(epoch_);
+  const std::vector<uint64_t> rng_state = rng_.SaveState();
+  std::vector<double> rng_bits(rng_state.size());
+  std::memcpy(rng_bits.data(), rng_state.data(),
+              rng_state.size() * sizeof(uint64_t));
+  std::vector<double> order_values(order_.size());
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_values[i] = static_cast<double>(order_[i]);
+  }
+  EnsureBestState();
+  ckpt.AddScalarBuffer("trainer.step", &step_value);
+  ckpt.AddScalarBuffer("trainer.epoch", &epoch_value);
+  ckpt.AddScalarBuffer("trainer.best_val", &best_val_);
+  ckpt.AddBuffer("trainer.rng", {rng_bits.size()}, rng_bits.data());
+  ckpt.AddBuffer("trainer.order", {order_values.size()}, order_values.data());
+  ckpt.AddBuffer("trainer.best_state", {best_state_.size()},
+                 best_state_.data());
+  nn::ThrowIfError(nn::SaveStateDict(path, ckpt));
+}
+
+void DeepOdTrainer::LoadCheckpoint(const std::string& path) {
+  nn::StateDict ckpt = model_.State("model.");
+  optimizer_.AppendState("optim.", ckpt);
+  double step_value = 0.0;
+  double epoch_value = 0.0;
+  std::vector<double> rng_bits(util::Rng().SaveState().size(), 0.0);
+  std::vector<double> order_values(order_.size(), 0.0);
+  EnsureBestState();
+  ckpt.AddScalarBuffer("trainer.step", &step_value);
+  ckpt.AddScalarBuffer("trainer.epoch", &epoch_value);
+  ckpt.AddScalarBuffer("trainer.best_val", &best_val_);
+  ckpt.AddBuffer("trainer.rng", {rng_bits.size()}, rng_bits.data());
+  ckpt.AddBuffer("trainer.order", {order_values.size()}, order_values.data());
+  ckpt.AddBuffer("trainer.best_state", {best_state_.size()},
+                 best_state_.data());
+  nn::ThrowIfError(nn::LoadStateDict(path, ckpt));
+  step_ = static_cast<size_t>(std::llround(step_value));
+  epoch_ = static_cast<int>(std::llround(epoch_value));
+  for (size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<size_t>(std::llround(order_values[i]));
+  }
+  std::vector<uint64_t> rng_state(rng_bits.size());
+  std::memcpy(rng_state.data(), rng_bits.data(),
+              rng_bits.size() * sizeof(double));
+  rng_.RestoreState(rng_state);
+  model_.ClearOcodeMemo();
 }
 
 std::vector<double> DeepOdTrainer::PredictAll(

@@ -2,7 +2,9 @@
 #define DEEPOD_CORE_TRAINER_H_
 
 #include <functional>
+#include <limits>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/deepod_model.h"
@@ -10,6 +12,7 @@
 #include "nn/optimizer.h"
 #include "nn/tensor.h"
 #include "sim/dataset.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace deepod::core {
@@ -34,13 +37,39 @@ class DeepOdTrainer {
 
   DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset);
 
-  // Trains for model.config().epochs epochs; returns the best validation
-  // MAE (seconds). `callback` may be null. Validation is evaluated on at
-  // most `max_val_samples` trips for speed. Parameters are checkpointed at
-  // every end-of-epoch validation and the best checkpoint is restored at
-  // the end (the paper tunes on the validation split, §6.1).
+  // Trains from the last completed epoch through model.config().epochs;
+  // returns the final validation MAE (seconds) after restoring the
+  // best-validation state. `callback` may be null. Validation is evaluated
+  // on at most `max_val_samples` trips for speed. The full model state
+  // (parameters AND BatchNorm running statistics AND the time scale) is
+  // snapshotted at every end-of-epoch validation and the best snapshot is
+  // restored at the end (the paper tunes on the validation split, §6.1).
   double Train(const StepCallback& callback = nullptr, size_t eval_every = 25,
                size_t max_val_samples = 200);
+
+  // Trains up to `end_epoch` (exclusive, clamped to config.epochs) WITHOUT
+  // the final best-epoch restore, so training can be split across process
+  // lifetimes: run a prefix, SaveCheckpoint, and a fresh trainer that
+  // LoadCheckpoints and calls Train() finishes bit-identically to an
+  // uninterrupted run. Returns the last end-of-epoch validation MAE (or the
+  // current one when no epoch runs).
+  double TrainPrefix(int end_epoch, const StepCallback& callback = nullptr,
+                     size_t eval_every = 25, size_t max_val_samples = 200);
+
+  // Resumable checkpoints (tagged state-dict files): the complete model
+  // state ("model.*"), the Adam moments and step count ("optim.*"), the
+  // shuffle RNG state, epoch/step counters and the best-validation
+  // bookkeeping ("trainer.*"). LoadCheckpoint restores all of it into this
+  // trainer and its model; the model must have been constructed with the
+  // same config and dataset shape. Both throw nn::SerializeError on
+  // failure, naming the first offending tensor.
+  void SaveCheckpoint(const std::string& path);
+  void LoadCheckpoint(const std::string& path);
+
+  // Epochs completed so far (the next Train/TrainPrefix starts here).
+  int completed_epochs() const { return epoch_; }
+  // Best end-of-epoch validation MAE seen so far (+inf before the first).
+  double best_validation_mae() const { return best_val_; }
 
   // Mean validation MAE in seconds over up to `max_samples` trips.
   double ValidationMae(size_t max_samples = 200);
@@ -59,10 +88,26 @@ class DeepOdTrainer {
   void AccumulateBatchParallel(const std::vector<size_t>& order, size_t pos,
                                size_t batch_n, size_t bs);
 
+  // Sizes best_state_ to the model's state element count (zero-filled) if
+  // it has not been allocated yet.
+  void EnsureBestState();
+
   DeepOdModel& model_;
   const sim::Dataset& dataset_;
   nn::Adam optimizer_;
   size_t step_ = 0;
+
+  // Resume state: epoch/shuffle-RNG/best bookkeeping live on the trainer so
+  // a checkpoint can capture them (see SaveCheckpoint).
+  util::Rng rng_;
+  int epoch_ = 0;  // completed epochs
+  double best_val_ = std::numeric_limits<double>::infinity();
+  std::vector<double> best_state_;  // flat model-state snapshot at best epoch
+  // Training-sample visit order. Shuffled in place at the start of every
+  // epoch (so epoch k's shuffle permutes epoch k-1's order, as the original
+  // in-function local did); checkpointed so a resumed run replays the same
+  // sample sequence an uninterrupted run would.
+  std::vector<size_t> order_;
 
   size_t num_threads_;
   std::unique_ptr<util::ThreadPool> pool_;        // null when serial

@@ -1,0 +1,55 @@
+#ifndef DEEPOD_IO_MODEL_ARTIFACT_H_
+#define DEEPOD_IO_MODEL_ARTIFACT_H_
+
+#include <memory>
+#include <string>
+
+#include "core/deepod_model.h"
+#include "road/road_network.h"
+#include "sim/snapshot_speed_field.h"
+
+namespace deepod::io {
+
+// A model artifact is one self-describing, checksummed state-dict file (the
+// nn/serialize v2 format) holding everything serving needs besides the road
+// network itself:
+//
+//   artifact.version   format generation of the entry layout (currently 1)
+//   config.*           one scalar per DeepOdConfig field
+//   model.*            every parameter, BatchNorm buffer and the time scale
+//   speed.*            the frozen speed field (optional: rows/cols/
+//                      snapshot_seconds scalars, snapshot indices, matrices)
+//
+// LoadModelArtifact reconstructs a predict-only DeepOdModel from the
+// artifact plus a road network alone — no training dataset, traffic process
+// or trajectory store in memory — and its predictions are bit-identical to
+// the model that was saved. See DESIGN.md, "Model lifecycle".
+
+// The deserialised serving bundle. Move-only; `model` references `speed`
+// (and the network passed to LoadModelArtifact), so keep the bundle (and
+// that network) alive as long as the model is used. Members are ordered so
+// the model is destroyed before the speed field it points at.
+struct ServingModel {
+  core::DeepOdConfig config;
+  std::unique_ptr<sim::SnapshotSpeedField> speed;  // null if not captured
+  std::unique_ptr<core::DeepOdModel> model;
+};
+
+// Writes the artifact for `model`, embedding `speed` when non-null (pass
+// the frozen field covering the serving horizon; null is valid for models
+// trained without external features). Throws nn::SerializeError on I/O
+// failure.
+void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
+                        const sim::SnapshotSpeedField* speed);
+
+// Reads an artifact and stands up a predict-only model against `network`
+// (which must be the network the model was trained on — the embedding table
+// size is validated against it). Throws nn::SerializeError with a typed
+// status on a truncated/corrupt file, an unsupported artifact version or a
+// config/shape mismatch; a failed load never returns a half-written model.
+ServingModel LoadModelArtifact(const std::string& path,
+                               const road::RoadNetwork& network);
+
+}  // namespace deepod::io
+
+#endif  // DEEPOD_IO_MODEL_ARTIFACT_H_

@@ -109,6 +109,11 @@ Tensor Conv2dLayer::Forward(const Tensor& input) const {
 
 std::vector<Tensor> Conv2dLayer::Parameters() { return {kernel_, bias_}; }
 
+void Conv2dLayer::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddParameter(JoinName(prefix, "kernel"), kernel_);
+  out.AddParameter(JoinName(prefix, "bias"), bias_);
+}
+
 BatchNorm2d::BatchNorm2d(size_t channels, double momentum, double eps)
     : channels_(channels), momentum_(momentum), eps_(eps) {
   gamma_ = Tensor::Full({channels}, 1.0);
@@ -163,6 +168,15 @@ void BatchNorm2d::ApplyMomentumUpdate(const std::vector<double>& mu,
 
 std::vector<Tensor> BatchNorm2d::Parameters() { return {gamma_, beta_}; }
 
+void BatchNorm2d::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddParameter(JoinName(prefix, "gamma"), gamma_);
+  out.AddParameter(JoinName(prefix, "beta"), beta_);
+  out.AddBuffer(JoinName(prefix, "running_mean"), {channels_},
+                running_mean_.data());
+  out.AddBuffer(JoinName(prefix, "running_var"), {channels_},
+                running_var_.data());
+}
+
 ResNetTimeBlock::ResNetTimeBlock(util::Rng& rng)
     : conv1_(1, 4, 3, 1, 1, 0, rng),
       bn1_(4),
@@ -190,6 +204,14 @@ std::vector<Tensor> ResNetTimeBlock::Parameters() {
     params.insert(params.end(), p.begin(), p.end());
   }
   return params;
+}
+
+void ResNetTimeBlock::AppendState(const std::string& prefix, StateDict& out) {
+  conv1_.AppendState(JoinName(prefix, "conv1."), out);
+  bn1_.AppendState(JoinName(prefix, "bn1."), out);
+  conv2_.AppendState(JoinName(prefix, "conv2."), out);
+  bn2_.AppendState(JoinName(prefix, "bn2."), out);
+  conv3_.AppendState(JoinName(prefix, "conv3."), out);
 }
 
 void ResNetTimeBlock::SetTraining(bool training) {
@@ -225,6 +247,16 @@ std::vector<Tensor> TrafficCnn::Parameters() {
     params.insert(params.end(), p.begin(), p.end());
   }
   return params;
+}
+
+void TrafficCnn::AppendState(const std::string& prefix, StateDict& out) {
+  conv1_.AppendState(JoinName(prefix, "conv1."), out);
+  conv2_.AppendState(JoinName(prefix, "conv2."), out);
+  conv3_.AppendState(JoinName(prefix, "conv3."), out);
+  bn1_.AppendState(JoinName(prefix, "bn1."), out);
+  bn2_.AppendState(JoinName(prefix, "bn2."), out);
+  bn3_.AppendState(JoinName(prefix, "bn3."), out);
+  proj_.AppendState(JoinName(prefix, "proj."), out);
 }
 
 void TrafficCnn::SetTraining(bool training) {

@@ -20,6 +20,7 @@ class Conv2dLayer : public Module {
   Tensor Forward(const Tensor& input) const;
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   size_t out_channels() const { return out_channels_; }
 
@@ -47,6 +48,9 @@ class BatchNorm2d : public Module {
   Tensor Forward(const Tensor& input);
 
   std::vector<Tensor> Parameters() override;
+  // Registers gamma/beta plus the running_mean/running_var buffers — the
+  // running statistics are inference state and must travel with checkpoints.
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   const std::vector<double>& running_mean() const { return running_mean_; }
   const std::vector<double>& running_var() const { return running_var_; }
@@ -104,6 +108,7 @@ class ResNetTimeBlock : public Module {
   Tensor Forward(const Tensor& input);
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
   void SetTraining(bool training) override;
 
  private:
@@ -125,6 +130,7 @@ class TrafficCnn : public Module {
   Tensor Forward(const Tensor& input);
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
   void SetTraining(bool training) override;
 
   size_t out_dim() const { return proj_.out_dim(); }

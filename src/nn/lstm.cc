@@ -73,4 +73,15 @@ std::vector<Tensor> Lstm::Parameters() {
   return {wf_, wi_, wo_, wc_, bf_, bi_, bo_, bc_};
 }
 
+void Lstm::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddParameter(JoinName(prefix, "w_forget"), wf_);
+  out.AddParameter(JoinName(prefix, "w_input"), wi_);
+  out.AddParameter(JoinName(prefix, "w_output"), wo_);
+  out.AddParameter(JoinName(prefix, "w_cell"), wc_);
+  out.AddParameter(JoinName(prefix, "b_forget"), bf_);
+  out.AddParameter(JoinName(prefix, "b_input"), bi_);
+  out.AddParameter(JoinName(prefix, "b_output"), bo_);
+  out.AddParameter(JoinName(prefix, "b_cell"), bc_);
+}
+
 }  // namespace deepod::nn

@@ -25,6 +25,7 @@ class Lstm : public Module {
   std::vector<Tensor> ForwardAll(const std::vector<Tensor>& inputs) const;
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   size_t input_dim() const { return input_dim_; }
   size_t hidden_dim() const { return hidden_dim_; }

@@ -5,6 +5,75 @@
 
 namespace deepod::nn {
 
+void StateDict::AddParameter(const std::string& name, const Tensor& parameter) {
+  Entry e;
+  e.name = name;
+  e.shape = parameter.shape();
+  // The handle keeps the shared storage alive; the raw pointer stays valid
+  // because Tensor data buffers are never reallocated after construction.
+  e.keepalive = parameter;
+  e.data = e.keepalive.data().data();
+  e.size = parameter.size();
+  e.is_buffer = false;
+  entries_.push_back(std::move(e));
+}
+
+void StateDict::AddBuffer(const std::string& name, std::vector<size_t> shape,
+                          double* data) {
+  Entry e;
+  e.name = name;
+  e.size = nn::NumElements(shape);
+  e.shape = std::move(shape);
+  e.data = data;
+  e.is_buffer = true;
+  entries_.push_back(std::move(e));
+}
+
+void StateDict::AddScalarBuffer(const std::string& name, double* value) {
+  AddBuffer(name, {}, value);
+}
+
+const StateDict::Entry* StateDict::Find(const std::string& name) const {
+  for (const auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+size_t StateDict::NumElements() const {
+  size_t n = 0;
+  for (const auto& e : entries_) n += e.size;
+  return n;
+}
+
+std::string JoinName(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + name;
+}
+
+StateDict Module::State(const std::string& prefix) {
+  StateDict dict;
+  AppendState(prefix, dict);
+  return dict;
+}
+
+std::vector<StateDict::Entry> Module::NamedParameters() {
+  const StateDict dict = State();
+  std::vector<StateDict::Entry> out;
+  for (const auto& e : dict.entries()) {
+    if (!e.is_buffer) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<StateDict::Entry> Module::NamedBuffers() {
+  const StateDict dict = State();
+  std::vector<StateDict::Entry> out;
+  for (const auto& e : dict.entries()) {
+    if (e.is_buffer) out.push_back(e);
+  }
+  return out;
+}
+
 size_t Module::NumParameters() {
   size_t n = 0;
   for (auto& p : Parameters()) n += p.size();
@@ -65,6 +134,11 @@ Tensor Linear::ForwardBatch(const Tensor& x) const {
 
 std::vector<Tensor> Linear::Parameters() { return {w_, b_}; }
 
+void Linear::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddParameter(JoinName(prefix, "weight"), w_);
+  out.AddParameter(JoinName(prefix, "bias"), b_);
+}
+
 Mlp2::Mlp2(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng& rng)
     : layer1_(in_dim, hidden_dim, rng), layer2_(hidden_dim, out_dim, rng) {}
 
@@ -81,6 +155,11 @@ std::vector<Tensor> Mlp2::Parameters() {
   auto p2 = layer2_.Parameters();
   p.insert(p.end(), p2.begin(), p2.end());
   return p;
+}
+
+void Mlp2::AppendState(const std::string& prefix, StateDict& out) {
+  layer1_.AppendState(JoinName(prefix, "layer1."), out);
+  layer2_.AppendState(JoinName(prefix, "layer2."), out);
 }
 
 Embedding::Embedding(size_t num_entries, size_t dim, util::Rng& rng)
@@ -113,5 +192,9 @@ void Embedding::LoadPretrained(const std::vector<std::vector<double>>& init) {
 }
 
 std::vector<Tensor> Embedding::Parameters() { return {table_}; }
+
+void Embedding::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddParameter(JoinName(prefix, "table"), table_);
+}
 
 }  // namespace deepod::nn

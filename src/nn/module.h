@@ -10,6 +10,55 @@
 
 namespace deepod::nn {
 
+// An ordered, named view of a model's state: every trainable parameter plus
+// every non-trainable buffer (BatchNorm running statistics, scalar extras
+// like a model's time scale). Names are hierarchical dotted paths
+// ("external_encoder.cnn.bn1.running_mean") assembled by the owning module
+// tree, so a saved state identifies each tensor by name instead of by
+// position — the contract the tagged serialisation format (serialize.h) and
+// the model-artifact layer are built on.
+//
+// Entries borrow their storage: the dict is a view, valid only while the
+// module that produced it is alive. Parameter entries additionally keep a
+// Tensor handle so the shared storage cannot be recycled under the view.
+class StateDict {
+ public:
+  struct Entry {
+    std::string name;
+    std::vector<size_t> shape;  // empty = scalar
+    double* data = nullptr;     // borrowed, `size` elements
+    size_t size = 0;
+    bool is_buffer = false;  // true for non-trainable state
+    Tensor keepalive;        // defined only for parameter entries
+  };
+
+  // Registers a trainable parameter (shape/storage taken from the tensor).
+  void AddParameter(const std::string& name, const Tensor& parameter);
+  // Registers a non-trainable buffer over caller-owned storage; `data` must
+  // hold NumElements(shape) doubles and outlive the dict.
+  void AddBuffer(const std::string& name, std::vector<size_t> shape,
+                 double* data);
+  // Scalar buffer convenience (shape {}).
+  void AddScalarBuffer(const std::string& name, double* value);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+  // Entry lookup by exact name; nullptr when absent.
+  const Entry* Find(const std::string& name) const;
+
+  // Total scalar element count across all entries.
+  size_t NumElements() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+// Joins a hierarchical state prefix with a leaf or child name ("a." + "b"
+// -> "a.b"). Prefixes passed to AppendState always end in '.' or are empty.
+std::string JoinName(const std::string& prefix, const std::string& name);
+
 // Base class for parameterised layers. Parameters are Tensor handles with
 // requires_grad set; an optimiser updates them in place.
 class Module {
@@ -17,7 +66,24 @@ class Module {
   virtual ~Module() = default;
 
   // All trainable parameter tensors (handles share storage with the module).
+  // The order is load-bearing for the optimiser and the gradient arenas;
+  // AppendState must register the same tensors (plus buffers) by name.
   virtual std::vector<Tensor> Parameters() = 0;
+
+  // Appends this module's named parameters and buffers to `out`, each name
+  // prefixed with `prefix` (either empty or ending in '.'). Submodules are
+  // recursed into with an extended prefix, yielding hierarchical names like
+  // "mlp1.layer1.weight". Every module must register its complete state:
+  // the state dict is the single source of truth for checkpointing.
+  virtual void AppendState(const std::string& prefix, StateDict& out) = 0;
+
+  // The full named state of this module tree (parameters and buffers).
+  StateDict State(const std::string& prefix = "");
+
+  // Named trainable parameters, in Parameters() order.
+  std::vector<StateDict::Entry> NamedParameters();
+  // Named non-trainable buffers (BatchNorm running statistics etc.).
+  std::vector<StateDict::Entry> NamedBuffers();
 
   // Total number of scalar parameters (model-size accounting, Table 5).
   size_t NumParameters();
@@ -46,6 +112,7 @@ class Linear : public Module {
   Tensor ForwardBatch(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return out_dim_; }
@@ -70,6 +137,7 @@ class Mlp2 : public Module {
   Tensor ForwardBatch(const Tensor& x) const;
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   size_t out_dim() const { return layer2_.out_dim(); }
 
@@ -94,6 +162,7 @@ class Embedding : public Module {
   void LoadPretrained(const std::vector<std::vector<double>>& init);
 
   std::vector<Tensor> Parameters() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
   size_t num_entries() const { return num_entries_; }
   size_t dim() const { return dim_; }

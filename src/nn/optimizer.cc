@@ -26,6 +26,24 @@ Sgd::Sgd(std::vector<Tensor> params, double lr, double momentum)
   for (auto& p : params_) velocity_.emplace_back(p.size(), 0.0);
 }
 
+namespace {
+
+// Zero-padded parameter index ("007") so names sort in construction order.
+std::string IndexName(size_t i) {
+  std::string s = std::to_string(i);
+  while (s.size() < 3) s.insert(s.begin(), '0');
+  return s;
+}
+
+}  // namespace
+
+void Sgd::AppendState(const std::string& prefix, StateDict& out) {
+  for (size_t i = 0; i < velocity_.size(); ++i) {
+    out.AddBuffer(JoinName(prefix, "velocity." + IndexName(i)),
+                  {velocity_[i].size()}, velocity_[i].data());
+  }
+}
+
 void Sgd::Step() {
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& data = params_[i].data();
@@ -50,10 +68,20 @@ Adam::Adam(std::vector<Tensor> params, double lr, double beta1, double beta2,
   }
 }
 
+void Adam::AppendState(const std::string& prefix, StateDict& out) {
+  out.AddScalarBuffer(JoinName(prefix, "t"), &t_);
+  for (size_t i = 0; i < m_.size(); ++i) {
+    out.AddBuffer(JoinName(prefix, "m." + IndexName(i)), {m_[i].size()},
+                  m_[i].data());
+    out.AddBuffer(JoinName(prefix, "v." + IndexName(i)), {v_[i].size()},
+                  v_[i].data());
+  }
+}
+
 void Adam::Step() {
-  ++t_;
-  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
-  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  t_ += 1.0;
+  const double bc1 = 1.0 - std::pow(beta1_, t_);
+  const double bc2 = 1.0 - std::pow(beta2_, t_);
   for (size_t i = 0; i < params_.size(); ++i) {
     auto& data = params_[i].data();
     const auto& grad = params_[i].grad();

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/module.h"
 #include "nn/tensor.h"
 
 namespace deepod::nn {
@@ -16,6 +17,13 @@ class Optimizer {
   virtual ~Optimizer() = default;
 
   virtual void Step() = 0;
+
+  // Registers the optimiser's own state (momentum / moment buffers, step
+  // counters) in a state dict under `prefix`, so a training run can be
+  // checkpointed and resumed bit-identically. Buffers are named by the
+  // position of their parameter in the construction list ("m.12"), which is
+  // stable because Parameters() order is part of the module contract.
+  virtual void AppendState(const std::string& prefix, StateDict& out) = 0;
 
   void ZeroGrad() {
     for (auto& p : params_) p.ZeroGrad();
@@ -39,6 +47,7 @@ class Sgd : public Optimizer {
   Sgd(std::vector<Tensor> params, double lr, double momentum = 0.0);
 
   void Step() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
  private:
   double momentum_;
@@ -52,10 +61,13 @@ class Adam : public Optimizer {
        double beta2 = 0.999, double eps = 1e-8);
 
   void Step() override;
+  void AppendState(const std::string& prefix, StateDict& out) override;
 
  private:
   double beta1_, beta2_, eps_;
-  int64_t t_ = 0;
+  // Step count; held as a double (exact for any realistic count) so the
+  // checkpoint state dict can reference it in place.
+  double t_ = 0.0;
   std::vector<std::vector<double>> m_;
   std::vector<std::vector<double>> v_;
 };

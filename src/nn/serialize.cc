@@ -2,12 +2,15 @@
 
 #include <cstring>
 #include <fstream>
-#include <stdexcept>
+#include <sstream>
 
 namespace deepod::nn {
 namespace {
 
-constexpr uint32_t kMagic = 0xd33b0d01;  // "deepod" format v1
+constexpr uint32_t kLegacyMagic = 0xd33b0d01;  // "deepod" format v1
+constexpr uint32_t kMagic = 0xd33b0d02;        // "deepod" format v2
+constexpr uint32_t kVersion = 2;
+constexpr uint8_t kDtypeF64 = 1;
 
 template <typename T>
 void AppendPod(std::vector<uint8_t>& buf, const T& value) {
@@ -15,23 +18,323 @@ void AppendPod(std::vector<uint8_t>& buf, const T& value) {
   buf.insert(buf.end(), bytes, bytes + sizeof(T));
 }
 
+// Bounds-checked POD read; returns false instead of reading past the end.
+template <typename T>
+bool TryReadPod(const std::vector<uint8_t>& buf, size_t& offset, T* value) {
+  if (offset + sizeof(T) > buf.size()) return false;
+  std::memcpy(value, buf.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+// Throwing variant for the legacy decoder.
 template <typename T>
 T ReadPod(const std::vector<uint8_t>& buf, size_t& offset) {
-  if (offset + sizeof(T) > buf.size()) {
-    throw std::runtime_error("DeserializeParameters: truncated buffer");
-  }
   T value;
-  std::memcpy(&value, buf.data() + offset, sizeof(T));
-  offset += sizeof(T);
+  if (!TryReadPod(buf, offset, &value)) {
+    throw SerializeError(LoadStatus::Error(
+        LoadErrorKind::kTruncated, "DeserializeParameters: truncated buffer"));
+  }
   return value;
+}
+
+uint64_t Fnv1a64(const uint8_t* data, size_t size) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string ShapeToString(const std::vector<size_t>& shape) {
+  std::ostringstream out;
+  out << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << shape[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+LoadStatus Truncated(const std::string& where) {
+  return LoadStatus::Error(LoadErrorKind::kTruncated,
+                           "state dict truncated in " + where);
 }
 
 }  // namespace
 
+LoadStatus LoadStatus::Error(LoadErrorKind kind, std::string message,
+                             std::string tensor) {
+  LoadStatus status;
+  status.kind = kind;
+  status.message = std::move(message);
+  status.tensor = std::move(tensor);
+  return status;
+}
+
+const char* LoadErrorKindName(LoadErrorKind kind) {
+  switch (kind) {
+    case LoadErrorKind::kNone: return "ok";
+    case LoadErrorKind::kIoError: return "io_error";
+    case LoadErrorKind::kBadMagic: return "bad_magic";
+    case LoadErrorKind::kBadVersion: return "bad_version";
+    case LoadErrorKind::kTruncated: return "truncated";
+    case LoadErrorKind::kBadChecksum: return "bad_checksum";
+    case LoadErrorKind::kBadDtype: return "bad_dtype";
+    case LoadErrorKind::kMissingTensor: return "missing_tensor";
+    case LoadErrorKind::kUnexpectedTensor: return "unexpected_tensor";
+    case LoadErrorKind::kShapeMismatch: return "shape_mismatch";
+    case LoadErrorKind::kTrailingBytes: return "trailing_bytes";
+    case LoadErrorKind::kCountMismatch: return "count_mismatch";
+  }
+  return "unknown";
+}
+
+SerializeError::SerializeError(LoadStatus status)
+    : std::runtime_error(std::string(LoadErrorKindName(status.kind)) + ": " +
+                         status.message),
+      status_(std::move(status)) {}
+
+const LoadStatus& ThrowIfError(const LoadStatus& status) {
+  if (!status.ok()) throw SerializeError(status);
+  return status;
+}
+
+// --- Tagged state-dict format (v2) ------------------------------------------
+
+size_t SerializedStateSize(const StateDict& state) {
+  size_t bytes = sizeof(uint32_t) * 2 + sizeof(uint64_t);  // header
+  for (const auto& e : state.entries()) {
+    bytes += sizeof(uint32_t) + e.name.size();               // name
+    bytes += sizeof(uint8_t);                                // dtype
+    bytes += sizeof(uint32_t) + sizeof(uint64_t) * e.shape.size();  // dims
+    bytes += sizeof(double) * e.size;                        // payload
+  }
+  return bytes + sizeof(uint64_t);  // checksum
+}
+
+std::vector<uint8_t> SerializeStateDict(const StateDict& state) {
+  std::vector<uint8_t> buf;
+  buf.reserve(SerializedStateSize(state));
+  AppendPod(buf, kMagic);
+  AppendPod(buf, kVersion);
+  AppendPod(buf, static_cast<uint64_t>(state.size()));
+  for (const auto& e : state.entries()) {
+    AppendPod(buf, static_cast<uint32_t>(e.name.size()));
+    buf.insert(buf.end(), e.name.begin(), e.name.end());
+    AppendPod(buf, kDtypeF64);
+    AppendPod(buf, static_cast<uint32_t>(e.shape.size()));
+    for (size_t d : e.shape) AppendPod(buf, static_cast<uint64_t>(d));
+    const auto* payload = reinterpret_cast<const uint8_t*>(e.data);
+    buf.insert(buf.end(), payload, payload + sizeof(double) * e.size);
+  }
+  AppendPod(buf, Fnv1a64(buf.data(), buf.size()));
+  return buf;
+}
+
+LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
+                          std::vector<TensorRecord>* out,
+                          bool verify_checksum) {
+  out->clear();
+  size_t offset = 0;
+  uint32_t magic = 0;
+  if (!TryReadPod(buffer, offset, &magic)) return Truncated("header");
+  if (magic != kMagic) {
+    if (magic == kLegacyMagic) {
+      return LoadStatus::Error(LoadErrorKind::kBadMagic,
+                               "legacy positional blob, not a state dict");
+    }
+    return LoadStatus::Error(LoadErrorKind::kBadMagic,
+                             "not a deepod state dict");
+  }
+  uint32_t version = 0;
+  if (!TryReadPod(buffer, offset, &version)) return Truncated("header");
+  if (version != kVersion) {
+    return LoadStatus::Error(
+        LoadErrorKind::kBadVersion,
+        "unsupported state-dict version " + std::to_string(version) +
+            " (reader supports " + std::to_string(kVersion) + ")");
+  }
+  uint64_t count = 0;
+  if (!TryReadPod(buffer, offset, &count)) return Truncated("header");
+  if (buffer.size() < offset + sizeof(uint64_t)) return Truncated("checksum");
+  const size_t checksum_offset = buffer.size() - sizeof(uint64_t);
+  for (uint64_t i = 0; i < count; ++i) {
+    TensorRecord rec;
+    uint32_t name_len = 0;
+    if (!TryReadPod(buffer, offset, &name_len)) return Truncated("record name");
+    if (offset + name_len > checksum_offset) return Truncated("record name");
+    rec.name.assign(reinterpret_cast<const char*>(buffer.data() + offset),
+                    name_len);
+    offset += name_len;
+    if (!TryReadPod(buffer, offset, &rec.dtype)) {
+      return Truncated("record " + rec.name);
+    }
+    if (rec.dtype != kDtypeF64) {
+      return LoadStatus::Error(
+          LoadErrorKind::kBadDtype,
+          "tensor '" + rec.name + "' has unknown dtype tag " +
+              std::to_string(static_cast<int>(rec.dtype)),
+          rec.name);
+    }
+    uint32_t ndim = 0;
+    if (!TryReadPod(buffer, offset, &ndim)) {
+      return Truncated("record " + rec.name);
+    }
+    rec.num_elements = 1;
+    rec.shape.reserve(ndim);
+    for (uint32_t d = 0; d < ndim; ++d) {
+      uint64_t dim = 0;
+      if (!TryReadPod(buffer, offset, &dim)) {
+        return Truncated("record " + rec.name);
+      }
+      rec.shape.push_back(static_cast<size_t>(dim));
+      rec.num_elements *= static_cast<size_t>(dim);
+    }
+    rec.payload_offset = offset;
+    const size_t payload_bytes = sizeof(double) * rec.num_elements;
+    if (offset + payload_bytes > checksum_offset) {
+      return Truncated("payload of " + rec.name);
+    }
+    offset += payload_bytes;
+    out->push_back(std::move(rec));
+  }
+  if (offset != checksum_offset) {
+    return LoadStatus::Error(LoadErrorKind::kTrailingBytes,
+                             "state dict holds bytes past the last record");
+  }
+  if (verify_checksum) {
+    uint64_t stored = 0;
+    size_t co = checksum_offset;
+    TryReadPod(buffer, co, &stored);
+    const uint64_t computed = Fnv1a64(buffer.data(), checksum_offset);
+    if (stored != computed) {
+      return LoadStatus::Error(LoadErrorKind::kBadChecksum,
+                               "state-dict checksum mismatch");
+    }
+  }
+  return LoadStatus::Ok();
+}
+
+std::vector<double> ReadRecordPayload(const std::vector<uint8_t>& buffer,
+                                      const TensorRecord& record) {
+  std::vector<double> out(record.num_elements);
+  std::memcpy(out.data(), buffer.data() + record.payload_offset,
+              sizeof(double) * record.num_elements);
+  return out;
+}
+
+LoadStatus DeserializeStateDict(const std::vector<uint8_t>& buffer,
+                                StateDict& state) {
+  std::vector<TensorRecord> records;
+  if (LoadStatus status = IndexStateDict(buffer, &records); !status.ok()) {
+    return status;
+  }
+  // Validate everything before writing anything: a failed load must not
+  // leave the model half-restored.
+  std::vector<const TensorRecord*> sources(state.size(), nullptr);
+  std::vector<bool> consumed(records.size(), false);
+  const auto& entries = state.entries();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const TensorRecord* found = nullptr;
+    for (size_t r = 0; r < records.size(); ++r) {
+      if (!consumed[r] && records[r].name == e.name) {
+        found = &records[r];
+        consumed[r] = true;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return LoadStatus::Error(
+          LoadErrorKind::kMissingTensor,
+          "tensor '" + e.name + "' (expected shape " + ShapeToString(e.shape) +
+              ") is not in the file — config mismatch or older format",
+          e.name);
+    }
+    if (found->shape != e.shape) {
+      return LoadStatus::Error(
+          LoadErrorKind::kShapeMismatch,
+          "tensor '" + e.name + "': expected shape " + ShapeToString(e.shape) +
+              ", file has " + ShapeToString(found->shape),
+          e.name);
+    }
+    sources[i] = found;
+  }
+  for (size_t r = 0; r < records.size(); ++r) {
+    if (!consumed[r]) {
+      return LoadStatus::Error(
+          LoadErrorKind::kUnexpectedTensor,
+          "file tensor '" + records[r].name +
+              "' has no destination in the model — config mismatch",
+          records[r].name);
+    }
+  }
+  for (size_t i = 0; i < entries.size(); ++i) {
+    std::memcpy(entries[i].data, buffer.data() + sources[i]->payload_offset,
+                sizeof(double) * entries[i].size);
+  }
+  return LoadStatus::Ok();
+}
+
+bool IsStateDictBuffer(const std::vector<uint8_t>& buffer) {
+  uint32_t magic = 0;
+  size_t offset = 0;
+  return TryReadPod(buffer, offset, &magic) && magic == kMagic;
+}
+
+bool IsLegacyParameterBuffer(const std::vector<uint8_t>& buffer) {
+  uint32_t magic = 0;
+  size_t offset = 0;
+  return TryReadPod(buffer, offset, &magic) && magic == kLegacyMagic;
+}
+
+LoadStatus ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) {
+    return LoadStatus::Error(LoadErrorKind::kIoError, "cannot open " + path);
+  }
+  const auto size = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  out->resize(size);
+  in.read(reinterpret_cast<char*>(out->data()),
+          static_cast<std::streamsize>(size));
+  if (!in) {
+    return LoadStatus::Error(LoadErrorKind::kIoError, "cannot read " + path);
+  }
+  return LoadStatus::Ok();
+}
+
+LoadStatus SaveStateDict(const std::string& path, const StateDict& state) {
+  const auto buf = SerializeStateDict(state);
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    return LoadStatus::Error(LoadErrorKind::kIoError, "cannot open " + path);
+  }
+  out.write(reinterpret_cast<const char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+  if (!out) {
+    return LoadStatus::Error(LoadErrorKind::kIoError, "cannot write " + path);
+  }
+  return LoadStatus::Ok();
+}
+
+LoadStatus LoadStateDict(const std::string& path, StateDict& state) {
+  std::vector<uint8_t> buf;
+  if (LoadStatus status = ReadFileBytes(path, &buf); !status.ok()) {
+    return status;
+  }
+  return DeserializeStateDict(buf, state);
+}
+
+// --- Legacy positional blob (v1) --------------------------------------------
+
 std::vector<uint8_t> SerializeParameters(const std::vector<Tensor>& params) {
   std::vector<uint8_t> buf;
   buf.reserve(SerializedSize(params));
-  AppendPod(buf, kMagic);
+  AppendPod(buf, kLegacyMagic);
   AppendPod(buf, static_cast<uint64_t>(params.size()));
   for (const auto& p : params) {
     AppendPod(buf, static_cast<uint64_t>(p.ndim()));
@@ -44,27 +347,39 @@ std::vector<uint8_t> SerializeParameters(const std::vector<Tensor>& params) {
 void DeserializeParameters(const std::vector<uint8_t>& buffer,
                            std::vector<Tensor>& params) {
   size_t offset = 0;
-  if (ReadPod<uint32_t>(buffer, offset) != kMagic) {
-    throw std::runtime_error("DeserializeParameters: bad magic");
+  if (ReadPod<uint32_t>(buffer, offset) != kLegacyMagic) {
+    throw SerializeError(LoadStatus::Error(
+        LoadErrorKind::kBadMagic, "DeserializeParameters: bad magic"));
   }
   const uint64_t count = ReadPod<uint64_t>(buffer, offset);
   if (count != params.size()) {
-    throw std::runtime_error("DeserializeParameters: parameter count mismatch");
+    throw SerializeError(LoadStatus::Error(
+        LoadErrorKind::kCountMismatch,
+        "DeserializeParameters: file has " + std::to_string(count) +
+            " parameters, model expects " + std::to_string(params.size())));
   }
-  for (auto& p : params) {
+  for (size_t i = 0; i < params.size(); ++i) {
+    auto& p = params[i];
+    const std::string pos = "parameter #" + std::to_string(i);
     const uint64_t ndim = ReadPod<uint64_t>(buffer, offset);
     if (ndim != p.ndim()) {
-      throw std::runtime_error("DeserializeParameters: rank mismatch");
+      throw SerializeError(LoadStatus::Error(
+          LoadErrorKind::kShapeMismatch,
+          "DeserializeParameters: " + pos + " rank mismatch", pos));
     }
     for (size_t d = 0; d < ndim; ++d) {
       if (ReadPod<uint64_t>(buffer, offset) != p.dim(d)) {
-        throw std::runtime_error("DeserializeParameters: shape mismatch");
+        throw SerializeError(LoadStatus::Error(
+            LoadErrorKind::kShapeMismatch,
+            "DeserializeParameters: " + pos + " shape mismatch", pos));
       }
     }
     for (double& x : p.data()) x = ReadPod<double>(buffer, offset);
   }
   if (offset != buffer.size()) {
-    throw std::runtime_error("DeserializeParameters: trailing bytes");
+    throw SerializeError(LoadStatus::Error(
+        LoadErrorKind::kTrailingBytes,
+        "DeserializeParameters: trailing bytes"));
   }
 }
 
@@ -80,18 +395,18 @@ size_t SerializedSize(const std::vector<Tensor>& params) {
 void SaveParameters(const std::string& path, const std::vector<Tensor>& params) {
   const auto buf = SerializeParameters(params);
   std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("SaveParameters: cannot open " + path);
+  if (!out) {
+    throw SerializeError(LoadStatus::Error(LoadErrorKind::kIoError,
+                                           "SaveParameters: cannot open " +
+                                               path));
+  }
   out.write(reinterpret_cast<const char*>(buf.data()),
             static_cast<std::streamsize>(buf.size()));
 }
 
 void LoadParameters(const std::string& path, std::vector<Tensor>& params) {
-  std::ifstream in(path, std::ios::binary | std::ios::ate);
-  if (!in) throw std::runtime_error("LoadParameters: cannot open " + path);
-  const auto size = static_cast<size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<uint8_t> buf(size);
-  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
+  std::vector<uint8_t> buf;
+  ThrowIfError(ReadFileBytes(path, &buf));
   DeserializeParameters(buf, params);
 }
 

@@ -2,28 +2,156 @@
 #define DEEPOD_NN_SERIALIZE_H_
 
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "nn/module.h"
 #include "nn/tensor.h"
 
 namespace deepod::nn {
 
-// Flat binary (de)serialisation of a parameter list. Used for model
-// checkpointing and for the Table 5 model-size accounting: SerializedSize
-// reports exactly the bytes a saved model occupies.
+// (De)serialisation of model state. Two formats coexist:
+//
+//  * The tagged state-dict format (v2) — the current on-disk contract.
+//    Self-describing: a magic/version header, one record per tensor holding
+//    its *name*, dtype, shape and payload, and a trailing checksum over the
+//    whole stream. Tensors are matched by name on load, so file layout is
+//    decoupled from module traversal order, config mismatches are detected
+//    (and reported) per tensor, and corruption is caught before any value is
+//    written into a model. See DESIGN.md, "Model lifecycle".
+//
+//  * The legacy positional blob (v1) — the original unnamed format kept for
+//    reading old checkpoints. New files are never written in it.
+//
+// Byte layout of v2 (all integers little-endian):
+//   u32  magic      0xd33b0d02 ("deepod" format, generation 2)
+//   u32  version    2
+//   u64  entry count
+//   per entry:
+//     u32  name length, then that many name bytes (UTF-8, no NUL)
+//     u8   dtype      1 = f64 (the only dtype currently written)
+//     u32  ndim, then ndim u64 dims   (ndim 0 = scalar, 1 element)
+//     f64  payload[product(dims)]
+//   u64  FNV-1a 64 checksum of every preceding byte
 
-// Serialises shapes + data of every parameter into a byte buffer.
+// --- Typed load errors -------------------------------------------------------
+
+enum class LoadErrorKind {
+  kNone = 0,
+  kIoError,           // file cannot be opened / read / written
+  kBadMagic,          // not a state-dict (or legacy) stream
+  kBadVersion,        // recognised magic, unsupported format version
+  kTruncated,         // stream ends inside a record
+  kBadChecksum,       // payload bytes do not match the trailing checksum
+  kBadDtype,          // unknown dtype tag in a record
+  kMissingTensor,     // the model expects a tensor the file does not hold
+  kUnexpectedTensor,  // the file holds a tensor the model does not expect
+  kShapeMismatch,     // name matched but shapes differ (config mismatch)
+  kTrailingBytes,     // well-formed records followed by garbage
+  kCountMismatch,     // legacy blob: positional parameter count differs
+};
+
+// Outcome of a load/save operation. `tensor` names the first offending
+// record for per-tensor failures (kMissingTensor / kUnexpectedTensor /
+// kShapeMismatch); `message` is a human-readable one-liner that includes
+// expected-vs-found shapes where applicable.
+struct LoadStatus {
+  LoadErrorKind kind = LoadErrorKind::kNone;
+  std::string tensor;
+  std::string message;
+
+  bool ok() const { return kind == LoadErrorKind::kNone; }
+  static LoadStatus Ok() { return {}; }
+  static LoadStatus Error(LoadErrorKind kind, std::string message,
+                          std::string tensor = "");
+};
+
+// Short identifier for an error kind ("bad_checksum", ...; "ok" for kNone).
+const char* LoadErrorKindName(LoadErrorKind kind);
+
+// Exception form for call sites without a status channel (model Load,
+// CLIs). Carries the full typed status.
+class SerializeError : public std::runtime_error {
+ public:
+  explicit SerializeError(LoadStatus status);
+  const LoadStatus& status() const { return status_; }
+
+ private:
+  LoadStatus status_;
+};
+
+// Throws SerializeError if `status` is an error; returns it otherwise.
+const LoadStatus& ThrowIfError(const LoadStatus& status);
+
+// --- Tagged state-dict format (v2) ------------------------------------------
+
+// Serialises every entry of `state` (names, shapes, payloads, checksum).
+std::vector<uint8_t> SerializeStateDict(const StateDict& state);
+
+// Byte size SerializeStateDict would produce.
+size_t SerializedStateSize(const StateDict& state);
+
+// Restores `state` in place from a v2 buffer. Strict by-name matching: every
+// dict entry must appear in the buffer with an identical shape and every
+// buffer record must be expected by the dict — the first violation is
+// reported with its tensor name and both shapes. No entry is modified unless
+// the whole buffer validates (checksum included), so a failed load never
+// leaves a model half-written.
+LoadStatus DeserializeStateDict(const std::vector<uint8_t>& buffer,
+                                StateDict& state);
+
+// One record of a serialised state dict, without its payload.
+struct TensorRecord {
+  std::string name;
+  uint8_t dtype = 0;
+  std::vector<size_t> shape;
+  size_t num_elements = 0;
+  size_t payload_offset = 0;  // byte offset of the f64 payload in the buffer
+};
+
+// Parses the record table of a v2 buffer (used by DeserializeStateDict, the
+// artifact loader and the inspector CLI). Validates framing and — unless
+// `verify_checksum` is false — the trailing checksum.
+LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
+                          std::vector<TensorRecord>* out,
+                          bool verify_checksum = true);
+
+// Copies a record's payload out of the buffer it was indexed from.
+std::vector<double> ReadRecordPayload(const std::vector<uint8_t>& buffer,
+                                      const TensorRecord& record);
+
+// True when the buffer starts with the v2 state-dict magic.
+bool IsStateDictBuffer(const std::vector<uint8_t>& buffer);
+// True when the buffer starts with the legacy positional-blob magic.
+bool IsLegacyParameterBuffer(const std::vector<uint8_t>& buffer);
+
+// File helpers (v2).
+LoadStatus SaveStateDict(const std::string& path, const StateDict& state);
+LoadStatus LoadStateDict(const std::string& path, StateDict& state);
+
+// Reads a whole file into bytes (shared by the state-dict and legacy
+// readers; the caller sniffs the magic to pick a decoder).
+LoadStatus ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+// --- Legacy positional blob (v1) --------------------------------------------
+
+// Serialises shapes + data of every parameter, identified by position only.
+// Legacy format — kept so pre-state-dict checkpoints and the property tests
+// that compare raw parameter bytes keep working; new code writes state
+// dicts.
 std::vector<uint8_t> SerializeParameters(const std::vector<Tensor>& params);
 
-// Restores parameter values in place; shapes must match the buffer.
+// Restores parameter values in place; count and shapes must match the
+// buffer. Throws SerializeError (with a typed status) on any mismatch.
 void DeserializeParameters(const std::vector<uint8_t>& buffer,
                            std::vector<Tensor>& params);
 
 // Byte size a SerializeParameters call would produce (without building it).
 size_t SerializedSize(const std::vector<Tensor>& params);
 
-// File helpers.
+// Legacy file helpers. LoadParameters throws SerializeError on open/decode
+// failure.
 void SaveParameters(const std::string& path, const std::vector<Tensor>& params);
 void LoadParameters(const std::string& path, std::vector<Tensor>& params);
 

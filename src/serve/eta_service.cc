@@ -41,6 +41,19 @@ EtaService::EtaService(core::DeepOdModel& model,
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
+std::unique_ptr<EtaService> EtaService::FromArtifact(
+    const std::string& artifact_path, const road::RoadNetwork& network,
+    const EtaServiceOptions& options) {
+  io::ServingModel bundle = io::LoadModelArtifact(artifact_path, network);
+  // Bind the service to the heap-allocated model first, then hand the
+  // bundle over: the unique_ptr move keeps the pointee address stable, so
+  // model_ stays valid for the service's lifetime.
+  auto service =
+      std::unique_ptr<EtaService>(new EtaService(*bundle.model, options));
+  service->owned_ = std::move(bundle);
+  return service;
+}
+
 EtaService::~EtaService() {
   {
     std::lock_guard<std::mutex> lock(queue_mu_);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/deepod_model.h"
+#include "io/model_artifact.h"
 #include "obs/metrics.h"
 #include "temporal/time_slot.h"
 #include "traj/trajectory.h"
@@ -103,6 +104,16 @@ class EtaService {
   EtaService(core::DeepOdModel& model, const EtaServiceOptions& options);
   ~EtaService();
 
+  // Stands a service up from a model artifact + road network alone: loads
+  // the artifact (io::LoadModelArtifact), reconstructs a predict-only model
+  // against `network` and returns a service owning the bundle — no training
+  // dataset, traffic process or trajectory store in memory. `network` must
+  // outlive the service. Throws nn::SerializeError on a corrupt or
+  // mismatched artifact.
+  static std::unique_ptr<EtaService> FromArtifact(
+      const std::string& artifact_path, const road::RoadNetwork& network,
+      const EtaServiceOptions& options);
+
   EtaService(const EtaService&) = delete;
   EtaService& operator=(const EtaService&) = delete;
 
@@ -131,6 +142,9 @@ class EtaService {
   void DispatchLoop();
   void RecordCompletion(std::chrono::steady_clock::time_point start);
 
+  // Set only by FromArtifact: the owned serving bundle model_ points into.
+  // Declared before model_ so it outlives every use of the reference.
+  io::ServingModel owned_;
   core::DeepOdModel& model_;
   EtaServiceOptions options_;
   temporal::TimeSlotter slotter_;

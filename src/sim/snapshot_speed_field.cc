@@ -1,0 +1,85 @@
+#include "sim/snapshot_speed_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace deepod::sim {
+
+SnapshotSpeedField::SnapshotSpeedField(size_t rows, size_t cols,
+                                       double snapshot_seconds,
+                                       std::vector<Snapshot> snapshots)
+    : rows_(rows),
+      cols_(cols),
+      snapshot_seconds_(snapshot_seconds),
+      snapshots_(std::move(snapshots)) {
+  if (rows_ == 0 || cols_ == 0 || snapshot_seconds_ <= 0.0) {
+    throw std::invalid_argument("SnapshotSpeedField: bad dimensions");
+  }
+  if (snapshots_.empty()) {
+    throw std::invalid_argument("SnapshotSpeedField: no snapshots");
+  }
+  for (size_t i = 0; i < snapshots_.size(); ++i) {
+    if (snapshots_[i].matrix.size() != rows_ * cols_) {
+      throw std::invalid_argument(
+          "SnapshotSpeedField: snapshot matrix size mismatch");
+    }
+    if (i > 0 && snapshots_[i].index <= snapshots_[i - 1].index) {
+      throw std::invalid_argument(
+          "SnapshotSpeedField: snapshots must be strictly ascending");
+    }
+  }
+}
+
+SnapshotSpeedField SnapshotSpeedField::Capture(const SpeedProvider& source,
+                                               temporal::Timestamp begin,
+                                               temporal::Timestamp end) {
+  if (end < begin) {
+    throw std::invalid_argument("SnapshotSpeedField::Capture: end < begin");
+  }
+  const double ss = source.snapshot_seconds();
+  const auto first =
+      static_cast<int64_t>(std::llround(source.SnapshotTime(begin) / ss));
+  const auto last =
+      static_cast<int64_t>(std::llround(source.SnapshotTime(end) / ss));
+  std::vector<Snapshot> snapshots;
+  snapshots.reserve(static_cast<size_t>(last - first + 1));
+  for (int64_t idx = first; idx <= last; ++idx) {
+    Snapshot snap;
+    snap.index = idx;
+    snap.matrix = source.MatrixAt(static_cast<double>(idx) * ss);
+    snapshots.push_back(std::move(snap));
+  }
+  return SnapshotSpeedField(source.rows(), source.cols(), ss,
+                            std::move(snapshots));
+}
+
+size_t SnapshotSpeedField::SlotFor(temporal::Timestamp t) const {
+  const auto idx =
+      static_cast<int64_t>(std::floor(t / snapshot_seconds_));
+  // Last stored snapshot with index <= idx (clamped to the window).
+  auto it = std::upper_bound(
+      snapshots_.begin(), snapshots_.end(), idx,
+      [](int64_t value, const Snapshot& s) { return value < s.index; });
+  if (it == snapshots_.begin()) return 0;
+  return static_cast<size_t>(std::distance(snapshots_.begin(), it)) - 1;
+}
+
+std::vector<double> SnapshotSpeedField::MatrixAt(temporal::Timestamp t) const {
+  return snapshots_[SlotFor(t)].matrix;
+}
+
+temporal::Timestamp SnapshotSpeedField::SnapshotTime(
+    temporal::Timestamp t) const {
+  return static_cast<double>(snapshots_[SlotFor(t)].index) * snapshot_seconds_;
+}
+
+temporal::Timestamp SnapshotSpeedField::first_snapshot_time() const {
+  return static_cast<double>(snapshots_.front().index) * snapshot_seconds_;
+}
+
+temporal::Timestamp SnapshotSpeedField::last_snapshot_time() const {
+  return static_cast<double>(snapshots_.back().index) * snapshot_seconds_;
+}
+
+}  // namespace deepod::sim

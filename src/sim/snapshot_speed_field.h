@@ -1,0 +1,64 @@
+#ifndef DEEPOD_SIM_SNAPSHOT_SPEED_FIELD_H_
+#define DEEPOD_SIM_SNAPSHOT_SPEED_FIELD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/speed_matrix.h"
+#include "temporal/time_slot.h"
+
+namespace deepod::sim {
+
+// A frozen speed field: a sorted table of pre-computed snapshot matrices.
+// This is the serving-side SpeedProvider — a model artifact carries one so
+// an EtaService can reproduce the external-feature encoding bit-for-bit
+// without the traffic simulation (or, in production, without the feature
+// pipeline) in memory. Queries outside the captured window clamp to the
+// nearest stored snapshot, which keeps serving total (a stale matrix beats
+// a crash) — capture a window covering the serving horizon to avoid it.
+class SnapshotSpeedField : public SpeedProvider {
+ public:
+  // One stored snapshot: `index` = snapshot timestamp / snapshot_seconds.
+  struct Snapshot {
+    int64_t index = 0;
+    std::vector<double> matrix;  // row-major rows x cols
+  };
+
+  // `snapshots` must be sorted by ascending index, hold at least one entry,
+  // and every matrix must be rows*cols; throws std::invalid_argument
+  // otherwise.
+  SnapshotSpeedField(size_t rows, size_t cols, double snapshot_seconds,
+                     std::vector<Snapshot> snapshots);
+
+  // Captures every snapshot of `source` with a snapshot time in
+  // [begin, end] (inclusive of the quantised begin; at least one snapshot).
+  static SnapshotSpeedField Capture(const SpeedProvider& source,
+                                    temporal::Timestamp begin,
+                                    temporal::Timestamp end);
+
+  size_t rows() const override { return rows_; }
+  size_t cols() const override { return cols_; }
+  double snapshot_seconds() const override { return snapshot_seconds_; }
+
+  // The stored matrix whose snapshot index is closest at or before t;
+  // clamps to the first/last stored snapshot outside the captured window.
+  std::vector<double> MatrixAt(temporal::Timestamp t) const override;
+  temporal::Timestamp SnapshotTime(temporal::Timestamp t) const override;
+
+  const std::vector<Snapshot>& snapshots() const { return snapshots_; }
+  // Captured window as snapshot timestamps.
+  temporal::Timestamp first_snapshot_time() const;
+  temporal::Timestamp last_snapshot_time() const;
+
+ private:
+  // Index of the stored snapshot serving time t (clamped binary search).
+  size_t SlotFor(temporal::Timestamp t) const;
+
+  size_t rows_, cols_;
+  double snapshot_seconds_;
+  std::vector<Snapshot> snapshots_;
+};
+
+}  // namespace deepod::sim
+
+#endif  // DEEPOD_SIM_SNAPSHOT_SPEED_FIELD_H_

@@ -13,30 +13,49 @@
 
 namespace deepod::sim {
 
-// Grid-averaged speed field — the "current traffic condition" external
-// feature of §4.5. The whole area is split into square grids of
-// `grid_size_m`; the matrix value of a grid is the average effective speed
-// of the segments whose midpoint falls in it (normalised to [0,1] by the
-// network's maximum free-flow speed so the CNN input is well-scaled). One
-// matrix is produced per Δt snapshot; the model consumes the latest
-// snapshot before departure (quantised, exactly like the paper).
-class SpeedMatrixBuilder {
+// Source of grid-averaged speed matrices — the "current traffic condition"
+// external feature of §4.5. The model consumes this interface only, so the
+// training path (SpeedMatrixBuilder, backed by the live traffic process)
+// and the serving path (SnapshotSpeedField, a frozen table shipped inside a
+// model artifact) are interchangeable.
+class SpeedProvider {
+ public:
+  virtual ~SpeedProvider() = default;
+
+  virtual size_t rows() const = 0;
+  virtual size_t cols() const = 0;
+  virtual double snapshot_seconds() const = 0;
+
+  // Row-major rows() x cols() matrix of normalised average speeds at the
+  // latest snapshot at or before t.
+  virtual std::vector<double> MatrixAt(temporal::Timestamp t) const = 0;
+
+  // The snapshot timestamp used for time t.
+  virtual temporal::Timestamp SnapshotTime(temporal::Timestamp t) const = 0;
+};
+
+// Live speed field over the simulated traffic process. The whole area is
+// split into square grids of `grid_size_m`; the matrix value of a grid is
+// the average effective speed of the segments whose midpoint falls in it
+// (normalised to [0,1] by the network's maximum free-flow speed so the CNN
+// input is well-scaled). One matrix is produced per Δt snapshot; the model
+// consumes the latest snapshot before departure (quantised, exactly like
+// the paper).
+class SpeedMatrixBuilder : public SpeedProvider {
  public:
   SpeedMatrixBuilder(const road::RoadNetwork& net, const TrafficModel& traffic,
                      const WeatherProcess& weather, double grid_size_m = 200.0,
                      double snapshot_seconds = 300.0);
 
-  size_t rows() const { return rows_; }
-  size_t cols() const { return cols_; }
-  double snapshot_seconds() const { return snapshot_seconds_; }
+  size_t rows() const override { return rows_; }
+  size_t cols() const override { return cols_; }
+  double snapshot_seconds() const override { return snapshot_seconds_; }
 
-  // Row-major rows() x cols() matrix of normalised average speeds at the
-  // latest snapshot at or before t. Cells with no segment get the city-wide
-  // mean so the CNN sees no artificial holes.
-  std::vector<double> MatrixAt(temporal::Timestamp t) const;
+  // Cells with no segment get the city-wide mean so the CNN sees no
+  // artificial holes.
+  std::vector<double> MatrixAt(temporal::Timestamp t) const override;
 
-  // The snapshot timestamp used for time t.
-  temporal::Timestamp SnapshotTime(temporal::Timestamp t) const;
+  temporal::Timestamp SnapshotTime(temporal::Timestamp t) const override;
 
  private:
   const road::RoadNetwork& net_;

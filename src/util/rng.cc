@@ -1,6 +1,7 @@
 #include "util/rng.h"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace deepod::util {
@@ -105,5 +106,22 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(NextU64()); }
+
+std::vector<uint64_t> Rng::SaveState() const {
+  uint64_t cached_bits = 0;
+  static_assert(sizeof(cached_bits) == sizeof(cached_normal_));
+  std::memcpy(&cached_bits, &cached_normal_, sizeof(cached_bits));
+  return {s_[0], s_[1], s_[2], s_[3],
+          has_cached_normal_ ? uint64_t{1} : uint64_t{0}, cached_bits};
+}
+
+void Rng::RestoreState(const std::vector<uint64_t>& state) {
+  if (state.size() != 6) {
+    throw std::invalid_argument("Rng::RestoreState: expected 6 state words");
+  }
+  for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+  has_cached_normal_ = state[4] != 0;
+  std::memcpy(&cached_normal_, &state[5], sizeof(cached_normal_));
+}
 
 }  // namespace deepod::util

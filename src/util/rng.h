@@ -60,6 +60,15 @@ class Rng {
   // each subsystem its own stream while preserving one root seed.
   Rng Fork();
 
+  // Full generator state as raw words (the four xoshiro words, the
+  // Box-Muller cache flag and the cached value's bit pattern). Restoring a
+  // saved state resumes the stream bit-identically — resumable-training
+  // checkpoints depend on this.
+  std::vector<uint64_t> SaveState() const;
+  // Restores a SaveState snapshot; throws std::invalid_argument on a
+  // malformed word count.
+  void RestoreState(const std::vector<uint64_t>& state);
+
  private:
   uint64_t s_[4];
   double cached_normal_ = 0.0;

@@ -1,0 +1,56 @@
+// deepod_inspect: prints the record table of a tagged state-dict file (a
+// model artifact, a DeepOdModel::Save checkpoint or a trainer checkpoint):
+// per-tensor name, shape and element count plus totals, after verifying
+// framing and the trailing checksum. Legacy positional blobs are identified
+// as such. Exit codes: 0 readable, 1 corrupt/unreadable, 2 usage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nn/serialize.h"
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s FILE\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  std::vector<uint8_t> buffer;
+  const nn::LoadStatus read = nn::ReadFileBytes(path, &buffer);
+  if (!read.ok()) {
+    std::fprintf(stderr, "%s: [%s] %s\n", path.c_str(),
+                 nn::LoadErrorKindName(read.kind), read.message.c_str());
+    return 1;
+  }
+  if (nn::IsLegacyParameterBuffer(buffer)) {
+    std::printf("%s: legacy positional parameter blob (v1), %zu bytes\n",
+                path.c_str(), buffer.size());
+    std::printf("records are unnamed; load it through DeepOdModel::Load\n");
+    return 0;
+  }
+  std::vector<nn::TensorRecord> records;
+  const nn::LoadStatus status = nn::IndexStateDict(buffer, &records);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: [%s] %s\n", path.c_str(),
+                 nn::LoadErrorKindName(status.kind), status.message.c_str());
+    return 1;
+  }
+  std::printf("%s: state dict (v2), %zu bytes, %zu records, checksum OK\n",
+              path.c_str(), buffer.size(), records.size());
+  size_t total_elements = 0;
+  for (const auto& r : records) {
+    std::string shape = "[";
+    for (size_t i = 0; i < r.shape.size(); ++i) {
+      shape += (i > 0 ? "," : "") + std::to_string(r.shape[i]);
+    }
+    shape += "]";
+    std::printf("  %-56s f64 %-14s %zu\n", r.name.c_str(), shape.c_str(),
+                r.num_elements);
+    total_elements += r.num_elements;
+  }
+  std::printf("total: %zu elements (%zu payload bytes)\n", total_elements,
+              total_elements * sizeof(double));
+  return 0;
+}

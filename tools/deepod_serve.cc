@@ -1,0 +1,134 @@
+// deepod_serve: stands an EtaService up from a model artifact + road
+// network alone (no training dataset, traffic process or trajectory store
+// in memory) and optionally replays a golden-query file against it.
+//
+//   deepod_serve --artifact model.artifact --network network.csv
+//                [--check golden.csv] [--stats]
+//
+// --check replays every query of a deepod_train --golden file through
+// EtaService::Estimate twice (miss then cache hit) and compares both
+// answers bit-for-bit against the recorded prediction; any mismatch fails
+// the run. This is the cross-process round-trip gate CI runs.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "io/model_artifact.h"
+#include "io/trip_io.h"
+#include "nn/serialize.h"
+#include "serve/eta_service.h"
+
+namespace {
+
+struct GoldenQuery {
+  deepod::traj::OdInput od;
+  double prediction = 0.0;
+};
+
+// Parses a deepod_train --golden file (hex-float fields, header line).
+bool ReadGolden(const std::string& path, std::vector<GoldenQuery>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[512];
+  bool header = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (header) {
+      header = false;
+      continue;
+    }
+    GoldenQuery q;
+    unsigned long long origin = 0, dest = 0;
+    int weather = 0;
+    // %la parses both hex-float and decimal doubles.
+    if (std::sscanf(line, "%llu,%llu,%la,%la,%la,%d,%la", &origin, &dest,
+                    &q.od.origin_ratio, &q.od.dest_ratio,
+                    &q.od.departure_time, &weather, &q.prediction) != 7) {
+      std::fclose(f);
+      return false;
+    }
+    q.od.origin_segment = static_cast<size_t>(origin);
+    q.od.dest_segment = static_cast<size_t>(dest);
+    q.od.weather_type = weather;
+    out->push_back(q);
+  }
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  std::string artifact_path, network_path, check_path;
+  bool stats = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--artifact" && i + 1 < argc) {
+      artifact_path = argv[++i];
+    } else if (flag == "--network" && i + 1 < argc) {
+      network_path = argv[++i];
+    } else if (flag == "--check" && i + 1 < argc) {
+      check_path = argv[++i];
+    } else if (flag == "--stats") {
+      stats = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s --artifact PATH --network PATH "
+                   "[--check golden.csv] [--stats]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (artifact_path.empty() || network_path.empty()) {
+    std::fprintf(stderr, "--artifact and --network are required\n");
+    return 2;
+  }
+
+  const road::RoadNetwork network = io::ReadNetworkCsv(network_path);
+  std::unique_ptr<serve::EtaService> service;
+  try {
+    service = serve::EtaService::FromArtifact(artifact_path, network,
+                                              serve::EtaServiceOptions{});
+  } catch (const nn::SerializeError& e) {
+    std::fprintf(stderr, "artifact load failed [%s]: %s\n",
+                 nn::LoadErrorKindName(e.status().kind), e.what());
+    return 1;
+  }
+  std::printf("serving %s against %zu-segment network\n",
+              artifact_path.c_str(), network.num_segments());
+
+  int exit_code = 0;
+  if (!check_path.empty()) {
+    std::vector<GoldenQuery> golden;
+    if (!ReadGolden(check_path, &golden)) {
+      std::fprintf(stderr, "cannot parse %s\n", check_path.c_str());
+      return 1;
+    }
+    size_t mismatches = 0;
+    for (const auto& q : golden) {
+      const double first = service->Estimate(q.od);   // cache miss path
+      const double second = service->Estimate(q.od);  // cache hit path
+      if (std::memcmp(&first, &q.prediction, sizeof(double)) != 0 ||
+          std::memcmp(&second, &q.prediction, sizeof(double)) != 0) {
+        if (++mismatches <= 5) {
+          std::fprintf(stderr,
+                       "mismatch: od %zu->%zu t=%.1f expected %a got %a/%a\n",
+                       q.od.origin_segment, q.od.dest_segment,
+                       q.od.departure_time, q.prediction, first, second);
+        }
+      }
+    }
+    std::printf("check: %zu queries, %zu mismatches -> %s\n", golden.size(),
+                mismatches, mismatches == 0 ? "PASS" : "FAIL");
+    if (mismatches != 0 || golden.empty()) exit_code = 1;
+  }
+  if (stats) {
+    std::printf("%s\n", service->ExportJson().c_str());
+  }
+  return exit_code;
+}

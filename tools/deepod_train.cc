@@ -1,0 +1,175 @@
+// deepod_train: trains a DeepOD model on a simulated city and emits a
+// self-contained serving artifact next to everything a separate serving
+// process needs:
+//
+//   <out>/model.artifact  config + model state + frozen speed field
+//   <out>/network.csv     the road network (io::WriteNetworkCsv)
+//   <out>/golden.csv      (--golden N) N test queries with this process's
+//                         predictions, hex-float encoded so a replay can be
+//                         compared bit-for-bit (see deepod_serve --check)
+//
+// The defaults mirror the test suite's tiny dataset so a full
+// train->save->serve round trip finishes in CI time.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/deepod_config.h"
+#include "core/deepod_model.h"
+#include "core/trainer.h"
+#include "io/model_artifact.h"
+#include "io/trip_io.h"
+#include "sim/dataset.h"
+#include "sim/snapshot_speed_field.h"
+
+namespace {
+
+struct Args {
+  std::string out = ".";
+  size_t scale = 16;
+  int epochs = 1;
+  size_t grid = 6;
+  size_t trips_per_day = 12;
+  size_t num_days = 15;
+  uint64_t seed = 17;
+  size_t threads = 1;
+  size_t golden = 0;
+  std::string checkpoint;  // optional: also write a resumable checkpoint
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--out DIR] [--scale N] [--epochs N] [--grid N]\n"
+      "          [--trips-per-day N] [--days N] [--seed N] [--threads N]\n"
+      "          [--golden N] [--checkpoint PATH]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--out" && (v = value())) {
+      args->out = v;
+    } else if (flag == "--scale" && (v = value())) {
+      args->scale = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--epochs" && (v = value())) {
+      args->epochs = std::atoi(v);
+    } else if (flag == "--grid" && (v = value())) {
+      args->grid = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--trips-per-day" && (v = value())) {
+      args->trips_per_day = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--days" && (v = value())) {
+      args->num_days = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed" && (v = value())) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads" && (v = value())) {
+      args->threads = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--golden" && (v = value())) {
+      args->golden = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--checkpoint" && (v = value())) {
+      args->checkpoint = v;
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  sim::DatasetConfig dataset_config;
+  dataset_config.city = road::XianSimConfig();
+  dataset_config.city.rows = args.grid;
+  dataset_config.city.cols = args.grid;
+  dataset_config.trips_per_day = args.trips_per_day;
+  dataset_config.num_days = args.num_days;
+  dataset_config.seed = args.seed;
+  std::printf("building dataset (%zux%zu grid, %zu days)...\n", args.grid,
+              args.grid, args.num_days);
+  const sim::Dataset dataset = sim::BuildDataset(dataset_config);
+  std::printf("dataset: %zu train / %zu val / %zu test trips, %zu segments\n",
+              dataset.train.size(), dataset.validation.size(),
+              dataset.test.size(), dataset.network.num_segments());
+
+  core::DeepOdConfig config = core::DeepOdConfig().Scaled(args.scale);
+  config.epochs = args.epochs;
+  config.batch_size = 8;
+  config.num_threads = args.threads;
+
+  core::DeepOdModel model(config, dataset);
+  core::DeepOdTrainer trainer(model, dataset);
+  const double best_mae = trainer.Train();
+  std::printf("trained %d epoch(s), %zu steps, validation MAE %.3f s\n",
+              config.epochs, trainer.steps_taken(), best_mae);
+
+  if (!args.checkpoint.empty()) {
+    trainer.SaveCheckpoint(args.checkpoint);
+    std::printf("checkpoint: %s\n", args.checkpoint.c_str());
+  }
+
+  // Freeze the speed field over the window every test query falls in, so
+  // serving from the artifact reproduces the training process's external
+  // features exactly.
+  std::unique_ptr<sim::SnapshotSpeedField> speed;
+  if (dataset.speed_matrices != nullptr && !dataset.test.empty()) {
+    double begin = dataset.test.front().od.departure_time;
+    double end = begin;
+    for (const auto& trip : dataset.test) {
+      begin = std::min(begin, trip.od.departure_time);
+      end = std::max(end, trip.od.departure_time);
+    }
+    speed = std::make_unique<sim::SnapshotSpeedField>(
+        sim::SnapshotSpeedField::Capture(*dataset.speed_matrices, begin, end));
+    std::printf("speed field: %zu snapshots of %zux%zu\n",
+                speed->snapshots().size(), speed->rows(), speed->cols());
+  }
+
+  const std::string artifact_path = args.out + "/model.artifact";
+  io::WriteModelArtifact(artifact_path, model, speed.get());
+  const std::string network_path = args.out + "/network.csv";
+  io::WriteNetworkCsv(dataset.network, network_path);
+  std::printf("artifact: %s\nnetwork:  %s\n", artifact_path.c_str(),
+              network_path.c_str());
+
+  if (args.golden > 0) {
+    const std::string golden_path = args.out + "/golden.csv";
+    std::FILE* f = std::fopen(golden_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", golden_path.c_str());
+      return 1;
+    }
+    // Hex floats (%a) round-trip doubles exactly; the replay in
+    // deepod_serve --check compares predictions bit-for-bit.
+    std::fprintf(f,
+                 "origin_segment,dest_segment,origin_ratio,dest_ratio,"
+                 "departure_time,weather,prediction\n");
+    const size_t n = std::min(args.golden, dataset.test.size());
+    for (size_t i = 0; i < n; ++i) {
+      const traj::OdInput& od = dataset.test[i].od;
+      const double prediction = model.Predict(od);
+      std::fprintf(f, "%zu,%zu,%a,%a,%a,%d,%a\n", od.origin_segment,
+                   od.dest_segment, od.origin_ratio, od.dest_ratio,
+                   od.departure_time, od.weather_type, prediction);
+    }
+    std::fclose(f);
+    std::printf("golden:   %s (%zu queries)\n", golden_path.c_str(), n);
+  }
+  return 0;
+}
