@@ -12,6 +12,7 @@
 #include "nn/module.h"
 #include "nn/ops.h"
 #include "nn/optimizer.h"
+#include "nn/quant.h"
 #include "obs/metrics.h"
 #include "util/rng.h"
 
@@ -20,14 +21,18 @@ namespace {
 using namespace deepod;
 
 // The kernel tier is passed as the last benchmark argument so each op is
-// measured in the legacy (pre-optimisation), blocked (default) and vector
-// (parallel-trainer) tiers.
+// measured in the legacy (pre-optimisation), blocked (default), vector
+// (parallel-trainer) and simd (AVX2 serving) tiers. Mode 3 silently
+// measures the kVector fallback on hosts without AVX2 — compare tiers on
+// an AVX2 host (see SimdBackendName in nn/simd.h).
 nn::KernelMode ModeArg(const benchmark::State& state, int index) {
   switch (state.range(index)) {
     case 1:
       return nn::KernelMode::kBlocked;
     case 2:
       return nn::KernelMode::kVector;
+    case 3:
+      return nn::KernelMode::kSimd;
     default:
       return nn::KernelMode::kLegacy;
   }
@@ -47,11 +52,32 @@ BENCHMARK(BM_MatMul)
     ->Args({16, 0})
     ->Args({16, 1})
     ->Args({16, 2})
+    ->Args({16, 3})
     ->Args({64, 0})
     ->Args({64, 1})
-    ->Args({64, 2});
+    ->Args({64, 2})
+    ->Args({64, 3});
+
+void BM_AffineRows(benchmark::State& state) {
+  nn::KernelModeScope mode(ModeArg(state, 1));
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(8);
+  nn::Tensor x = nn::Tensor::Randn({n, 64}, rng, 1.0);
+  nn::Tensor w = nn::Tensor::Randn({64, 64}, rng, 1.0);
+  nn::Tensor b = nn::Tensor::Randn({64}, rng, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::AffineRows(x, w, b));
+  }
+}
+// The serving batch shape (PredictBatch's MLP): per-row GEMV over a packed
+// 64x64 weight in kSimd.
+BENCHMARK(BM_AffineRows)
+    ->Args({32, 1})
+    ->Args({32, 2})
+    ->Args({32, 3});
 
 void BM_LstmForward(benchmark::State& state) {
+  nn::KernelModeScope mode(ModeArg(state, 1));
   const size_t seq_len = static_cast<size_t>(state.range(0));
   util::Rng rng(2);
   nn::Lstm lstm(24, 16, rng);
@@ -63,7 +89,15 @@ void BM_LstmForward(benchmark::State& state) {
     benchmark::DoNotOptimize(lstm.Forward(inputs));
   }
 }
-BENCHMARK(BM_LstmForward)->Arg(10)->Arg(40);
+// Modes 2 and 3 run the fused single-node cell (DotUnrolled vs packed
+// AVX2 GEMV); mode 1 is the composed-graph baseline.
+BENCHMARK(BM_LstmForward)
+    ->Args({10, 1})
+    ->Args({10, 2})
+    ->Args({10, 3})
+    ->Args({40, 1})
+    ->Args({40, 2})
+    ->Args({40, 3});
 
 void BM_LstmForwardBackward(benchmark::State& state) {
   nn::KernelModeScope mode(ModeArg(state, 0));
@@ -79,8 +113,9 @@ void BM_LstmForwardBackward(benchmark::State& state) {
     for (auto& p : lstm.Parameters()) p.ZeroGrad();
   }
 }
-// Mode 2 exercises the fused single-node LSTM cell.
-BENCHMARK(BM_LstmForwardBackward)->Arg(0)->Arg(1)->Arg(2);
+// Modes 2 and 3 exercise the fused single-node LSTM cell (mode 3 packs
+// weights once per optimizer step, so this also measures repack overhead).
+BENCHMARK(BM_LstmForwardBackward)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
 
 void BM_ResNetTimeBlock(benchmark::State& state) {
   const size_t delta_d = static_cast<size_t>(state.range(0));
@@ -113,6 +148,23 @@ void BM_EmbeddingGatherMlp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmbeddingGatherMlp);
+
+// Cost of snapping a 64x64 weight matrix to a quantised tier (1 = fp16
+// round-trip, 2 = per-row absmax int8) — the per-tensor work
+// io::LoadModelArtifact does once per load when a quant mode is requested.
+void BM_QuantizeWeights(benchmark::State& state) {
+  const nn::QuantMode mode = state.range(0) == 2 ? nn::QuantMode::kInt8
+                                                 : nn::QuantMode::kFp16;
+  util::Rng rng(9);
+  nn::Tensor w = nn::Tensor::Randn({64, 64}, rng, 1.0);
+  std::vector<double> scratch = w.data();
+  for (auto _ : state) {
+    scratch = w.data();
+    nn::FakeQuantizeValues(scratch.data(), 64, 64, mode);
+    benchmark::DoNotOptimize(scratch.data());
+  }
+}
+BENCHMARK(BM_QuantizeWeights)->Arg(1)->Arg(2);
 
 void BM_AdamStep(benchmark::State& state) {
   util::Rng rng(7);

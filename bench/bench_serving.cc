@@ -7,12 +7,20 @@
 //     samples_per_sec.
 //   - serving/batch_qps/batch=B[/threads=T]: PredictBatch throughput vs.
 //     micro-batch size, single-threaded and fanned over the pool.
+//   - serving/kernel/<tier>/qps: PredictBatch throughput per kernel tier
+//     (blocked, vector, simd — simd falls back to the vector path on hosts
+//     without AVX2, see nn/simd.h).
 //   - serving/cache/capacity=C/{qps,hit_rate}: EtaService cache sweep over a
 //     skewed stream; hit_rate records carry the hit fraction in
 //     wall_seconds (it is a ratio, not a time).
 //   - serving/microbatch/qps: Submit() through the bounded queue and the
 //     dispatcher's micro-batching.
+//   - serving/quant/<mode>/{qps,mae}: EtaService::FromArtifact with fp64,
+//     fp16 and int8 weights on the kSimd tier; mae records carry the mean
+//     absolute ETA error in seconds vs. the fp64 answers in wall_seconds
+//     (it is an error, not a time — bench_compare skips *mae* records).
 // Usage: bench_serving [num_queries]  (default 2000; CI smoke passes 200).
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -22,9 +30,14 @@
 
 #include "bench/common.h"
 #include "core/deepod_model.h"
+#include "io/model_artifact.h"
+#include "nn/quant.h"
+#include "nn/simd.h"
+#include "nn/tensor.h"
 #include "obs/trace.h"
 #include "serve/eta_service.h"
 #include "sim/dataset.h"
+#include "sim/snapshot_speed_field.h"
 #include "util/rng.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
@@ -142,6 +155,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Kernel-tier sweep -----------------------------------------------------
+  // PredictBatch at the service's default micro-batch size under each
+  // predict-side kernel tier. kSimd runs the packed AVX2 GEMV kernels when
+  // the host supports them (backend printed below) and the kVector path
+  // otherwise, so the record exists on every host.
+  {
+    struct Tier {
+      const char* name;
+      nn::KernelMode mode;
+    };
+    const Tier tiers[] = {{"blocked", nn::KernelMode::kBlocked},
+                          {"vector", nn::KernelMode::kVector},
+                          {"simd", nn::KernelMode::kSimd}};
+    std::printf("Kernel tiers (batch=32, simd backend: %s):\n",
+                nn::SimdBackendName());
+    for (const Tier& tier : tiers) {
+      const nn::KernelModeScope scope(tier.mode);
+      sw.Reset();
+      for (size_t pos = 0; pos < stream.size(); pos += 32) {
+        const size_t m = std::min(size_t{32}, stream.size() - pos);
+        const auto etas = model.PredictBatch({&stream[pos], m});
+        sink += etas[0];
+      }
+      const double secs = sw.ElapsedSeconds();
+      std::printf("  %-8s %8.0f queries/s\n", tier.name, n / secs);
+      records.push_back({std::string("serving/kernel/") + tier.name + "/qps",
+                         secs, 1, n / secs});
+    }
+  }
+
   // --- Cache hit-rate sweep --------------------------------------------------
   for (const size_t capacity : {size_t{0}, size_t{64}, size_t{1024}}) {
     serve::EtaServiceOptions options;
@@ -190,6 +233,61 @@ int main(int argc, char** argv) {
     std::ofstream stats_out("BENCH_serving_stats.json");
     stats_out << service.ExportJson();
     std::fprintf(stderr, "[bench] wrote BENCH_serving_stats.json\n");
+  }
+
+  // --- Quantised serving -----------------------------------------------------
+  // Round-trips the model through an artifact and stands one service up per
+  // weight tier (fp64 / fp16 / int8) on the kSimd kernel path with the
+  // cache off, so qps measures the model forward and mae the quantisation
+  // error alone. The fp64 service's answers are the golden values.
+  {
+    const double window_begin = 10.0 * 86400.0 + 8.0 * 3600.0;
+    const sim::SnapshotSpeedField snap = sim::SnapshotSpeedField::Capture(
+        *model.speed_provider(), window_begin, window_begin + 1800.0);
+    const std::string artifact_path = "bench_serving_quant.artifact";
+    io::WriteModelArtifact(artifact_path, model, &snap);
+
+    struct QuantTier {
+      const char* name;
+      nn::QuantMode mode;
+    };
+    const QuantTier tiers[] = {{"fp64", nn::QuantMode::kNone},
+                               {"fp16", nn::QuantMode::kFp16},
+                               {"int8", nn::QuantMode::kInt8}};
+    std::vector<double> golden;
+    std::printf("Quantised serving (kSimd, cache off):\n");
+    for (const QuantTier& tier : tiers) {
+      serve::EtaServiceOptions options;
+      options.cache_capacity = 0;
+      options.kernel_mode = nn::KernelMode::kSimd;
+      options.quant = tier.mode;
+      const auto service =
+          serve::EtaService::FromArtifact(artifact_path, dataset.network,
+                                          options);
+      std::vector<double> answers;
+      answers.reserve(stream.size());
+      sw.Reset();
+      for (const auto& od : stream) answers.push_back(service->Estimate(od));
+      const double secs = sw.ElapsedSeconds();
+      double mae = 0.0;
+      if (golden.empty()) {
+        golden = answers;
+      } else {
+        for (size_t i = 0; i < answers.size(); ++i) {
+          mae += std::abs(answers[i] - golden[i]);
+        }
+        mae /= n;
+      }
+      sink += answers[0];
+      std::printf("  %-5s %8.0f queries/s  mae %.4f s\n", tier.name, n / secs,
+                  mae);
+      const std::string prefix = std::string("serving/quant/") + tier.name;
+      records.push_back({prefix + "/qps", secs, 1, n / secs});
+      // MAE in seconds vs. the fp64 answers, carried in wall_seconds like
+      // the hit_rate records (a value, not a time; 0 for the fp64 tier).
+      records.push_back({prefix + "/mae", mae, 1, 0.0});
+    }
+    std::remove(artifact_path.c_str());
   }
 
   std::printf("(checksum %.6f)\n", sink);

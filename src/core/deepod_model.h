@@ -69,7 +69,8 @@ class DeepOdModel : public nn::Module {
 
   // Batched estimation: one travel time per OD input, bit-identical to
   // calling Predict in a loop in every kernel mode (the batched MLP uses
-  // AffineRows, which preserves Affine's per-row floating-point order).
+  // AffineRows, which preserves Affine's per-row floating-point order —
+  // including kSimd, where both ops run the same packed GEMV per row).
   // When `pool` is given the batch is split into contiguous chunks fanned
   // out over the pool's workers; chunking never changes results.
   std::vector<double> PredictBatch(std::span<const traj::OdInput> ods,

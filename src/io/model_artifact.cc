@@ -122,6 +122,12 @@ void AppendSpeedEntries(SpeedStaging& staging, nn::StateDict& dict) {
 
 void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
                         const sim::SnapshotSpeedField* speed) {
+  WriteModelArtifact(path, model, speed, ArtifactOptions{});
+}
+
+void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
+                        const sim::SnapshotSpeedField* speed,
+                        const ArtifactOptions& options) {
   nn::StateDict dict;
   double version = kArtifactVersion;
   dict.AddScalarBuffer("artifact.version", &version);
@@ -150,11 +156,19 @@ void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
     AppendSpeedEntries(staging, dict);
   }
 
-  nn::ThrowIfError(nn::SaveStateDict(path, dict));
+  // Only model.* weight entries are quantisation-eligible (trainable,
+  // ndim >= 2); the config/speed buffers always stay f64.
+  nn::ThrowIfError(nn::SaveStateDict(path, dict, options.quant));
 }
 
 ServingModel LoadModelArtifact(const std::string& path,
                                const road::RoadNetwork& network) {
+  return LoadModelArtifact(path, network, ArtifactOptions{});
+}
+
+ServingModel LoadModelArtifact(const std::string& path,
+                               const road::RoadNetwork& network,
+                               const ArtifactOptions& options) {
   std::vector<uint8_t> buffer;
   nn::ThrowIfError(nn::ReadFileBytes(path, &buffer));
   std::vector<nn::TensorRecord> records;
@@ -245,6 +259,21 @@ ServingModel LoadModelArtifact(const std::string& path,
     AppendSpeedEntries(staging, dict);
   }
   nn::ThrowIfError(nn::DeserializeStateDict(buffer, dict));
+
+  // Effective quantisation: a load-time request wins; otherwise whatever
+  // the records were stored as (the deserialise above already produced the
+  // dequantised — i.e. snapped — fp64 values for a quantised artifact, so
+  // no further pass is needed in that case).
+  nn::QuantMode stored = nn::QuantMode::kNone;
+  for (const auto& r : records) {
+    if (r.dtype == nn::kDtypeF16) stored = nn::QuantMode::kFp16;
+    if (r.dtype == nn::kDtypeI8) stored = nn::QuantMode::kInt8;
+  }
+  out.quant = options.quant != nn::QuantMode::kNone ? options.quant : stored;
+  if (options.quant != nn::QuantMode::kNone) {
+    nn::FakeQuantizeStateDict(dict, options.quant);
+  }
+
   out.model->ClearOcodeMemo();
   out.model->SetTraining(false);
   return out;

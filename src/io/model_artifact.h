@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/deepod_model.h"
+#include "nn/quant.h"
 #include "road/road_network.h"
 #include "sim/snapshot_speed_field.h"
 
@@ -25,6 +26,18 @@ namespace deepod::io {
 // or trajectory store in memory — and its predictions are bit-identical to
 // the model that was saved. See DESIGN.md, "Model lifecycle".
 
+// Options for the quantised predict-only path (nn/quant.h). On write,
+// `quant` selects the storage dtype of the weight records (f16 or per-row
+// int8; everything else stays f64 and all-f64 artifacts keep the v2 byte
+// layout). On load, `quant` requests fake-quantisation of an fp64 artifact's
+// weights at load time — useful for evaluating a quant tier without
+// rewriting the artifact. Quantisation is serving-only: a quantised model's
+// predictions match the fp64 goldens within an MAE budget, never
+// bit-identically.
+struct ArtifactOptions {
+  nn::QuantMode quant = nn::QuantMode::kNone;
+};
+
 // The deserialised serving bundle. Move-only; `model` references `speed`
 // (and the network passed to LoadModelArtifact), so keep the bundle (and
 // that network) alive as long as the model is used. Members are ordered so
@@ -33,6 +46,10 @@ struct ServingModel {
   core::DeepOdConfig config;
   std::unique_ptr<sim::SnapshotSpeedField> speed;  // null if not captured
   std::unique_ptr<core::DeepOdModel> model;
+  // Effective weight quantisation of `model`: the mode requested at load
+  // time, or — when none was requested — the mode the artifact's records
+  // were stored in (kNone for a plain fp64 artifact).
+  nn::QuantMode quant = nn::QuantMode::kNone;
 };
 
 // Writes the artifact for `model`, embedding `speed` when non-null (pass
@@ -41,14 +58,23 @@ struct ServingModel {
 // failure.
 void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
                         const sim::SnapshotSpeedField* speed);
+void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
+                        const sim::SnapshotSpeedField* speed,
+                        const ArtifactOptions& options);
 
 // Reads an artifact and stands up a predict-only model against `network`
 // (which must be the network the model was trained on — the embedding table
 // size is validated against it). Throws nn::SerializeError with a typed
 // status on a truncated/corrupt file, an unsupported artifact version or a
 // config/shape mismatch; a failed load never returns a half-written model.
+// Quantised (v3) artifacts dequantise into fp64 storage on load, so every
+// kernel tier serves them unchanged; options.quant additionally
+// fake-quantises fp64 weights at load time.
 ServingModel LoadModelArtifact(const std::string& path,
                                const road::RoadNetwork& network);
+ServingModel LoadModelArtifact(const std::string& path,
+                               const road::RoadNetwork& network,
+                               const ArtifactOptions& options);
 
 }  // namespace deepod::io
 

@@ -37,7 +37,9 @@ std::vector<Tensor> Lstm::ForwardAll(const std::vector<Tensor>& inputs) const {
   Tensor c = Tensor::Zeros({hidden_dim_});
   std::vector<Tensor> hidden_states;
   hidden_states.reserve(inputs.size());
-  const bool fused = GetKernelMode() == KernelMode::kVector;
+  const KernelMode mode = GetKernelMode();
+  const bool fused =
+      mode == KernelMode::kVector || mode == KernelMode::kSimd;
   for (const Tensor& x : inputs) {
     if (x.ndim() != 1 || x.dim(0) != input_dim_) {
       throw std::invalid_argument("Lstm::Forward: bad input shape " +

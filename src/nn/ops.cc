@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "nn/simd.h"
 #include "obs/metrics.h"
 
 // Per-KernelMode invocation counters for the hot kernels, compiled in only
@@ -36,6 +37,15 @@ void CheckSameShape(const Tensor& a, const Tensor& b, const char* op) {
 // the forward value is identical, but no parent list or backward closure is
 // ever constructed, so the query path builds no graph to destruct.
 bool Inference() { return !GradEnabled(); }
+
+// True when the current op should run the explicit AVX2 kernels: the thread
+// selected kSimd AND the runtime dispatch (compiled + cpuid + DEEPOD_SIMD)
+// allows it. When this is false a kSimd thread takes the kVector code path
+// of each op, which makes the fallback bit-identical to kVector by
+// construction.
+bool SimdActive() {
+  return GetKernelMode() == KernelMode::kSimd && Avx2Active();
+}
 
 // Elementwise unary op helper: forward f(x), backward df(x, y) where y is
 // the forward output value.
@@ -219,6 +229,43 @@ void ConvForwardVector(const ConvGeom& g, const double* xin, const double* xk,
             const double* in_row = in_plane + iy * g.w + ix_lo;
             double* o_row = out_plane + oy * g.ow + ox_lo;
             for (size_t i = 0; i < len; ++i) o_row[i] += kval * in_row[i];
+          }
+        }
+      }
+    }
+  }
+}
+
+// KernelMode::kSimd forward: ConvForwardVector with the contiguous axpy
+// replaced by the AVX2 axpy. The element order is identical to the scalar
+// loop — elementwise ops have no summation order to reassociate — but
+// AxpyAvx2 fuses each multiply-add into one FMA (one rounding per tap where
+// the scalar loop has two), so the result matches ConvForwardVector under
+// the kSimd value-tolerance contract, not bit-for-bit. Only called when
+// Avx2Active().
+void ConvForwardSimd(const ConvGeom& g, const double* xin, const double* xk,
+                     double* out) {
+  std::fill(out, out + g.cout * g.oh * g.ow, 0.0);
+  for (size_t oc = 0; oc < g.cout; ++oc) {
+    const double* koc = xk + oc * g.cin * g.kh * g.kw;
+    double* out_plane = out + oc * g.oh * g.ow;
+    for (size_t ic = 0; ic < g.cin; ++ic) {
+      const double* in_plane = xin + ic * g.h * g.w;
+      for (size_t ky = 0; ky < g.kh; ++ky) {
+        const size_t oy_lo = g.pad_h > ky ? g.pad_h - ky : 0;
+        const size_t oy_hi = std::min(g.oh, g.h + g.pad_h - ky);
+        for (size_t kx = 0; kx < g.kw; ++kx) {
+          const double kval = koc[(ic * g.kh + ky) * g.kw + kx];
+          if (kval == 0.0) continue;
+          const size_t ox_lo = g.pad_w > kx ? g.pad_w - kx : 0;
+          const size_t ox_hi = std::min(g.ow, g.w + g.pad_w - kx);
+          if (ox_hi <= ox_lo) continue;
+          const size_t len = ox_hi - ox_lo;
+          const size_t ix_lo = ox_lo + kx - g.pad_w;
+          for (size_t oy = oy_lo; oy < oy_hi; ++oy) {
+            const size_t iy = oy + ky - g.pad_h;
+            AxpyAvx2(kval, in_plane + iy * g.w + ix_lo,
+                     out_plane + oy * g.ow + ox_lo, len);
           }
         }
       }
@@ -443,11 +490,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const auto& xa = a.data();
   const auto& xb = b.data();
   auto out = AcquireBuffer(n * m);
-  if (GetKernelMode() != KernelMode::kLegacy) {
+  const KernelMode mode = GetKernelMode();
+  if (SimdActive()) {
+    // B here is typically materialised per call (Linear's 2-D path builds
+    // W^T fresh), so MatMul skips the pack cache and uses the broadcast-A
+    // AVX2 kernel directly over row-major B.
+    MatMulAvx2(xa.data(), xb.data(), out.data(), n, k, m);
+  } else if (mode != KernelMode::kLegacy) {
     auto bt = AcquireBuffer(k * m);
     PackBTransposed(xb.data(), bt.data(), k, m);
     MatMulForwardBlocked(xa.data(), bt.data(), out.data(), n, k, m,
-                         GetKernelMode() == KernelMode::kVector);
+                         mode == KernelMode::kVector ||
+                             mode == KernelMode::kSimd);
   } else {
     MatMulForwardNaive(xa.data(), xb.data(), out.data(), n, k, m);
   }
@@ -539,7 +593,13 @@ Tensor Affine(const Tensor& w, const Tensor& x, const Tensor& b) {
   const auto& xx = x.data();
   const auto& xb = b.data();
   auto out = AcquireBuffer(o);
-  if (GetKernelMode() == KernelMode::kVector) {
+  const KernelMode mode = GetKernelMode();
+  if (SimdActive()) {
+    // Same packed kernel AffineRows uses per row, so Predict stays
+    // bit-identical to PredictBatch in kSimd too.
+    const auto packed = PackedFor(w.impl());
+    GemvBiasPacked(*packed, xx.data(), xb.data(), out.data());
+  } else if (mode == KernelMode::kVector || mode == KernelMode::kSimd) {
     for (size_t i = 0; i < o; ++i) {
       out[i] = xb[i] + DotUnrolled(&xw[i * in], xx.data(), in);
     }
@@ -586,9 +646,16 @@ Tensor AffineRows(const Tensor& x, const Tensor& w, const Tensor& b) {
   const auto& xb = b.data();
   auto out = AcquireBuffer(n * o);
   // Row r is computed exactly like Affine(w, x[r], b): bias-first, then the
-  // dot product in the active kernel tier's summation order. That keeps
-  // PredictBatch bit-identical to a per-query Predict loop in every mode.
-  if (GetKernelMode() == KernelMode::kVector) {
+  // dot product in the active kernel tier's summation order (in kSimd, the
+  // identical packed GEMV kernel). That keeps PredictBatch bit-identical to
+  // a per-query Predict loop in every mode.
+  const KernelMode mode = GetKernelMode();
+  if (SimdActive()) {
+    const auto packed = PackedFor(w.impl());
+    for (size_t r = 0; r < n; ++r) {
+      GemvBiasPacked(*packed, &xx[r * in], xb.data(), &out[r * o]);
+    }
+  } else if (mode == KernelMode::kVector || mode == KernelMode::kSimd) {
     for (size_t r = 0; r < n; ++r) {
       const double* xrow = &xx[r * in];
       double* orow = &out[r * o];
@@ -826,6 +893,13 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
     case KernelMode::kVector:
       ConvForwardVector(geom, xin.data(), xk.data(), out.data());
       break;
+    case KernelMode::kSimd:
+      if (SimdActive()) {
+        ConvForwardSimd(geom, xin.data(), xk.data(), out.data());
+      } else {
+        ConvForwardVector(geom, xin.data(), xk.data(), out.data());
+      }
+      break;
   }
   if (Inference()) return Tensor::FromData({cout, oh, ow}, std::move(out));
   auto pin = input.impl(), pk = kernel.impl();
@@ -843,6 +917,9 @@ Tensor Conv2d(const Tensor& input, const Tensor& kernel, size_t pad_h,
                                 pk->data.data(), gin, gk);
             break;
           case KernelMode::kVector:
+          case KernelMode::kSimd:
+            // Backward is a training-only path; kSimd reuses the kVector
+            // backward kernel (no AVX2 variant, bit-identical to kVector).
             ConvBackwardVector(geom, self.grad.data(), pin->data.data(),
                                pk->data.data(), gin, gk);
             break;
@@ -924,27 +1001,54 @@ Tensor LstmCellFused(const Tensor& x, const Tensor& h_prev,
   // Saved activations for backward: [f ; i ; o ; g], each hd long.
   std::vector<double> gates(4 * hd);
   auto out = AcquireBuffer(2 * hd);
-  for (size_t j = 0; j < hd; ++j) {
-    const size_t r = j * cd;
-    const double af = bf.data()[j] + DotUnrolled(wfd + r, xd, in) +
-                      DotUnrolled(wfd + r + in, hp, hd);
-    const double ai = bi.data()[j] + DotUnrolled(wid + r, xd, in) +
-                      DotUnrolled(wid + r + in, hp, hd);
-    const double ao = bo.data()[j] + DotUnrolled(wod + r, xd, in) +
-                      DotUnrolled(wod + r + in, hp, hd);
-    const double ac = bc.data()[j] + DotUnrolled(wcd + r, xd, in) +
-                      DotUnrolled(wcd + r + in, hp, hd);
-    const double f = 1.0 / (1.0 + std::exp(-af));
-    const double i = 1.0 / (1.0 + std::exp(-ai));
-    const double o = 1.0 / (1.0 + std::exp(-ao));
-    const double g = std::tanh(ac);
-    const double cn = f * cp[j] + i * g;
-    gates[j] = f;
-    gates[hd + j] = i;
-    gates[2 * hd + j] = o;
-    gates[3 * hd + j] = g;
-    out[j] = o * std::tanh(cn);
-    out[hd + j] = cn;
+  if (SimdActive()) {
+    // Gate pre-activations via the packed GEMV over [W_x | W_h] without
+    // materialising [x; h] (the two-source variant), then a scalar
+    // activation loop. The gates are saved exactly as the scalar path does,
+    // so a backward through this result uses the same bookkeeping.
+    auto acts = AcquireBuffer(4 * hd);
+    const Tensor* ws[4] = {&wf, &wi, &wo, &wc};
+    const Tensor* bs[4] = {&bf, &bi, &bo, &bc};
+    for (int gate = 0; gate < 4; ++gate) {
+      const auto packed = PackedFor(ws[gate]->impl());
+      GemvBiasPacked2(*packed, xd, in, hp, bs[gate]->data().data(),
+                      acts.data() + gate * hd);
+    }
+    // Activations 4-wide as well: f/i/o are contiguous in acts, so one
+    // sigmoid sweep covers all three, then tanh for g. The final tanh(cn)
+    // reuses acts as scratch. These libm-free activations are what lifts
+    // the fused cell past the GEMV-only speedup (Amdahl: ~100 scalar
+    // transcendentals per cell otherwise dominate).
+    SigmoidAvx2(acts.data(), gates.data(), 3 * hd);
+    TanhAvx2(acts.data() + 3 * hd, gates.data() + 3 * hd, hd);
+    for (size_t j = 0; j < hd; ++j) {
+      out[hd + j] = gates[j] * cp[j] + gates[hd + j] * gates[3 * hd + j];
+    }
+    TanhAvx2(out.data() + hd, acts.data(), hd);
+    for (size_t j = 0; j < hd; ++j) out[j] = gates[2 * hd + j] * acts[j];
+  } else {
+    for (size_t j = 0; j < hd; ++j) {
+      const size_t r = j * cd;
+      const double af = bf.data()[j] + DotUnrolled(wfd + r, xd, in) +
+                        DotUnrolled(wfd + r + in, hp, hd);
+      const double ai = bi.data()[j] + DotUnrolled(wid + r, xd, in) +
+                        DotUnrolled(wid + r + in, hp, hd);
+      const double ao = bo.data()[j] + DotUnrolled(wod + r, xd, in) +
+                        DotUnrolled(wod + r + in, hp, hd);
+      const double ac = bc.data()[j] + DotUnrolled(wcd + r, xd, in) +
+                        DotUnrolled(wcd + r + in, hp, hd);
+      const double f = 1.0 / (1.0 + std::exp(-af));
+      const double i = 1.0 / (1.0 + std::exp(-ai));
+      const double o = 1.0 / (1.0 + std::exp(-ao));
+      const double g = std::tanh(ac);
+      const double cn = f * cp[j] + i * g;
+      gates[j] = f;
+      gates[hd + j] = i;
+      gates[2 * hd + j] = o;
+      gates[3 * hd + j] = g;
+      out[j] = o * std::tanh(cn);
+      out[hd + j] = cn;
+    }
   }
   if (Inference()) return Tensor::FromData({2 * hd}, std::move(out));
   // The backward reads parents through self.parents (fixed order below) so

@@ -8,9 +8,21 @@ namespace deepod::nn {
 namespace {
 
 constexpr uint32_t kLegacyMagic = 0xd33b0d01;  // "deepod" format v1
-constexpr uint32_t kMagic = 0xd33b0d02;        // "deepod" format v2
-constexpr uint32_t kVersion = 2;
-constexpr uint8_t kDtypeF64 = 1;
+constexpr uint32_t kMagic = 0xd33b0d02;        // "deepod" format v2+
+constexpr uint32_t kVersion = 2;       // all-f64 records
+constexpr uint32_t kVersionQuant = 3;  // may carry f16/int8 records
+
+// Dtype a quantising write stores this entry as (f64 unless the quant mode
+// applies and the entry is weight-quantisation eligible).
+uint8_t DtypeFor(const StateDict::Entry& e, QuantMode quant) {
+  if (quant == QuantMode::kNone || !QuantEligible(e)) return kDtypeF64;
+  return quant == QuantMode::kFp16 ? kDtypeF16 : kDtypeI8;
+}
+
+// Leading dimension used for int8 per-row scales.
+size_t RecordRows(const std::vector<size_t>& shape) {
+  return shape.empty() || shape[0] == 0 ? 1 : shape[0];
+}
 
 template <typename T>
 void AppendPod(std::vector<uint8_t>& buf, const T& value) {
@@ -115,23 +127,82 @@ size_t SerializedStateSize(const StateDict& state) {
   return bytes + sizeof(uint64_t);  // checksum
 }
 
+const char* RecordDtypeName(uint8_t dtype) {
+  switch (dtype) {
+    case kDtypeF64:
+      return "f64";
+    case kDtypeF16:
+      return "f16";
+    case kDtypeI8:
+      return "int8";
+    default:
+      return "unknown";
+  }
+}
+
 std::vector<uint8_t> SerializeStateDict(const StateDict& state) {
+  return SerializeStateDict(state, QuantMode::kNone);
+}
+
+std::vector<uint8_t> SerializeStateDict(const StateDict& state,
+                                        QuantMode quant) {
+  bool any_quantised = false;
+  for (const auto& e : state.entries()) {
+    if (DtypeFor(e, quant) != kDtypeF64) any_quantised = true;
+  }
   std::vector<uint8_t> buf;
-  buf.reserve(SerializedStateSize(state));
+  buf.reserve(SerializedStateSize(state));  // upper bound for any dtype mix
   AppendPod(buf, kMagic);
-  AppendPod(buf, kVersion);
+  // All-f64 files stay version 2 so old readers keep working; the version
+  // only moves when a record an old reader would misparse is present.
+  AppendPod(buf, any_quantised ? kVersionQuant : kVersion);
   AppendPod(buf, static_cast<uint64_t>(state.size()));
   for (const auto& e : state.entries()) {
     AppendPod(buf, static_cast<uint32_t>(e.name.size()));
     buf.insert(buf.end(), e.name.begin(), e.name.end());
-    AppendPod(buf, kDtypeF64);
+    const uint8_t dtype = DtypeFor(e, quant);
+    AppendPod(buf, dtype);
     AppendPod(buf, static_cast<uint32_t>(e.shape.size()));
     for (size_t d : e.shape) AppendPod(buf, static_cast<uint64_t>(d));
-    const auto* payload = reinterpret_cast<const uint8_t*>(e.data);
-    buf.insert(buf.end(), payload, payload + sizeof(double) * e.size);
+    switch (dtype) {
+      case kDtypeF64: {
+        const auto* payload = reinterpret_cast<const uint8_t*>(e.data);
+        buf.insert(buf.end(), payload, payload + sizeof(double) * e.size);
+        break;
+      }
+      case kDtypeF16: {
+        for (size_t i = 0; i < e.size; ++i) {
+          AppendPod(buf, HalfFromDouble(e.data[i]));
+        }
+        break;
+      }
+      case kDtypeI8: {
+        const size_t rows = RecordRows(e.shape);
+        const size_t cols = e.size / rows;
+        std::vector<double> scales(rows);
+        std::vector<int8_t> q(e.size);
+        QuantizeInt8(e.data, rows, cols, scales.data(), q.data());
+        const auto* sbytes = reinterpret_cast<const uint8_t*>(scales.data());
+        buf.insert(buf.end(), sbytes, sbytes + sizeof(double) * rows);
+        const auto* qbytes = reinterpret_cast<const uint8_t*>(q.data());
+        buf.insert(buf.end(), qbytes, qbytes + e.size);
+        break;
+      }
+    }
   }
   AppendPod(buf, Fnv1a64(buf.data(), buf.size()));
   return buf;
+}
+
+size_t RecordPayloadBytes(const TensorRecord& record) {
+  switch (record.dtype) {
+    case kDtypeF16:
+      return sizeof(uint16_t) * record.num_elements;
+    case kDtypeI8:
+      return sizeof(double) * RecordRows(record.shape) + record.num_elements;
+    default:
+      return sizeof(double) * record.num_elements;
+  }
 }
 
 LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
@@ -151,11 +222,12 @@ LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
   }
   uint32_t version = 0;
   if (!TryReadPod(buffer, offset, &version)) return Truncated("header");
-  if (version != kVersion) {
+  if (version != kVersion && version != kVersionQuant) {
     return LoadStatus::Error(
         LoadErrorKind::kBadVersion,
         "unsupported state-dict version " + std::to_string(version) +
-            " (reader supports " + std::to_string(kVersion) + ")");
+            " (reader supports " + std::to_string(kVersion) + " and " +
+            std::to_string(kVersionQuant) + ")");
   }
   uint64_t count = 0;
   if (!TryReadPod(buffer, offset, &count)) return Truncated("header");
@@ -172,11 +244,18 @@ LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
     if (!TryReadPod(buffer, offset, &rec.dtype)) {
       return Truncated("record " + rec.name);
     }
-    if (rec.dtype != kDtypeF64) {
+    // Quantised dtypes are only legal past the version bump that introduced
+    // them — a v2 file carrying one was written by a broken producer.
+    const bool dtype_ok =
+        rec.dtype == kDtypeF64 ||
+        (version == kVersionQuant &&
+         (rec.dtype == kDtypeF16 || rec.dtype == kDtypeI8));
+    if (!dtype_ok) {
       return LoadStatus::Error(
           LoadErrorKind::kBadDtype,
           "tensor '" + rec.name + "' has unknown dtype tag " +
-              std::to_string(static_cast<int>(rec.dtype)),
+              std::to_string(static_cast<int>(rec.dtype)) + " for version " +
+              std::to_string(version),
           rec.name);
     }
     uint32_t ndim = 0;
@@ -194,7 +273,7 @@ LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
       rec.num_elements *= static_cast<size_t>(dim);
     }
     rec.payload_offset = offset;
-    const size_t payload_bytes = sizeof(double) * rec.num_elements;
+    const size_t payload_bytes = RecordPayloadBytes(rec);
     if (offset + payload_bytes > checksum_offset) {
       return Truncated("payload of " + rec.name);
     }
@@ -218,12 +297,62 @@ LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
   return LoadStatus::Ok();
 }
 
+namespace {
+
+// Decodes a record's payload into `dst` (num_elements doubles),
+// dequantising f16/int8 records. Dequantisation reproduces exactly the
+// fake-quant values (nn/quant.h): q * scale for int8, the half round-trip
+// for f16.
+void DecodeRecordInto(const std::vector<uint8_t>& buffer,
+                      const TensorRecord& record, double* dst) {
+  const uint8_t* payload = buffer.data() + record.payload_offset;
+  switch (record.dtype) {
+    case kDtypeF16: {
+      for (size_t i = 0; i < record.num_elements; ++i) {
+        uint16_t half;
+        std::memcpy(&half, payload + sizeof(uint16_t) * i, sizeof(half));
+        dst[i] = HalfToDouble(half);
+      }
+      return;
+    }
+    case kDtypeI8: {
+      const size_t rows = RecordRows(record.shape);
+      const size_t cols = record.num_elements / rows;
+      std::vector<double> scales(rows);
+      std::memcpy(scales.data(), payload, sizeof(double) * rows);
+      const auto* q =
+          reinterpret_cast<const int8_t*>(payload + sizeof(double) * rows);
+      for (size_t r = 0; r < rows; ++r) {
+        for (size_t j = 0; j < cols; ++j) {
+          dst[r * cols + j] =
+              static_cast<double>(q[r * cols + j]) * scales[r];
+        }
+      }
+      return;
+    }
+    default:
+      std::memcpy(dst, payload, sizeof(double) * record.num_elements);
+      return;
+  }
+}
+
+}  // namespace
+
 std::vector<double> ReadRecordPayload(const std::vector<uint8_t>& buffer,
                                       const TensorRecord& record) {
   std::vector<double> out(record.num_elements);
-  std::memcpy(out.data(), buffer.data() + record.payload_offset,
-              sizeof(double) * record.num_elements);
+  DecodeRecordInto(buffer, record, out.data());
   return out;
+}
+
+std::vector<double> ReadRecordScales(const std::vector<uint8_t>& buffer,
+                                     const TensorRecord& record) {
+  if (record.dtype != kDtypeI8) return {};
+  const size_t rows = RecordRows(record.shape);
+  std::vector<double> scales(rows);
+  std::memcpy(scales.data(), buffer.data() + record.payload_offset,
+              sizeof(double) * rows);
+  return scales;
 }
 
 LoadStatus DeserializeStateDict(const std::vector<uint8_t>& buffer,
@@ -273,9 +402,11 @@ LoadStatus DeserializeStateDict(const std::vector<uint8_t>& buffer,
     }
   }
   for (size_t i = 0; i < entries.size(); ++i) {
-    std::memcpy(entries[i].data, buffer.data() + sources[i]->payload_offset,
-                sizeof(double) * entries[i].size);
+    DecodeRecordInto(buffer, *sources[i], entries[i].data);
   }
+  // Parameter storage changed in place: derived caches (the kSimd packed
+  // weights) must rebuild.
+  BumpParamEpoch();
   return LoadStatus::Ok();
 }
 
@@ -308,7 +439,12 @@ LoadStatus ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
 }
 
 LoadStatus SaveStateDict(const std::string& path, const StateDict& state) {
-  const auto buf = SerializeStateDict(state);
+  return SaveStateDict(path, state, QuantMode::kNone);
+}
+
+LoadStatus SaveStateDict(const std::string& path, const StateDict& state,
+                         QuantMode quant) {
+  const auto buf = SerializeStateDict(state, quant);
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     return LoadStatus::Error(LoadErrorKind::kIoError, "cannot open " + path);
@@ -381,6 +517,7 @@ void DeserializeParameters(const std::vector<uint8_t>& buffer,
         LoadErrorKind::kTrailingBytes,
         "DeserializeParameters: trailing bytes"));
   }
+  BumpParamEpoch();
 }
 
 size_t SerializedSize(const std::vector<Tensor>& params) {

@@ -7,13 +7,14 @@
 #include <vector>
 
 #include "nn/module.h"
+#include "nn/quant.h"
 #include "nn/tensor.h"
 
 namespace deepod::nn {
 
 // (De)serialisation of model state. Two formats coexist:
 //
-//  * The tagged state-dict format (v2) — the current on-disk contract.
+//  * The tagged state-dict format (v2/v3) — the current on-disk contract.
 //    Self-describing: a magic/version header, one record per tensor holding
 //    its *name*, dtype, shape and payload, and a trailing checksum over the
 //    whole stream. Tensors are matched by name on load, so file layout is
@@ -24,16 +25,27 @@ namespace deepod::nn {
 //  * The legacy positional blob (v1) — the original unnamed format kept for
 //    reading old checkpoints. New files are never written in it.
 //
-// Byte layout of v2 (all integers little-endian):
+// Byte layout of v2/v3 (all integers little-endian):
 //   u32  magic      0xd33b0d02 ("deepod" format, generation 2)
-//   u32  version    2
+//   u32  version    2 or 3
 //   u64  entry count
 //   per entry:
 //     u32  name length, then that many name bytes (UTF-8, no NUL)
-//     u8   dtype      1 = f64 (the only dtype currently written)
+//     u8   dtype      1 = f64; 2 = f16; 3 = int8 (per-row scales)
 //     u32  ndim, then ndim u64 dims   (ndim 0 = scalar, 1 element)
-//     f64  payload[product(dims)]
+//     payload:
+//       f64  — f64 data[product(dims)]
+//       f16  — u16 half-float data[product(dims)]
+//       int8 — f64 scales[dims[0]] then i8 quantised data[product(dims)]
 //   u64  FNV-1a 64 checksum of every preceding byte
+//
+// Version policy (CONTRIBUTING.md: keep every reader, bump the version when
+// a record can carry something an old reader would misparse): files whose
+// records are all-f64 are written as version 2, byte-identical to the
+// pre-quantisation writer, so every existing artifact and reader keeps
+// working. The f16/int8 dtypes are only legal in version-3 files; a v2 file
+// carrying them is rejected as kBadDtype, and a v3 file is rejected by old
+// readers as kBadVersion rather than misread.
 
 // --- Typed load errors -------------------------------------------------------
 
@@ -84,20 +96,38 @@ class SerializeError : public std::runtime_error {
 // Throws SerializeError if `status` is an error; returns it otherwise.
 const LoadStatus& ThrowIfError(const LoadStatus& status);
 
-// --- Tagged state-dict format (v2) ------------------------------------------
+// --- Tagged state-dict format (v2/v3) ---------------------------------------
+
+// Record dtype tags (see the byte-layout comment above).
+inline constexpr uint8_t kDtypeF64 = 1;
+inline constexpr uint8_t kDtypeF16 = 2;
+inline constexpr uint8_t kDtypeI8 = 3;
+
+// "f64" / "f16" / "int8" (or "unknown").
+const char* RecordDtypeName(uint8_t dtype);
 
 // Serialises every entry of `state` (names, shapes, payloads, checksum).
+// All-f64, written as version 2 (byte-identical to the pre-quantisation
+// writer).
 std::vector<uint8_t> SerializeStateDict(const StateDict& state);
 
-// Byte size SerializeStateDict would produce.
+// Quantising writer: entries eligible for weight quantisation (nn/quant.h)
+// are stored as f16 or int8 records, everything else stays f64. With
+// QuantMode::kNone — or when nothing is eligible — this is exactly the
+// overload above. Emits version 3 iff a quantised record is present.
+std::vector<uint8_t> SerializeStateDict(const StateDict& state,
+                                        QuantMode quant);
+
+// Byte size the all-f64 SerializeStateDict(state) call would produce.
 size_t SerializedStateSize(const StateDict& state);
 
-// Restores `state` in place from a v2 buffer. Strict by-name matching: every
-// dict entry must appear in the buffer with an identical shape and every
-// buffer record must be expected by the dict — the first violation is
-// reported with its tensor name and both shapes. No entry is modified unless
-// the whole buffer validates (checksum included), so a failed load never
-// leaves a model half-written.
+// Restores `state` in place from a v2/v3 buffer, dequantising f16/int8
+// records into the fp64 entry storage. Strict by-name matching: every dict
+// entry must appear in the buffer with an identical shape and every buffer
+// record must be expected by the dict — the first violation is reported
+// with its tensor name and both shapes. No entry is modified unless the
+// whole buffer validates (checksum included), so a failed load never leaves
+// a model half-written. Bumps the parameter epoch on success.
 LoadStatus DeserializeStateDict(const std::vector<uint8_t>& buffer,
                                 StateDict& state);
 
@@ -107,27 +137,41 @@ struct TensorRecord {
   uint8_t dtype = 0;
   std::vector<size_t> shape;
   size_t num_elements = 0;
-  size_t payload_offset = 0;  // byte offset of the f64 payload in the buffer
+  size_t payload_offset = 0;  // byte offset of the payload in the buffer
 };
 
-// Parses the record table of a v2 buffer (used by DeserializeStateDict, the
-// artifact loader and the inspector CLI). Validates framing and — unless
-// `verify_checksum` is false — the trailing checksum.
+// Parses the record table of a v2/v3 buffer (used by DeserializeStateDict,
+// the artifact loader and the inspector CLI). Validates framing and —
+// unless `verify_checksum` is false — the trailing checksum. Quantised
+// dtypes are accepted only in version-3 buffers.
 LoadStatus IndexStateDict(const std::vector<uint8_t>& buffer,
                           std::vector<TensorRecord>* out,
                           bool verify_checksum = true);
 
-// Copies a record's payload out of the buffer it was indexed from.
+// On-disk payload size of a record, in bytes (dtype-dependent; the int8
+// payload carries dims[0] f64 scales before the quantised bytes).
+size_t RecordPayloadBytes(const TensorRecord& record);
+
+// Decodes a record's payload out of the buffer it was indexed from into
+// fp64 values (dequantising f16/int8 records).
 std::vector<double> ReadRecordPayload(const std::vector<uint8_t>& buffer,
                                       const TensorRecord& record);
+
+// The per-row scales of an int8 record (dims[0] values); empty for any
+// other dtype.
+std::vector<double> ReadRecordScales(const std::vector<uint8_t>& buffer,
+                                     const TensorRecord& record);
 
 // True when the buffer starts with the v2 state-dict magic.
 bool IsStateDictBuffer(const std::vector<uint8_t>& buffer);
 // True when the buffer starts with the legacy positional-blob magic.
 bool IsLegacyParameterBuffer(const std::vector<uint8_t>& buffer);
 
-// File helpers (v2).
+// File helpers (v2/v3). The QuantMode overload routes through the
+// quantising writer.
 LoadStatus SaveStateDict(const std::string& path, const StateDict& state);
+LoadStatus SaveStateDict(const std::string& path, const StateDict& state,
+                         QuantMode quant);
 LoadStatus LoadStateDict(const std::string& path, StateDict& state);
 
 // Reads a whole file into bytes (shared by the state-dict and legacy

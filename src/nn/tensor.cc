@@ -63,7 +63,19 @@ thread_local GradArena* tls_arena = nullptr;
 // one thread and backwarded on another.
 std::atomic<uint64_t> g_backward_epoch{0};
 
+// Parameter-value generation (see ParamEpoch in tensor.h). Starts at 1 so
+// a zero-initialised cache entry can never look current.
+std::atomic<uint64_t> g_param_epoch{1};
+
 }  // namespace
+
+uint64_t ParamEpoch() {
+  return g_param_epoch.load(std::memory_order_acquire);
+}
+
+void BumpParamEpoch() {
+  g_param_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
 
 bool GradEnabled() { return tls_grad_enabled; }
 

@@ -217,11 +217,21 @@ class InferenceGuard {
 //    buffer pool. Same floating-point summation order as kLegacy, so
 //    results are bit-identical — this is the default.
 //  - kVector:  reassociated (multi-accumulator / planar-axpy) kernels that
-//    the compiler can vectorise. Fastest, but the changed summation order
-//    perturbs last-bit rounding, so results are deterministic yet not
-//    bit-identical to kLegacy. Used by the data-parallel trainer
-//    (num_threads > 1) and opt-in benches.
-enum class KernelMode { kLegacy, kBlocked, kVector };
+//    the compiler can vectorise. Fastest scalar tier, but the changed
+//    summation order perturbs last-bit rounding, so results are
+//    deterministic yet not bit-identical to kLegacy. Used by the
+//    data-parallel trainer (num_threads > 1) and opt-in benches.
+//  - kSimd:    explicit AVX2+FMA kernels over panel-major packed weights
+//    (see nn/simd.h), dispatched at runtime: when the binary carries the
+//    AVX2 translation unit, the CPU supports AVX2+FMA and DEEPOD_SIMD is
+//    not "off", the GEMV-shaped ops (MatMul / Affine / AffineRows / the
+//    fused LSTM cell) run 4-wide FMA kernels — deterministic, but with
+//    their own reassociated+fused summation order (a tolerance-tested
+//    contract, not bit-identity with kVector). Conv2d's kSimd kernel keeps
+//    kVector's per-element multiply-then-add order and stays bit-identical
+//    to kVector. When AVX2 is unavailable every kSimd op falls back to the
+//    kVector code path exactly, so kSimd is always safe to select.
+enum class KernelMode { kLegacy, kBlocked, kVector, kSimd };
 
 void SetKernelMode(KernelMode mode);
 KernelMode GetKernelMode();
@@ -237,6 +247,19 @@ class KernelModeScope {
  private:
   KernelMode prev_;
 };
+
+// --- Parameter epoch --------------------------------------------------------
+
+// Process-wide generation counter over *parameter values*. Every code path
+// that mutates parameter storage in place (optimizer Step, state-dict /
+// legacy deserialisation, Embedding::LoadPretrained, weight quantisation)
+// bumps it; derived per-parameter caches (the packed-weights cache behind
+// KernelMode::kSimd, see nn/simd.h) record the epoch they were built at and
+// rebuild on mismatch. Serving never steps an optimizer, so packs amortise
+// across the whole serving lifetime there, while training pays one repack
+// per step only if it actually runs kSimd kernels.
+uint64_t ParamEpoch();
+void BumpParamEpoch();
 
 // Acquires a buffer of `size` doubles with unspecified contents, reusing
 // the calling thread's recycled tensor storage (disabled in kLegacy mode

@@ -308,8 +308,9 @@ void Registry::ResetForTest() {
 // --- KernelOpCounters --------------------------------------------------------
 
 KernelOpCounters::KernelOpCounters(const char* op) {
-  static const char* kModeNames[3] = {"legacy", "blocked", "vector"};
-  for (size_t m = 0; m < 3; ++m) {
+  static const char* kModeNames[kNumModes] = {"legacy", "blocked", "vector",
+                                              "simd"};
+  for (size_t m = 0; m < kNumModes; ++m) {
     by_mode_[m] = &Registry::Global().counter(std::string("nn/") + op + "/" +
                                               kModeNames[m]);
   }

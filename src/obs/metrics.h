@@ -174,18 +174,20 @@ class Registry {
 // --- Kernel op counters ------------------------------------------------------
 
 // Per-KernelMode invocation counters for one nn op, resolved once per call
-// site ("nn/<op>/{legacy,blocked,vector}" in the global registry). Only
-// compiled into the kernels when the DEEPOD_OBS_KERNEL_COUNTS CMake option
-// is ON — the default build carries zero cost, not even a branch.
+// site ("nn/<op>/{legacy,blocked,vector,simd}" in the global registry).
+// Only compiled into the kernels when the DEEPOD_OBS_KERNEL_COUNTS CMake
+// option is ON — the default build carries zero cost, not even a branch.
 class KernelOpCounters {
  public:
+  static constexpr size_t kNumModes = 4;
+
   explicit KernelOpCounters(const char* op);
   void Bump(size_t mode_index) {
-    by_mode_[mode_index < 3 ? mode_index : 0]->Add();
+    by_mode_[mode_index < kNumModes ? mode_index : 0]->Add();
   }
 
  private:
-  Counter* by_mode_[3];
+  Counter* by_mode_[kNumModes];
 };
 
 }  // namespace deepod::obs

@@ -44,7 +44,10 @@ EtaService::EtaService(core::DeepOdModel& model,
 std::unique_ptr<EtaService> EtaService::FromArtifact(
     const std::string& artifact_path, const road::RoadNetwork& network,
     const EtaServiceOptions& options) {
-  io::ServingModel bundle = io::LoadModelArtifact(artifact_path, network);
+  io::ArtifactOptions artifact_options;
+  artifact_options.quant = options.quant;
+  io::ServingModel bundle =
+      io::LoadModelArtifact(artifact_path, network, artifact_options);
   // Bind the service to the heap-allocated model first, then hand the
   // bundle over: the unique_ptr move keeps the pointee address stable, so
   // model_ stays valid for the service's lifetime.
@@ -98,7 +101,13 @@ double EtaService::Estimate(const traj::OdInput& od) {
     return *cached;
   }
   misses_.Add();
-  const double eta = model_.Predict(od);
+  double eta;
+  if (options_.kernel_mode.has_value()) {
+    const nn::KernelModeScope scope(*options_.kernel_mode);
+    eta = model_.Predict(od);
+  } else {
+    eta = model_.Predict(od);
+  }
   cache_.Put(key, eta);
   RecordCompletion(start);
   return eta;
@@ -156,8 +165,10 @@ void EtaService::DispatchLoop() {
       const OdCacheKey key = MakeKey(batch[i].od);
       if (auto cached = cache_.Get(key)) {
         hits_.Add();
-        batch[i].promise.set_value(*cached);
+        // Record before set_value: a caller unblocked by the future may
+        // read StatsSnapshot immediately and must see this request counted.
         RecordCompletion(batch[i].enqueued);
+        batch[i].promise.set_value(*cached);
       } else {
         misses_.Add();
         miss_index.push_back(i);
@@ -172,12 +183,18 @@ void EtaService::DispatchLoop() {
                             assembly_end);
     }
     if (!miss_ods.empty()) {
-      const std::vector<double> etas =
-          model_.PredictBatch(miss_ods, pool_.get());
+      std::vector<double> etas;
+      if (options_.kernel_mode.has_value()) {
+        // PredictBatch pool workers inherit the dispatcher's mode.
+        const nn::KernelModeScope scope(*options_.kernel_mode);
+        etas = model_.PredictBatch(miss_ods, pool_.get());
+      } else {
+        etas = model_.PredictBatch(miss_ods, pool_.get());
+      }
       for (size_t m = 0; m < miss_index.size(); ++m) {
         cache_.Put(miss_keys[m], etas[m]);
-        batch[miss_index[m]].promise.set_value(etas[m]);
         RecordCompletion(batch[miss_index[m]].enqueued);
+        batch[miss_index[m]].promise.set_value(etas[m]);
       }
       if (obs::TraceEnabled()) {
         obs::AppendTraceEvent("serve/batch_predict", assembly_end,

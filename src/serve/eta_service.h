@@ -8,12 +8,15 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/deepod_model.h"
 #include "io/model_artifact.h"
+#include "nn/quant.h"
+#include "nn/tensor.h"
 #include "obs/metrics.h"
 #include "temporal/time_slot.h"
 #include "traj/trajectory.h"
@@ -61,6 +64,21 @@ struct EtaServiceOptions {
   // Worker threads for the batched forward (1 = run inline on the
   // dispatcher thread).
   size_t batch_threads = 1;
+
+  // Kernel tier used for inference (Estimate and the batched dispatcher;
+  // PredictBatch workers inherit it). Unset = leave the thread's mode alone
+  // — the historical behaviour, which keeps the service bit-identical to
+  // direct DeepOdModel::Predict calls in the ambient mode. kSimd is always
+  // safe to request: without AVX2 it runs the kVector code path.
+  std::optional<nn::KernelMode> kernel_mode;
+
+  // Weight quantisation applied when the service is stood up FromArtifact
+  // (forwarded as io::ArtifactOptions::quant). Ignored by the plain
+  // constructor, which serves the caller's model as-is. Quantised serving
+  // answers match fp64 within an MAE budget — not bit-identically — so
+  // golden replay against a quantised service needs a tolerance
+  // (deepod_serve --check --tolerance).
+  nn::QuantMode quant = nn::QuantMode::kNone;
 };
 
 // Counter/latency snapshot, assembled from the service's metrics registry.

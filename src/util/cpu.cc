@@ -1,0 +1,42 @@
+#include "util/cpu.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace deepod::util {
+namespace {
+
+bool ProbeAvx2Fma() {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports reads cpuid once via the compiler runtime; both
+  // features must be present (AVX2 without FMA exists on some VMs).
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+SimdOverride ParseOverride() {
+  const char* raw = std::getenv("DEEPOD_SIMD");
+  if (raw == nullptr) return SimdOverride::kAuto;
+  const std::string value(raw);
+  if (value == "off" || value == "0" || value == "scalar") {
+    return SimdOverride::kOff;
+  }
+  if (value == "avx2") return SimdOverride::kAvx2;
+  return SimdOverride::kAuto;
+}
+
+}  // namespace
+
+bool CpuHasAvx2Fma() {
+  static const bool supported = ProbeAvx2Fma();
+  return supported;
+}
+
+SimdOverride SimdEnvOverride() {
+  static const SimdOverride override_value = ParseOverride();
+  return override_value;
+}
+
+}  // namespace deepod::util

@@ -1,0 +1,26 @@
+#ifndef DEEPOD_UTIL_CPU_H_
+#define DEEPOD_UTIL_CPU_H_
+
+namespace deepod::util {
+
+// Runtime CPU feature probing for the SIMD kernel tier (nn KernelMode::kSimd).
+// Both queries are probed exactly once per process (first call) and cached;
+// they are cheap to call from hot paths afterwards.
+
+// True when the host CPU supports AVX2 and FMA3. Always false on non-x86
+// builds, where the cpuid intrinsics do not exist.
+bool CpuHasAvx2Fma();
+
+// The DEEPOD_SIMD environment override, read once at first use:
+//   unset / "" / "auto"  -> kAuto  (use whatever the CPU supports)
+//   "off" / "0" / "scalar" -> kOff (force the scalar fallback)
+//   "avx2"               -> kAvx2 (request AVX2; still requires CPU support
+//                                  and an AVX2-compiled binary — a request
+//                                  can never make unsupported code run)
+// Unrecognised values behave like kAuto.
+enum class SimdOverride { kAuto, kOff, kAvx2 };
+SimdOverride SimdEnvOverride();
+
+}  // namespace deepod::util
+
+#endif  // DEEPOD_UTIL_CPU_H_

@@ -14,8 +14,12 @@ CONTRIBUTING.md):
   - Records present only in the baseline (removed/renamed) or only in the
     current run (new) WARN but do not fail — refresh the baseline in the
     same PR instead.
-  - Records matching an --ignore glob (default: ratio-valued records such
-    as '*speedup*' and '*hit_rate*', which are not wall times) are skipped.
+  - Records matching an --ignore glob are skipped. The defaults cover the
+    value-carrying records that reuse the wall_seconds field for something
+    that is not a time: '*speedup*' and '*hit_rate*' (ratios) and '*mae*'
+    (the quantised-serving error in seconds, bench_serving's
+    serving/quant/<mode>/mae) — comparing those as throughput would flag
+    an accuracy change as a perf regression or, worse, pass a real one.
 
 Exit status: 1 if any matched record regressed, else 0.
 
@@ -29,7 +33,7 @@ import fnmatch
 import json
 import sys
 
-DEFAULT_IGNORES = ["*speedup*", "*hit_rate*"]
+DEFAULT_IGNORES = ["*speedup*", "*hit_rate*", "*mae*"]
 
 
 def load_records(path):

@@ -1,14 +1,31 @@
 // deepod_inspect: prints the record table of a tagged state-dict file (a
 // model artifact, a DeepOdModel::Save checkpoint or a trainer checkpoint):
-// per-tensor name, shape and element count plus totals, after verifying
-// framing and the trailing checksum. Legacy positional blobs are identified
-// as such. Exit codes: 0 readable, 1 corrupt/unreadable, 2 usage.
+// per-tensor name, storage dtype, shape, element count, on-disk payload
+// size and the kSimd packed-layout tag, plus the per-row scale range of
+// int8 records — after verifying framing and the trailing checksum. Legacy
+// positional blobs are identified as such. Exit codes: 0 readable,
+// 1 corrupt/unreadable, 2 usage.
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "nn/serialize.h"
+
+namespace {
+
+// How the kSimd tier consumes the tensor at predict time: 2-D weights are
+// repacked into 4-row GEMV panels (nn/simd.h), Conv2d's 4-D kernels are
+// walked planar by the vectorised axpy, and everything else (biases,
+// scalars, buffers) has no packed form.
+const char* PackedLayoutTag(const std::vector<size_t>& shape) {
+  if (shape.size() == 2) return "panel4";
+  if (shape.size() == 4) return "planar";
+  return "-";
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepod;
@@ -37,20 +54,40 @@ int main(int argc, char** argv) {
                  nn::LoadErrorKindName(status.kind), status.message.c_str());
     return 1;
   }
-  std::printf("%s: state dict (v2), %zu bytes, %zu records, checksum OK\n",
-              path.c_str(), buffer.size(), records.size());
+  // The format version lives in the u32 after the magic (nn/serialize.h
+  // byte layout); IndexStateDict has already validated it.
+  const uint32_t version = static_cast<uint32_t>(buffer[4]) |
+                           static_cast<uint32_t>(buffer[5]) << 8 |
+                           static_cast<uint32_t>(buffer[6]) << 16 |
+                           static_cast<uint32_t>(buffer[7]) << 24;
+  std::printf("%s: state dict (v%u), %zu bytes, %zu records, checksum OK\n",
+              path.c_str(), version, buffer.size(), records.size());
   size_t total_elements = 0;
+  size_t total_payload = 0;
+  size_t quantised = 0;
   for (const auto& r : records) {
     std::string shape = "[";
     for (size_t i = 0; i < r.shape.size(); ++i) {
       shape += (i > 0 ? "," : "") + std::to_string(r.shape[i]);
     }
     shape += "]";
-    std::printf("  %-56s f64 %-14s %zu\n", r.name.c_str(), shape.c_str(),
-                r.num_elements);
+    const size_t payload = nn::RecordPayloadBytes(r);
+    std::printf("  %-56s %-4s %-14s %8zu %10zu B  %-6s", r.name.c_str(),
+                nn::RecordDtypeName(r.dtype), shape.c_str(), r.num_elements,
+                payload, PackedLayoutTag(r.shape));
+    if (r.dtype == nn::kDtypeI8) {
+      const std::vector<double> scales = nn::ReadRecordScales(buffer, r);
+      const auto [lo, hi] = std::minmax_element(scales.begin(), scales.end());
+      std::printf("  scales[%zu] %.3e..%.3e", scales.size(), *lo, *hi);
+    }
+    std::printf("\n");
     total_elements += r.num_elements;
+    total_payload += payload;
+    if (r.dtype != nn::kDtypeF64) ++quantised;
   }
-  std::printf("total: %zu elements (%zu payload bytes)\n", total_elements,
+  std::printf("total: %zu elements, %zu payload bytes (%zu of %zu records "
+              "quantised; f64 would be %zu bytes)\n",
+              total_elements, total_payload, quantised, records.size(),
               total_elements * sizeof(double));
   return 0;
 }

@@ -3,12 +3,18 @@
 // in memory) and optionally replays a golden-query file against it.
 //
 //   deepod_serve --artifact model.artifact --network network.csv
-//                [--check golden.csv] [--stats]
+//                [--check golden.csv] [--tolerance X] [--quant MODE]
+//                [--kernel MODE] [--stats]
 //
 // --check replays every query of a deepod_train --golden file through
 // EtaService::Estimate twice (miss then cache hit) and compares both
-// answers bit-for-bit against the recorded prediction; any mismatch fails
-// the run. This is the cross-process round-trip gate CI runs.
+// answers against the recorded prediction; any mismatch fails the run.
+// This is the cross-process round-trip gate CI runs. Without --tolerance
+// the comparison is bit-for-bit — the right gate for an fp64 artifact
+// served on the tier the goldens were recorded with. --tolerance X accepts
+// |got - expected| <= X * max(1, |expected|) instead, which is what a
+// quantised (--quant int8/fp16) or kSimd-tier (--kernel simd) replay
+// needs: both are value-tolerance contracts, not bit-identity ones.
 
 #include <cmath>
 #include <cstdio>
@@ -20,6 +26,7 @@
 
 #include "io/model_artifact.h"
 #include "io/trip_io.h"
+#include "nn/quant.h"
 #include "nn/serialize.h"
 #include "serve/eta_service.h"
 
@@ -60,12 +67,33 @@ bool ReadGolden(const std::string& path, std::vector<GoldenQuery>* out) {
   return true;
 }
 
+bool ParseKernelMode(const std::string& name, deepod::nn::KernelMode* out) {
+  using deepod::nn::KernelMode;
+  if (name == "legacy") *out = KernelMode::kLegacy;
+  else if (name == "blocked") *out = KernelMode::kBlocked;
+  else if (name == "vector") *out = KernelMode::kVector;
+  else if (name == "simd") *out = KernelMode::kSimd;
+  else return false;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepod;
   std::string artifact_path, network_path, check_path;
   bool stats = false;
+  double tolerance = 0.0;  // 0 = bit-for-bit
+  serve::EtaServiceOptions options;
+  const auto usage = [&argv] {
+    std::fprintf(stderr,
+                 "usage: %s --artifact PATH --network PATH "
+                 "[--check golden.csv] [--tolerance X] "
+                 "[--quant none|fp16|int8] "
+                 "[--kernel legacy|blocked|vector|simd] [--stats]\n",
+                 argv[0]);
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--artifact" && i + 1 < argc) {
@@ -74,14 +102,28 @@ int main(int argc, char** argv) {
       network_path = argv[++i];
     } else if (flag == "--check" && i + 1 < argc) {
       check_path = argv[++i];
+    } else if (flag == "--tolerance" && i + 1 < argc) {
+      tolerance = std::atof(argv[++i]);
+      if (!(tolerance >= 0.0)) {
+        std::fprintf(stderr, "--tolerance must be >= 0\n");
+        return 2;
+      }
+    } else if (flag == "--quant" && i + 1 < argc) {
+      if (!nn::ParseQuantMode(argv[++i], &options.quant)) {
+        std::fprintf(stderr, "unknown --quant mode '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--kernel" && i + 1 < argc) {
+      nn::KernelMode mode;
+      if (!ParseKernelMode(argv[++i], &mode)) {
+        std::fprintf(stderr, "unknown --kernel mode '%s'\n", argv[i]);
+        return 2;
+      }
+      options.kernel_mode = mode;
     } else if (flag == "--stats") {
       stats = true;
     } else {
-      std::fprintf(stderr,
-                   "usage: %s --artifact PATH --network PATH "
-                   "[--check golden.csv] [--stats]\n",
-                   argv[0]);
-      return 2;
+      return usage();
     }
   }
   if (artifact_path.empty() || network_path.empty()) {
@@ -92,15 +134,15 @@ int main(int argc, char** argv) {
   const road::RoadNetwork network = io::ReadNetworkCsv(network_path);
   std::unique_ptr<serve::EtaService> service;
   try {
-    service = serve::EtaService::FromArtifact(artifact_path, network,
-                                              serve::EtaServiceOptions{});
+    service = serve::EtaService::FromArtifact(artifact_path, network, options);
   } catch (const nn::SerializeError& e) {
     std::fprintf(stderr, "artifact load failed [%s]: %s\n",
                  nn::LoadErrorKindName(e.status().kind), e.what());
     return 1;
   }
-  std::printf("serving %s against %zu-segment network\n",
-              artifact_path.c_str(), network.num_segments());
+  std::printf("serving %s against %zu-segment network (quant: %s)\n",
+              artifact_path.c_str(), network.num_segments(),
+              nn::QuantModeName(options.quant));
 
   int exit_code = 0;
   if (!check_path.empty()) {
@@ -109,12 +151,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot parse %s\n", check_path.c_str());
       return 1;
     }
+    const auto matches = [tolerance](double got, double expected) {
+      if (tolerance == 0.0) {
+        return std::memcmp(&got, &expected, sizeof(double)) == 0;
+      }
+      return std::abs(got - expected) <=
+             tolerance * std::max(1.0, std::abs(expected));
+    };
     size_t mismatches = 0;
     for (const auto& q : golden) {
       const double first = service->Estimate(q.od);   // cache miss path
       const double second = service->Estimate(q.od);  // cache hit path
-      if (std::memcmp(&first, &q.prediction, sizeof(double)) != 0 ||
-          std::memcmp(&second, &q.prediction, sizeof(double)) != 0) {
+      if (!matches(first, q.prediction) || !matches(second, q.prediction)) {
         if (++mismatches <= 5) {
           std::fprintf(stderr,
                        "mismatch: od %zu->%zu t=%.1f expected %a got %a/%a\n",
@@ -123,8 +171,9 @@ int main(int argc, char** argv) {
         }
       }
     }
-    std::printf("check: %zu queries, %zu mismatches -> %s\n", golden.size(),
-                mismatches, mismatches == 0 ? "PASS" : "FAIL");
+    std::printf("check: %zu queries, %zu mismatches (tolerance %g) -> %s\n",
+                golden.size(), mismatches, tolerance,
+                mismatches == 0 ? "PASS" : "FAIL");
     if (mismatches != 0 || golden.empty()) exit_code = 1;
   }
   if (stats) {

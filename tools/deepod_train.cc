@@ -7,6 +7,10 @@
 //   <out>/golden.csv      (--golden N) N test queries with this process's
 //                         predictions, hex-float encoded so a replay can be
 //                         compared bit-for-bit (see deepod_serve --check)
+//   <out>/model.<mode>.artifact  (--quant MODE) the same artifact with its
+//                         eligible weights stored quantised (fp16 or int8,
+//                         serialize-v3); replay it with deepod_serve
+//                         --tolerance, not bit-for-bit
 //
 // The defaults mirror the test suite's tiny dataset so a full
 // train->save->serve round trip finishes in CI time.
@@ -24,6 +28,7 @@
 #include "core/deepod_model.h"
 #include "core/trainer.h"
 #include "io/model_artifact.h"
+#include "nn/quant.h"
 #include "io/trip_io.h"
 #include "sim/dataset.h"
 #include "sim/snapshot_speed_field.h"
@@ -41,6 +46,8 @@ struct Args {
   size_t threads = 1;
   size_t golden = 0;
   std::string checkpoint;  // optional: also write a resumable checkpoint
+  // optional: also write <out>/model.<mode>.artifact with quantised weights
+  deepod::nn::QuantMode quant = deepod::nn::QuantMode::kNone;
 };
 
 void Usage(const char* argv0) {
@@ -48,7 +55,7 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--out DIR] [--scale N] [--epochs N] [--grid N]\n"
       "          [--trips-per-day N] [--days N] [--seed N] [--threads N]\n"
-      "          [--golden N] [--checkpoint PATH]\n",
+      "          [--golden N] [--checkpoint PATH] [--quant fp16|int8]\n",
       argv0);
 }
 
@@ -79,6 +86,11 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       args->golden = std::strtoull(v, nullptr, 10);
     } else if (flag == "--checkpoint" && (v = value())) {
       args->checkpoint = v;
+    } else if (flag == "--quant" && (v = value())) {
+      if (!deepod::nn::ParseQuantMode(v, &args->quant)) {
+        std::fprintf(stderr, "unknown --quant mode '%s'\n", v);
+        return false;
+      }
     } else {
       Usage(argv[0]);
       return false;
@@ -143,6 +155,16 @@ int main(int argc, char** argv) {
 
   const std::string artifact_path = args.out + "/model.artifact";
   io::WriteModelArtifact(artifact_path, model, speed.get());
+  if (args.quant != nn::QuantMode::kNone) {
+    // The fp64 artifact above stays the golden-replay source of truth; the
+    // quantised sibling is the deployment variant.
+    const std::string quant_path = args.out + "/model." +
+                                   nn::QuantModeName(args.quant) + ".artifact";
+    io::ArtifactOptions artifact_options;
+    artifact_options.quant = args.quant;
+    io::WriteModelArtifact(quant_path, model, speed.get(), artifact_options);
+    std::printf("quantised artifact: %s\n", quant_path.c_str());
+  }
   const std::string network_path = args.out + "/network.csv";
   io::WriteNetworkCsv(dataset.network, network_path);
   std::printf("artifact: %s\nnetwork:  %s\n", artifact_path.c_str(),
