@@ -104,6 +104,9 @@ int main() {
   records.push_back(
       {"deepod_train/after_parallel_fast", after_secs, auto_threads, after_sps});
   records.push_back({"deepod_train/speedup", 0.0, auto_threads, speedup});
-  bench::WriteBenchJson("BENCH_table5.json", records);
+  // Merge rather than overwrite: bench_datagen owns the datagen/* records
+  // of this file and a baseline refresh must not clobber them.
+  bench::MergeBenchJson("BENCH_table5.json", {"table5/", "deepod_train/"},
+                        records);
   return 0;
 }

@@ -1,5 +1,8 @@
 // Table 6: scalability — test MAPE of every method when trained on 20%,
-// 40%, 60%, 80% and 100% of the Beijing training data.
+// 40%, 60%, 80% and 100% of the Beijing training data. Every (method,
+// fraction) cell also lands in BENCH_table6.json — wall_seconds is the
+// method's training time, value its test MAPE — so tooling can track both
+// without scraping the table.
 #include <cstdio>
 
 #include "analysis/metrics.h"
@@ -9,14 +12,41 @@
 #include "baselines/stnn.h"
 #include "baselines/temp.h"
 #include "bench/common.h"
+#include "util/stopwatch.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 using namespace deepod;
+
+namespace {
+
+// Trains `estimator` on ds, scores it on the fixed test split, and appends
+// both the table cell and the JSON record.
+template <typename Estimator>
+void RunMethod(Estimator& estimator, const sim::Dataset& ds,
+               const std::vector<double>& truth, const std::string& name,
+               double fraction, std::vector<std::string>* row,
+               std::vector<bench::BenchJsonRecord>* records) {
+  util::Stopwatch sw;
+  estimator.Train(ds);
+  const double train_secs = sw.ElapsedSeconds();
+  const double mape = analysis::Mape(truth, estimator.PredictAll(ds.test));
+  row->push_back(util::Fmt(mape, 2));
+  bench::BenchJsonRecord record{
+      "table6/" + name + "/frac=" + util::Fmt(fraction * 100.0, 0), train_secs,
+      1};
+  record.value = mape;
+  records->push_back(std::move(record));
+}
+
+}  // namespace
 
 int main() {
   bench::PrintBanner(
       "Table 6 — scalability: test MAPE vs training fraction (beijing-sim)");
   util::Table table({"scale", "TEMP", "LR", "GBM", "STNN", "MURAT", "DeepOD"});
+  std::vector<bench::BenchJsonRecord> records;
+  const size_t auto_threads = util::ThreadPool::ResolveThreadCount(0);
   for (double fraction : {0.2, 0.4, 0.6, 0.8, 1.0}) {
     // Keep the chronologically-first fraction of the training trips;
     // validation/test stay fixed, as in the paper's protocol.
@@ -31,26 +61,26 @@ int main() {
     std::vector<std::string> row = {util::Fmt(fraction * 100.0, 0) + "%"};
 
     baselines::TempEstimator temp;
-    temp.Train(ds);
-    row.push_back(util::Fmt(analysis::Mape(truth, temp.PredictAll(ds.test)), 2));
+    RunMethod(temp, ds, truth, "TEMP", fraction, &row, &records);
     baselines::LinearRegressionEstimator lr;
-    lr.Train(ds);
-    row.push_back(util::Fmt(analysis::Mape(truth, lr.PredictAll(ds.test)), 2));
+    RunMethod(lr, ds, truth, "LR", fraction, &row, &records);
     baselines::GbmEstimator gbm;
-    gbm.Train(ds);
-    row.push_back(util::Fmt(analysis::Mape(truth, gbm.PredictAll(ds.test)), 2));
+    RunMethod(gbm, ds, truth, "GBM", fraction, &row, &records);
     baselines::StnnEstimator stnn;
-    stnn.Train(ds);
-    row.push_back(util::Fmt(analysis::Mape(truth, stnn.PredictAll(ds.test)), 2));
+    RunMethod(stnn, ds, truth, "STNN", fraction, &row, &records);
     baselines::MuratEstimator murat;
-    murat.Train(ds);
-    row.push_back(
-        util::Fmt(analysis::Mape(truth, murat.PredictAll(ds.test)), 2));
+    RunMethod(murat, ds, truth, "MURAT", fraction, &row, &records);
 
     core::DeepOdConfig config = bench::BenchModelConfig();
     config.loss_weight_w = bench::BenchLossWeight(bench::City::kBeijing);
     const auto deepod = bench::RunDeepOdVariant(ds, config, "DeepOD");
-    row.push_back(util::Fmt(analysis::Mape(truth, deepod.predictions), 2));
+    const double mape = analysis::Mape(truth, deepod.predictions);
+    row.push_back(util::Fmt(mape, 2));
+    bench::BenchJsonRecord record{
+        "table6/DeepOD/frac=" + util::Fmt(fraction * 100.0, 0),
+        deepod.train_seconds, auto_threads};
+    record.value = mape;
+    records.push_back(std::move(record));
 
     table.AddRow(row);
     std::fprintf(stderr, "[bench] fraction %.0f%% done\n", fraction * 100);
@@ -59,5 +89,6 @@ int main() {
   std::printf(
       "\nPaper shape check: every method improves with more data; DeepOD is\n"
       "the most accurate at every fraction and degrades the least at 20%%.\n");
+  bench::WriteBenchJson("BENCH_table6.json", records);
   return 0;
 }

@@ -1,7 +1,10 @@
 #include "bench/common.h"
 
+#include <algorithm>
 #include <array>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <map>
 #include <mutex>
@@ -286,11 +289,72 @@ void WriteBenchJson(const std::string& path,
     // <= 0 means "not measured": the field is omitted rather than written
     // as a misleading 0.
     if (r.samples_per_sec > 0.0) rec.samples_per_sec = r.samples_per_sec;
+    if (!std::isnan(r.value)) rec.value = r.value;
     out.push_back(std::move(rec));
   }
   obs::WriteRecordsJson(path, out);
   std::fprintf(stderr, "[bench] wrote %s (%zu records)\n", path.c_str(),
                records.size());
+}
+
+namespace {
+
+// Pulls `"key": <number>` out of one record line; `fallback` when absent.
+double JsonNumberField(const std::string& line, const std::string& key,
+                       double fallback) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::strtod(line.c_str() + at + needle.size(), nullptr);
+}
+
+}  // namespace
+
+std::vector<BenchJsonRecord> ReadBenchJsonRecords(const std::string& path) {
+  // The emitters write one record object per line (obs::RenderRecordsJson),
+  // and record names in this repo never contain quotes or escapes, so a
+  // line-oriented field scan round-trips everything we emit without pulling
+  // in a JSON parser.
+  std::vector<BenchJsonRecord> records;
+  std::ifstream in(path);
+  if (!in) return records;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t name_at = line.find("\"name\": \"");
+    if (name_at == std::string::npos) continue;
+    const size_t begin = name_at + 9;
+    const size_t end = line.find('"', begin);
+    if (end == std::string::npos) continue;
+    BenchJsonRecord r;
+    r.name = line.substr(begin, end - begin);
+    r.wall_seconds = JsonNumberField(line, "wall_seconds", 0.0);
+    r.threads = static_cast<size_t>(
+        std::max(1.0, JsonNumberField(line, "threads", 1.0)));
+    r.samples_per_sec = JsonNumberField(line, "samples_per_sec", 0.0);
+    r.value = JsonNumberField(line, "value",
+                              std::numeric_limits<double>::quiet_NaN());
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+void MergeBenchJson(const std::string& path,
+                    const std::vector<std::string>& replace_prefixes,
+                    const std::vector<BenchJsonRecord>& records) {
+  std::vector<BenchJsonRecord> merged = ReadBenchJsonRecords(path);
+  std::erase_if(merged, [&](const BenchJsonRecord& r) {
+    for (const std::string& prefix : replace_prefixes) {
+      if (r.name.compare(0, prefix.size(), prefix) == 0) return true;
+    }
+    return false;
+  });
+  const size_t kept = merged.size();
+  merged.insert(merged.end(), records.begin(), records.end());
+  WriteBenchJson(path, merged);
+  if (kept > 0) {
+    std::fprintf(stderr, "[bench] merged into %s (%zu records kept)\n",
+                 path.c_str(), kept);
+  }
 }
 
 void PrintBanner(const std::string& experiment) {

@@ -1,6 +1,7 @@
 #ifndef DEEPOD_BENCH_COMMON_H_
 #define DEEPOD_BENCH_COMMON_H_
 
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -80,10 +81,29 @@ struct BenchJsonRecord {
   double wall_seconds = 0.0;
   size_t threads = 1;
   double samples_per_sec = 0.0;
+  // Dimensionless measurement (a MAPE, a ratio); NaN means "not measured"
+  // and the field is omitted from the JSON.
+  double value = std::numeric_limits<double>::quiet_NaN();
 };
 
 // Writes `records` to `path` as {"hardware_concurrency": N, "records": [...]}.
 void WriteBenchJson(const std::string& path,
+                    const std::vector<BenchJsonRecord>& records);
+
+// Reads records back from a BENCH-json file previously written by
+// WriteBenchJson / obs::WriteRecordsJson (the one-record-per-line shape
+// those emitters produce). Optional fields other than samples_per_sec and
+// value are dropped. Returns empty when the file does not exist.
+std::vector<BenchJsonRecord> ReadBenchJsonRecords(const std::string& path);
+
+// Read-modify-write merge so several bench binaries can share one
+// BENCH_*.json: drops every existing record at `path` whose name starts
+// with one of `replace_prefixes`, appends `records` after the survivors,
+// and writes the result back. (bench_table5_efficiency owns the table5/*
+// and deepod_train/* records of BENCH_table5.json; bench_datagen owns
+// datagen/*.)
+void MergeBenchJson(const std::string& path,
+                    const std::vector<std::string>& replace_prefixes,
                     const std::vector<BenchJsonRecord>& records);
 
 }  // namespace deepod::bench

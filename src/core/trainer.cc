@@ -38,14 +38,21 @@ void UnflattenState(const std::vector<double>& flat, const nn::StateDict& state)
 }  // namespace
 
 DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset)
+    : DeepOdTrainer(model, dataset, nullptr) {}
+
+DeepOdTrainer::DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset,
+                             TripFeed* feed)
     : model_(model),
       dataset_(dataset),
       optimizer_(model.Parameters(), model.config().learning_rate),
       rng_(model.config().seed ^ 0xbadc0ffeull),
-      order_(dataset.train.size()),
+      feed_(feed),
       num_threads_(
           util::ThreadPool::ResolveThreadCount(model.config().num_threads)) {
-  for (size_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  if (feed_ == nullptr) {
+    owned_feed_ = std::make_unique<InMemoryTripFeed>(dataset.train);
+    feed_ = owned_feed_.get();
+  }
   if (num_threads_ > 1) {
     pool_ = std::make_unique<util::ThreadPool>(num_threads_);
     auto params = model_.Parameters();
@@ -113,8 +120,7 @@ double DeepOdTrainer::ValidationMae(size_t max_samples) {
   return sum / static_cast<double>(n);
 }
 
-void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
-                                            size_t pos, size_t batch_n,
+void DeepOdTrainer::AccumulateBatchParallel(size_t pos, size_t batch_n,
                                             size_t bs) {
   const size_t tasks = std::min(num_threads_, batch_n);
   obs::Gauge* queue_depth = nullptr;
@@ -133,7 +139,7 @@ void DeepOdTrainer::AccumulateBatchParallel(const std::vector<size_t>& order,
     nn::GradArenaScope arena_scope(arenas_[w].get());
     nn::BnCaptureScope bn_scope(&bn_logs_[w]);
     for (size_t i = begin; i < end; ++i) {
-      nn::Tensor loss = nn::Scale(model_.SampleLoss(dataset_.train[order[pos + i]]),
+      nn::Tensor loss = nn::Scale(model_.SampleLoss(feed_->At(pos + i)),
                                   1.0 / static_cast<double>(bs));
       loss.Backward();
     }
@@ -153,10 +159,7 @@ double DeepOdTrainer::TrainPrefix(int end_epoch, const StepCallback& callback,
                                   size_t eval_every, size_t max_val_samples) {
   const auto& config = model_.config();
   const int last_epoch = std::min(end_epoch, config.epochs);
-  // The visit order is trainer state (order_), not a local: epoch k
-  // shuffles the permutation epoch k-1 left behind, and a checkpoint must
-  // capture it for a resume to replay the identical sample sequence.
-  std::vector<size_t>& order = order_;
+  const size_t n = feed_->size();
 
   model_.SetTraining(true);
   const size_t bs = std::max<size_t>(1, config.batch_size);
@@ -169,20 +172,23 @@ double DeepOdTrainer::TrainPrefix(int end_epoch, const StepCallback& callback,
         std::pow(config.lr_decay_factor,
                  static_cast<double>(epoch / config.lr_decay_epochs));
     optimizer_.set_learning_rate(lr);
-    rng_.Shuffle(order);  // Algorithm 1, ModelTrain line 2
+    feed_->BeginEpoch(rng_);  // Algorithm 1, ModelTrain line 2
     optimizer_.ZeroGrad();
     if (pool_ == nullptr) {
-      // Legacy serial path (num_threads == 1): kept verbatim so results
-      // stay bit-identical to the pre-threading implementation.
+      // Legacy serial path (num_threads == 1): operation sequence kept
+      // verbatim so results stay bit-identical to the pre-threading
+      // implementation (the in-memory feed's At is exactly the historical
+      // train[order[pos]] lookup and its prefetch is a no-op).
       size_t in_batch = 0;
-      for (size_t idx : order) {
+      for (size_t pos = 0; pos < n; ++pos) {
+        if (in_batch == 0) feed_->PrefetchWindow(pos, std::min(bs, n - pos));
         {
           OBS_SPAN("trainer/forward_backward");
           // Per-sample backward accumulates gradients; scaling by 1/bs makes
           // the accumulated gradient the mini-batch mean (Algorithm 1 trains
           // on mini-batches).
           nn::Tensor loss =
-              nn::Scale(model_.SampleLoss(dataset_.train[idx]),
+              nn::Scale(model_.SampleLoss(feed_->At(pos)),
                         1.0 / static_cast<double>(bs));
           loss.Backward();
         }
@@ -210,11 +216,12 @@ double DeepOdTrainer::TrainPrefix(int end_epoch, const StepCallback& callback,
     } else {
       // Data-parallel path: each mini-batch fans out over the pool.
       size_t pos = 0;
-      while (pos < order.size()) {
-        const size_t batch_n = std::min(bs, order.size() - pos);
+      while (pos < n) {
+        const size_t batch_n = std::min(bs, n - pos);
         {
           OBS_SPAN("trainer/forward_backward");
-          AccumulateBatchParallel(order, pos, batch_n, bs);
+          feed_->PrefetchWindow(pos, batch_n);
+          AccumulateBatchParallel(pos, batch_n, bs);
         }
         {
           OBS_SPAN("trainer/optimizer");
@@ -281,9 +288,10 @@ void DeepOdTrainer::SaveCheckpoint(const std::string& path) {
   std::vector<double> rng_bits(rng_state.size());
   std::memcpy(rng_bits.data(), rng_state.data(),
               rng_state.size() * sizeof(uint64_t));
-  std::vector<double> order_values(order_.size());
-  for (size_t i = 0; i < order_.size(); ++i) {
-    order_values[i] = static_cast<double>(order_[i]);
+  const std::vector<size_t>& order = feed_->order();
+  std::vector<double> order_values(order.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order_values[i] = static_cast<double>(order[i]);
   }
   EnsureBestState();
   ckpt.AddScalarBuffer("trainer.step", &step_value);
@@ -302,7 +310,7 @@ void DeepOdTrainer::LoadCheckpoint(const std::string& path) {
   double step_value = 0.0;
   double epoch_value = 0.0;
   std::vector<double> rng_bits(util::Rng().SaveState().size(), 0.0);
-  std::vector<double> order_values(order_.size(), 0.0);
+  std::vector<double> order_values(feed_->order().size(), 0.0);
   EnsureBestState();
   ckpt.AddScalarBuffer("trainer.step", &step_value);
   ckpt.AddScalarBuffer("trainer.epoch", &epoch_value);
@@ -314,9 +322,11 @@ void DeepOdTrainer::LoadCheckpoint(const std::string& path) {
   nn::ThrowIfError(nn::LoadStateDict(path, ckpt));
   step_ = static_cast<size_t>(std::llround(step_value));
   epoch_ = static_cast<int>(std::llround(epoch_value));
-  for (size_t i = 0; i < order_.size(); ++i) {
-    order_[i] = static_cast<size_t>(std::llround(order_values[i]));
+  std::vector<size_t>& order = feed_->order();
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = static_cast<size_t>(std::llround(order_values[i]));
   }
+  feed_->NotifyOrderChanged();
   std::vector<uint64_t> rng_state(rng_bits.size());
   std::memcpy(rng_state.data(), rng_bits.data(),
               rng_bits.size() * sizeof(double));

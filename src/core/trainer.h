@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/deepod_model.h"
+#include "core/trip_feed.h"
 #include "nn/conv.h"
 #include "nn/optimizer.h"
 #include "nn/tensor.h"
@@ -35,7 +36,18 @@ class DeepOdTrainer {
   // MAE in seconds). Drives the Fig. 10 convergence curves.
   using StepCallback = std::function<void(size_t step, double val_mae)>;
 
+  // Trains from dataset.train through an internally owned InMemoryTripFeed
+  // (the classic fully in-memory path, bit-identical to the pre-feed
+  // implementation at num_threads == 1).
   DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset);
+
+  // Trains from an external TripFeed (e.g. io::ShardedTripSource for
+  // out-of-core epochs over on-disk shards). `feed` is not owned and must
+  // outlive the trainer; `dataset` still provides the validation/test
+  // splits and the model environment. Passing nullptr falls back to the
+  // owned in-memory feed over dataset.train.
+  DeepOdTrainer(DeepOdModel& model, const sim::Dataset& dataset,
+                TripFeed* feed);
 
   // Trains from the last completed epoch through model.config().epochs;
   // returns the final validation MAE (seconds) after restoring the
@@ -81,12 +93,11 @@ class DeepOdTrainer {
   size_t num_threads() const { return num_threads_; }
 
  private:
-  // Runs forward+backward for samples order[pos, pos+batch_n) across the
-  // worker chunks, leaving the merged mean-of-batch gradient (scaled by
-  // 1/bs) in the parameters and the BatchNorm running statistics updated
-  // in sample order.
-  void AccumulateBatchParallel(const std::vector<size_t>& order, size_t pos,
-                               size_t batch_n, size_t bs);
+  // Runs forward+backward for the feed's epoch positions [pos, pos+batch_n)
+  // across the worker chunks, leaving the merged mean-of-batch gradient
+  // (scaled by 1/bs) in the parameters and the BatchNorm running statistics
+  // updated in sample order. The caller must have prefetched the range.
+  void AccumulateBatchParallel(size_t pos, size_t batch_n, size_t bs);
 
   // Sizes best_state_ to the model's state element count (zero-filled) if
   // it has not been allocated yet.
@@ -103,11 +114,13 @@ class DeepOdTrainer {
   int epoch_ = 0;  // completed epochs
   double best_val_ = std::numeric_limits<double>::infinity();
   std::vector<double> best_state_;  // flat model-state snapshot at best epoch
-  // Training-sample visit order. Shuffled in place at the start of every
-  // epoch (so epoch k's shuffle permutes epoch k-1's order, as the original
-  // in-function local did); checkpointed so a resumed run replays the same
+  // Training-sample source. The feed owns the epoch visit order (shuffled
+  // by BeginEpoch at the start of every epoch, so epoch k permutes the
+  // order epoch k-1 left behind, exactly as the original in-function local
+  // did); the order is checkpointed so a resumed run replays the same
   // sample sequence an uninterrupted run would.
-  std::vector<size_t> order_;
+  std::unique_ptr<TripFeed> owned_feed_;  // set when no external feed given
+  TripFeed* feed_;
 
   size_t num_threads_;
   std::unique_ptr<util::ThreadPool> pool_;        // null when serial

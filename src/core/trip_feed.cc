@@ -1,0 +1,61 @@
+#include "core/trip_feed.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace deepod::core {
+
+std::vector<size_t> BuildShardEpochOrder(
+    util::Rng& rng, const std::vector<size_t>& shard_sizes) {
+  const size_t num_shards = shard_sizes.size();
+  std::vector<size_t> shard_offsets(num_shards, 0);
+  size_t total = 0;
+  for (size_t k = 0; k < num_shards; ++k) {
+    shard_offsets[k] = total;
+    total += shard_sizes[k];
+  }
+  std::vector<size_t> shard_order(num_shards);
+  std::iota(shard_order.begin(), shard_order.end(), size_t{0});
+  rng.Shuffle(shard_order);
+
+  std::vector<size_t> order;
+  order.reserve(total);
+  std::vector<size_t> local;
+  for (size_t k : shard_order) {
+    local.resize(shard_sizes[k]);
+    std::iota(local.begin(), local.end(), size_t{0});
+    rng.Shuffle(local);
+    for (size_t j : local) order.push_back(shard_offsets[k] + j);
+  }
+  return order;
+}
+
+InMemoryTripFeed::InMemoryTripFeed(const std::vector<traj::TripRecord>& trips)
+    : trips_(&trips), order_(trips.size()) {
+  std::iota(order_.begin(), order_.end(), size_t{0});
+}
+
+InMemoryTripFeed::InMemoryTripFeed(const std::vector<traj::TripRecord>& trips,
+                                   std::vector<size_t> shard_sizes)
+    : trips_(&trips),
+      shard_sizes_(std::move(shard_sizes)),
+      order_(trips.size()) {
+  size_t total = 0;
+  for (size_t s : shard_sizes_) total += s;
+  if (total != trips.size()) {
+    throw std::invalid_argument(
+        "InMemoryTripFeed: shard sizes sum to " + std::to_string(total) +
+        " but the feed holds " + std::to_string(trips.size()) + " trips");
+  }
+  std::iota(order_.begin(), order_.end(), size_t{0});
+}
+
+void InMemoryTripFeed::BeginEpoch(util::Rng& rng) {
+  if (shard_sizes_.empty()) {
+    rng.Shuffle(order_);  // the trainer's historical single shuffle
+  } else {
+    order_ = BuildShardEpochOrder(rng, shard_sizes_);
+  }
+}
+
+}  // namespace deepod::core

@@ -1,0 +1,94 @@
+#ifndef DEEPOD_CORE_TRIP_FEED_H_
+#define DEEPOD_CORE_TRIP_FEED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "traj/trajectory.h"
+#include "util/rng.h"
+
+namespace deepod::core {
+
+// Training-sample source for DeepOdTrainer: an epoch-ordered stream of trip
+// records behind a stable interface, so the trainer does not care whether
+// the epoch lives in one in-memory vector (the classic path) or in K
+// mmap'd on-disk shards (the out-of-core path, io::ShardedTripSource).
+//
+// Contract per epoch:
+//   1. the trainer calls BeginEpoch(rng) once — the feed reshuffles its
+//      visit order, consuming a feed-defined number of draws from `rng`;
+//   2. before touching a mini-batch it calls PrefetchWindow(pos, n) for the
+//      batch's position range [pos, pos+n);
+//   3. At(pos) then returns the record at epoch position `pos`. Within the
+//      last prefetched window, At must be safe to call from multiple pool
+//      workers concurrently (the data-parallel trainer does exactly that).
+//
+// order() exposes the position→sample permutation for checkpointing; after
+// a checkpoint restore writes into it the trainer calls
+// NotifyOrderChanged() so cached windows keyed on the old order are
+// dropped.
+class TripFeed {
+ public:
+  virtual ~TripFeed() = default;
+
+  // Number of samples per epoch.
+  virtual size_t size() const = 0;
+
+  // Reshuffles the epoch visit order in place using `rng`.
+  virtual void BeginEpoch(util::Rng& rng) = 0;
+
+  // Record at epoch position `pos` (i.e. sample order()[pos]). Valid until
+  // the next PrefetchWindow/BeginEpoch/NotifyOrderChanged call.
+  virtual const traj::TripRecord& At(size_t pos) = 0;
+
+  // Ensures positions [pos, pos+n) are resident before At is called for
+  // them. No-op for in-memory feeds.
+  virtual void PrefetchWindow(size_t pos, size_t n) { (void)pos; (void)n; }
+
+  // The current visit order (mutable so a checkpoint restore can write it).
+  virtual std::vector<size_t>& order() = 0;
+
+  // Invalidate anything derived from order() after an external mutation.
+  virtual void NotifyOrderChanged() {}
+};
+
+// The shared two-level epoch order used by sharded feeds: shuffle the shard
+// visit order, then an independent permutation within each shard, and
+// concatenate — every position maps to a *global* sample index (shard k's
+// samples are [sum(sizes[0..k)), +sizes[k])). Out-of-core training and its
+// in-memory parity twin both build their epochs through this one function,
+// which is what makes their loss curves bit-identical (see
+// tests/datagen_test.cc).
+std::vector<size_t> BuildShardEpochOrder(util::Rng& rng,
+                                         const std::vector<size_t>& shard_sizes);
+
+// TripFeed over an in-memory vector. Two shuffle flavours:
+//  * flat (default): BeginEpoch performs exactly one rng.Shuffle over the
+//    persistent order — the trainer's historical behaviour, bit-identical
+//    to the pre-feed implementation;
+//  * grouped (shard_sizes given): BeginEpoch rebuilds the order with
+//    BuildShardEpochOrder — the in-memory twin of a sharded on-disk feed.
+class InMemoryTripFeed : public TripFeed {
+ public:
+  // Flat shuffle. `trips` must outlive the feed.
+  explicit InMemoryTripFeed(const std::vector<traj::TripRecord>& trips);
+  // Grouped shuffle; shard_sizes must sum to trips.size().
+  InMemoryTripFeed(const std::vector<traj::TripRecord>& trips,
+                   std::vector<size_t> shard_sizes);
+
+  size_t size() const override { return trips_->size(); }
+  void BeginEpoch(util::Rng& rng) override;
+  const traj::TripRecord& At(size_t pos) override {
+    return (*trips_)[order_[pos]];
+  }
+  std::vector<size_t>& order() override { return order_; }
+
+ private:
+  const std::vector<traj::TripRecord>* trips_;
+  std::vector<size_t> shard_sizes_;  // empty = flat shuffle
+  std::vector<size_t> order_;
+};
+
+}  // namespace deepod::core
+
+#endif  // DEEPOD_CORE_TRIP_FEED_H_

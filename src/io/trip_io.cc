@@ -1,11 +1,12 @@
 #include "io/trip_io.h"
 
+#include <charconv>
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-
-#include "road/spatial_index.h"
+#include <string_view>
 
 namespace deepod::io {
 namespace {
@@ -36,6 +37,76 @@ size_t ParseIndex(const std::string& s, const char* what) {
   const double v = ParseDouble(s, what);
   if (v < 0 || v != static_cast<double>(static_cast<size_t>(v))) {
     throw std::runtime_error(std::string("trip_io: bad index for ") + what);
+  }
+  return static_cast<size_t>(v);
+}
+
+// --- Fast char-level trip-row parsing ---------------------------------------
+// The trip reader is on the million-row ingest path, so it avoids
+// istringstream/stod entirely: fields are split as string_views over the
+// line buffer and numbers go through std::from_chars.
+
+[[noreturn]] void BadField(const char* what, std::string_view s) {
+  throw std::runtime_error(std::string("trip_io: bad number for ") + what +
+                           ": '" + std::string(s) + "'");
+}
+
+double FastDouble(std::string_view s, const char* what) {
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) BadField(what, s);
+  return v;
+}
+
+long long FastInt(std::string_view s, const char* what) {
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) BadField(what, s);
+  return v;
+}
+
+// Splits `line` on `sep` into at most `max_fields` views. Returns the count.
+size_t SplitView(std::string_view line, char sep, std::string_view* fields,
+                 size_t max_fields) {
+  size_t count = 0;
+  size_t start = 0;
+  while (count < max_fields) {
+    const size_t pos = line.find(sep, start);
+    if (pos == std::string_view::npos) {
+      fields[count++] = line.substr(start);
+      break;
+    }
+    fields[count++] = line.substr(start, pos - start);
+    start = pos + 1;
+  }
+  return count;
+}
+
+// Shortest-round-trip double formatting (value-exact on re-read).
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<size_t>(ptr - buf));
+}
+
+void AppendInt(std::string& out, long long v) {
+  char buf[24];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, static_cast<size_t>(ptr - buf));
+}
+
+long long SegToCsv(size_t segment_id) {
+  return segment_id == road::kInvalidId
+             ? -1
+             : static_cast<long long>(segment_id);
+}
+
+size_t SegFromCsv(std::string_view s, const road::RoadNetwork& net,
+                  const char* what) {
+  const long long v = FastInt(s, what);
+  if (v < 0) return road::kInvalidId;
+  if (static_cast<size_t>(v) >= net.num_segments()) {
+    throw std::runtime_error("trip_io: segment id out of range");
   }
   return static_cast<size_t>(v);
 }
@@ -112,19 +183,44 @@ road::RoadNetwork ReadNetworkCsv(const std::string& path) {
 
 void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
                    std::ostream& out) {
-  out.precision(15);
-  out << "depart,origin_x,origin_y,dest_x,dest_y,weather,travel_time,route\n";
+  out << "depart,origin_x,origin_y,dest_x,dest_y,weather,travel_time,"
+         "origin_seg,origin_ratio,dest_seg,dest_ratio,route\n";
+  std::string row;
   for (const auto& trip : trips) {
-    out << trip.od.departure_time << "," << trip.od.origin.x << ","
-        << trip.od.origin.y << "," << trip.od.destination.x << ","
-        << trip.od.destination.y << "," << trip.od.weather_type << ","
-        << trip.travel_time << ",";
+    row.clear();
+    AppendDouble(row, trip.od.departure_time);
+    row.push_back(',');
+    AppendDouble(row, trip.od.origin.x);
+    row.push_back(',');
+    AppendDouble(row, trip.od.origin.y);
+    row.push_back(',');
+    AppendDouble(row, trip.od.destination.x);
+    row.push_back(',');
+    AppendDouble(row, trip.od.destination.y);
+    row.push_back(',');
+    AppendInt(row, trip.od.weather_type);
+    row.push_back(',');
+    AppendDouble(row, trip.travel_time);
+    row.push_back(',');
+    AppendInt(row, SegToCsv(trip.od.origin_segment));
+    row.push_back(',');
+    AppendDouble(row, trip.od.origin_ratio);
+    row.push_back(',');
+    AppendInt(row, SegToCsv(trip.od.dest_segment));
+    row.push_back(',');
+    AppendDouble(row, trip.od.dest_ratio);
+    row.push_back(',');
     for (size_t i = 0; i < trip.trajectory.path.size(); ++i) {
       const auto& e = trip.trajectory.path[i];
-      if (i) out << "|";
-      out << e.segment_id << ":" << e.enter << ":" << e.exit;
+      if (i) row.push_back('|');
+      AppendInt(row, static_cast<long long>(e.segment_id));
+      row.push_back(':');
+      AppendDouble(row, e.enter);
+      row.push_back(':');
+      AppendDouble(row, e.exit);
     }
-    out << "\n";
+    row.push_back('\n');
+    out.write(row.data(), static_cast<std::streamsize>(row.size()));
   }
 }
 
@@ -135,57 +231,92 @@ void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
 }
 
 std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
-                                           std::istream& in) {
-  const road::SpatialIndex index(net);
+                                           std::istream& in,
+                                           const road::SpatialIndex* index) {
   std::vector<traj::TripRecord> trips;
   std::string line;
   std::getline(in, line);  // header
+  // The header row tells the generations apart: the current format carries
+  // the matched OD columns, the legacy one re-derives them per row.
+  const bool has_matched = line.find("origin_seg") != std::string::npos;
+  // Built on demand for legacy rows when the caller shared no index.
+  std::unique_ptr<road::SpatialIndex> lazy_index;
+  const size_t num_fields = has_matched ? 12 : 8;
+  std::string_view fields[12];
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto f = SplitCsvLine(line);
-    if (f.size() != 8) throw std::runtime_error("trip_io: bad trip row");
+    if (SplitView(line, ',', fields, num_fields) != num_fields) {
+      throw std::runtime_error("trip_io: bad trip row");
+    }
     traj::TripRecord trip;
-    trip.od.departure_time = ParseDouble(f[0], "depart");
-    trip.od.origin = {ParseDouble(f[1], "origin_x"),
-                      ParseDouble(f[2], "origin_y")};
-    trip.od.destination = {ParseDouble(f[3], "dest_x"),
-                           ParseDouble(f[4], "dest_y")};
-    trip.od.weather_type = static_cast<int>(ParseDouble(f[5], "weather"));
-    trip.travel_time = ParseDouble(f[6], "travel_time");
+    trip.od.departure_time = FastDouble(fields[0], "depart");
+    trip.od.origin = {FastDouble(fields[1], "origin_x"),
+                      FastDouble(fields[2], "origin_y")};
+    trip.od.destination = {FastDouble(fields[3], "dest_x"),
+                           FastDouble(fields[4], "dest_y")};
+    trip.od.weather_type = static_cast<int>(FastInt(fields[5], "weather"));
+    trip.travel_time = FastDouble(fields[6], "travel_time");
     // Route, if present.
-    if (!f[7].empty()) {
-      for (const auto& triplet : SplitCsvLine(f[7], '|')) {
-        const auto parts = SplitCsvLine(triplet, ':');
-        if (parts.size() != 3) throw std::runtime_error("trip_io: bad route");
+    const std::string_view route = fields[num_fields - 1];
+    if (!route.empty()) {
+      size_t start = 0;
+      while (start <= route.size()) {
+        const size_t bar = route.find('|', start);
+        const std::string_view triplet =
+            route.substr(start, bar == std::string_view::npos ? bar
+                                                              : bar - start);
+        std::string_view parts[3];
+        if (SplitView(triplet, ':', parts, 3) != 3) {
+          throw std::runtime_error("trip_io: bad route");
+        }
         traj::PathElement e;
-        e.segment_id = ParseIndex(parts[0], "segment");
-        if (e.segment_id >= net.num_segments()) {
+        const long long seg = FastInt(parts[0], "segment");
+        if (seg < 0 || static_cast<size_t>(seg) >= net.num_segments()) {
           throw std::runtime_error("trip_io: segment id out of range");
         }
-        e.enter = ParseDouble(parts[1], "enter");
-        e.exit = ParseDouble(parts[2], "exit");
+        e.segment_id = static_cast<size_t>(seg);
+        e.enter = FastDouble(parts[1], "enter");
+        e.exit = FastDouble(parts[2], "exit");
         trip.trajectory.path.push_back(e);
+        if (bar == std::string_view::npos) break;
+        start = bar + 1;
       }
     }
-    // Re-derive the OD input's matched representation (and the trajectory's
-    // position ratios) by projecting the raw points.
-    const auto origin_proj = index.Nearest(trip.od.origin);
-    const auto dest_proj = index.Nearest(trip.od.destination);
-    trip.od.origin_segment = origin_proj.segment_id;
-    trip.od.origin_ratio = origin_proj.ratio;
-    trip.od.dest_segment = dest_proj.segment_id;
-    trip.od.dest_ratio = dest_proj.ratio;
-    trip.trajectory.origin_ratio = origin_proj.ratio;
-    trip.trajectory.dest_ratio = dest_proj.ratio;
+    if (has_matched) {
+      trip.od.origin_segment = SegFromCsv(fields[7], net, "origin_seg");
+      trip.od.origin_ratio = FastDouble(fields[8], "origin_ratio");
+      trip.od.dest_segment = SegFromCsv(fields[9], net, "dest_seg");
+      trip.od.dest_ratio = FastDouble(fields[10], "dest_ratio");
+      trip.trajectory.origin_ratio = trip.od.origin_ratio;
+      trip.trajectory.dest_ratio = trip.od.dest_ratio;
+    } else {
+      // Legacy row: re-derive the matched representation by projecting the
+      // raw points onto the network's grid index.
+      if (index == nullptr) {
+        if (lazy_index == nullptr) {
+          lazy_index = std::make_unique<road::SpatialIndex>(net);
+        }
+        index = lazy_index.get();
+      }
+      const auto origin_proj = index->Nearest(trip.od.origin);
+      const auto dest_proj = index->Nearest(trip.od.destination);
+      trip.od.origin_segment = origin_proj.segment_id;
+      trip.od.origin_ratio = origin_proj.ratio;
+      trip.od.dest_segment = dest_proj.segment_id;
+      trip.od.dest_ratio = dest_proj.ratio;
+      trip.trajectory.origin_ratio = origin_proj.ratio;
+      trip.trajectory.dest_ratio = dest_proj.ratio;
+    }
     trips.push_back(std::move(trip));
   }
   return trips;
 }
 
 std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
-                                           const std::string& path) {
+                                           const std::string& path,
+                                           const road::SpatialIndex* index) {
   auto in = OpenIn(path);
-  return ReadTripsCsv(net, in);
+  return ReadTripsCsv(net, in, index);
 }
 
 }  // namespace deepod::io

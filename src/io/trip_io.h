@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "road/road_network.h"
+#include "road/spatial_index.h"
 #include "traj/trajectory.h"
 
 namespace deepod::io {
@@ -14,11 +15,18 @@ namespace deepod::io {
 // driven by external data (the paper's pipeline starts from taxi-order
 // files). Formats are line-oriented with a header row:
 //
-// Trips:    depart,origin_x,origin_y,dest_x,dest_y,weather,travel_time,
-//           route  — `route` is a |-separated list of
-//           segment:enter:exit triplets (empty for OD-only records).
-//           The matched segments/ratios of the OD input are re-derived from
-//           the points at load time via the nearest-segment projection.
+// Trips (current, 12 fields):
+//           depart,origin_x,origin_y,dest_x,dest_y,weather,travel_time,
+//           origin_seg,origin_ratio,dest_seg,dest_ratio,route
+//           — the matched OD representation is persisted at write time
+//           (origin_seg/dest_seg are segment ids, -1 for unmatched), so a
+//           load performs zero nearest-segment projections. `route` is a
+//           |-separated list of segment:enter:exit triplets (empty for
+//           OD-only records). Doubles are written in shortest
+//           round-trip form (std::to_chars), so write→read is value-exact.
+// Trips (legacy, 8 fields — still read): the same without the four matched
+//           columns; the matched representation is re-derived from the
+//           points against the network's grid spatial index.
 // Network:  two sections — "vertices" (id,x,y) then "segments"
 //           (id,from,to,length,speed,class).
 
@@ -38,12 +46,17 @@ void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
 void WriteTripsCsv(const std::vector<traj::TripRecord>& trips,
                    const std::string& path);
 
-// Parses trips written by WriteTripsCsv, re-deriving the OD inputs' matched
-// segments and position ratios against `net`.
-std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
-                                           std::istream& in);
-std::vector<traj::TripRecord> ReadTripsCsv(const road::RoadNetwork& net,
-                                           const std::string& path);
+// Parses trips written by WriteTripsCsv (either header generation). For
+// legacy 8-field rows the OD matched representation is re-derived against
+// `index` when given, else against a grid index built lazily on the first
+// row that needs one — callers ingesting many files against one network
+// should pass a shared index.
+std::vector<traj::TripRecord> ReadTripsCsv(
+    const road::RoadNetwork& net, std::istream& in,
+    const road::SpatialIndex* index = nullptr);
+std::vector<traj::TripRecord> ReadTripsCsv(
+    const road::RoadNetwork& net, const std::string& path,
+    const road::SpatialIndex* index = nullptr);
 
 }  // namespace deepod::io
 

@@ -14,22 +14,26 @@ std::vector<std::vector<size_t>> Dataset::TrainSegmentSequences() const {
   return sequences;
 }
 
+void InitDatasetEnvironment(const DatasetConfig& config, Dataset* ds) {
+  ds->name = config.city.name;
+  ds->network = road::GenerateCity(config.city);
+  ds->traffic = std::make_unique<TrafficModel>(
+      ds->network, TrafficModel::Options{.seed = config.seed ^ 0x51u});
+  const double horizon =
+      static_cast<double>(config.num_days + 1) * temporal::kSecondsPerDay;
+  ds->weather = std::make_unique<WeatherProcess>(horizon, config.seed ^ 0x77u);
+  ds->speed_matrices = std::make_unique<SpeedMatrixBuilder>(
+      ds->network, *ds->traffic, *ds->weather, config.speed_grid_m,
+      config.slot_seconds);
+  ds->slotter = temporal::TimeSlotter(0.0, config.slot_seconds);
+}
+
 Dataset BuildDataset(const DatasetConfig& config) {
   if (config.num_days < 3) {
     throw std::invalid_argument("BuildDataset: need at least 3 days");
   }
   Dataset ds;
-  ds.name = config.city.name;
-  ds.network = road::GenerateCity(config.city);
-  ds.traffic = std::make_unique<TrafficModel>(
-      ds.network, TrafficModel::Options{.seed = config.seed ^ 0x51u});
-  const double horizon =
-      static_cast<double>(config.num_days + 1) * temporal::kSecondsPerDay;
-  ds.weather = std::make_unique<WeatherProcess>(horizon, config.seed ^ 0x77u);
-  ds.speed_matrices = std::make_unique<SpeedMatrixBuilder>(
-      ds.network, *ds.traffic, *ds.weather, config.speed_grid_m,
-      config.slot_seconds);
-  ds.slotter = temporal::TimeSlotter(0.0, config.slot_seconds);
+  InitDatasetEnvironment(config, &ds);
 
   TripSimulator::Options sim_options;
   // Beijing's sparse 1-minute GPS vs 3 s for Chengdu/Xi'an (Table 2).
@@ -52,27 +56,31 @@ Dataset BuildDataset(const DatasetConfig& config) {
             [](const traj::TripRecord& a, const traj::TripRecord& b) {
               return a.od.departure_time < b.od.departure_time;
             });
+  SplitTripsChronological(std::move(all), config.num_days, &ds);
+  return ds;
+}
 
+void SplitTripsChronological(std::vector<traj::TripRecord> all,
+                             size_t num_days, Dataset* ds) {
   // Chronological 42:7:12 split scaled to num_days.
   const double total_ratio = 42.0 + 7.0 + 12.0;
-  const double train_days = config.num_days * 42.0 / total_ratio;
-  const double val_days = config.num_days * 7.0 / total_ratio;
+  const double train_days = num_days * 42.0 / total_ratio;
+  const double val_days = num_days * 7.0 / total_ratio;
   const temporal::Timestamp train_end = train_days * temporal::kSecondsPerDay;
   const temporal::Timestamp val_end =
       (train_days + val_days) * temporal::kSecondsPerDay;
   for (auto& trip : all) {
     if (trip.od.departure_time < train_end) {
-      ds.train.push_back(std::move(trip));
+      ds->train.push_back(std::move(trip));
     } else if (trip.od.departure_time < val_end) {
-      ds.validation.push_back(std::move(trip));
+      ds->validation.push_back(std::move(trip));
     } else {
       // Test trips expose only the OD input (§6.1: "without historical
       // trajectories"). We blank the trajectory but keep the label.
       trip.trajectory = traj::MatchedTrajectory{};
-      ds.test.push_back(std::move(trip));
+      ds->test.push_back(std::move(trip));
     }
   }
-  return ds;
 }
 
 DatasetConfig ChengduDatasetConfig() {

@@ -55,6 +55,17 @@ struct DatasetConfig {
 // Simulates a full dataset. Deterministic in the config.
 Dataset BuildDataset(const DatasetConfig& config);
 
+// Builds the environment members of `ds` (name, network, traffic, weather,
+// speed matrices, slotter) from the config — the deterministic prefix
+// shared by BuildDataset and the parallel generator (trip_gen.h).
+void InitDatasetEnvironment(const DatasetConfig& config, Dataset* ds);
+
+// Chronological 42:7:12 split (scaled to num_days) of `all` — which must be
+// sorted by departure time — into the train/validation/test members. Test
+// trajectories are blanked (§6.1: test trips expose only the OD input).
+void SplitTripsChronological(std::vector<traj::TripRecord> all,
+                             size_t num_days, Dataset* ds);
+
 // The three benchmark datasets at laptop scale (relative sizes follow
 // Table 2: Chengdu > Xi'an; Beijing largest with the biggest network).
 DatasetConfig ChengduDatasetConfig();

@@ -63,6 +63,7 @@ class TripSimulator {
                               util::Rng& rng) const;
 
   const road::SpatialIndex& index() const { return index_; }
+  const road::RoadNetwork& network() const { return net_; }
 
  private:
   // Expected traversal time of a route if departing now (quasi-static).

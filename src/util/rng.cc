@@ -107,6 +107,15 @@ size_t Rng::Categorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(NextU64()); }
 
+Rng Rng::ForStream(uint64_t seed, uint64_t stream) {
+  // Mix seed and stream through independent splitmix chains so that nearby
+  // (seed, stream) pairs land on unrelated xoshiro states.
+  uint64_t a = seed;
+  uint64_t b = stream ^ 0xd1b54a32d192ed03ull;
+  const uint64_t mixed = SplitMix64(a) ^ SplitMix64(b);
+  return Rng(mixed);
+}
+
 std::vector<uint64_t> Rng::SaveState() const {
   uint64_t cached_bits = 0;
   static_assert(sizeof(cached_bits) == sizeof(cached_normal_));

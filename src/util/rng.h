@@ -60,6 +60,13 @@ class Rng {
   // each subsystem its own stream while preserving one root seed.
   Rng Fork();
 
+  // A statistically independent generator for stream `stream` of root
+  // `seed`, computed without consuming any draws: ForStream(s, i) depends
+  // only on (s, i). This is how the parallel trip generator gives every
+  // trip its own stream — the generated set is identical for any thread
+  // count because stream i never depends on who generated streams < i.
+  static Rng ForStream(uint64_t seed, uint64_t stream);
+
   // Full generator state as raw words (the four xoshiro words, the
   // Box-Muller cache flag and the cached value's bit pattern). Restoring a
   // saved state resumes the stream bit-identically — resumable-training

@@ -1,0 +1,106 @@
+#ifndef DEEPOD_TOOLS_DATAGEN_MANIFEST_H_
+#define DEEPOD_TOOLS_DATAGEN_MANIFEST_H_
+
+// Shared between deepod_datagen (writer) and deepod_train --data (reader):
+// the manifest.csv key/value schema describing how a datagen directory was
+// generated, sufficient to rebuild the identical dataset environment
+// (city, traffic, weather, speed matrices) deterministically.
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/dataset.h"
+
+namespace deepod::tools {
+
+struct DatagenManifest {
+  std::string city = "xian";
+  size_t grid = 0;  // 0 = the city preset's own rows/cols
+  size_t trips_per_day = 12;
+  size_t num_days = 15;
+  uint64_t seed = 17;
+  size_t shards = 4;
+  bool rematch_gps = false;
+  size_t train_count = 0;
+  size_t val_count = 0;
+  size_t test_count = 0;
+};
+
+inline sim::DatasetConfig ToDatasetConfig(const DatagenManifest& m) {
+  sim::DatasetConfig config;
+  if (m.city == "chengdu") {
+    config.city = road::ChengduSimConfig();
+  } else if (m.city == "beijing") {
+    config.city = road::BeijingSimConfig();
+  } else {
+    config.city = road::XianSimConfig();
+  }
+  if (m.grid > 0) {
+    config.city.rows = m.grid;
+    config.city.cols = m.grid;
+  }
+  config.trips_per_day = m.trips_per_day;
+  config.num_days = m.num_days;
+  config.seed = m.seed;
+  return config;
+}
+
+inline void WriteManifest(const std::string& path, const DatagenManifest& m) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("datagen: cannot open " + path);
+  out << "key,value\n"
+      << "city," << m.city << "\n"
+      << "grid," << m.grid << "\n"
+      << "trips_per_day," << m.trips_per_day << "\n"
+      << "days," << m.num_days << "\n"
+      << "seed," << m.seed << "\n"
+      << "shards," << m.shards << "\n"
+      << "match," << (m.rematch_gps ? 1 : 0) << "\n"
+      << "train," << m.train_count << "\n"
+      << "val," << m.val_count << "\n"
+      << "test," << m.test_count << "\n";
+}
+
+inline DatagenManifest ReadManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("datagen: cannot open " + path);
+  DatagenManifest m;
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    const size_t comma = line.find(',');
+    if (comma == std::string::npos) continue;
+    const std::string key = line.substr(0, comma);
+    const std::string value = line.substr(comma + 1);
+    if (key == "city") m.city = value;
+    else if (key == "grid") m.grid = std::stoull(value);
+    else if (key == "trips_per_day") m.trips_per_day = std::stoull(value);
+    else if (key == "days") m.num_days = std::stoull(value);
+    else if (key == "seed") m.seed = std::stoull(value);
+    else if (key == "shards") m.shards = std::stoull(value);
+    else if (key == "match") m.rematch_gps = value == "1";
+    else if (key == "train") m.train_count = std::stoull(value);
+    else if (key == "val") m.val_count = std::stoull(value);
+    else if (key == "test") m.test_count = std::stoull(value);
+  }
+  return m;
+}
+
+// Shard paths in the layout deepod_datagen writes.
+inline std::vector<std::string> ManifestShardPaths(const std::string& dir,
+                                                   size_t shards) {
+  std::vector<std::string> paths;
+  paths.reserve(shards);
+  for (size_t k = 0; k < shards; ++k) {
+    paths.push_back(dir + "/shard-" + std::to_string(k) + ".trips");
+  }
+  return paths;
+}
+
+}  // namespace deepod::tools
+
+#endif  // DEEPOD_TOOLS_DATAGEN_MANIFEST_H_

@@ -1,0 +1,152 @@
+// deepod_datagen: the generate half of the million-trip data plane. Builds
+// a synthetic city, synthesises its trip corpus in parallel (per-trip RNG
+// streams, so any --threads value produces the identical trips), and lands
+// the chronological splits as mmap-ready columnar trip stores:
+//
+//   <out>/network.csv      the road network (io::WriteNetworkCsv)
+//   <out>/shard-<k>.trips  the training split in K columnar shards
+//   <out>/val.trips        the validation split, one store
+//   <out>/test.trips       the test split (OD-only records), one store
+//   <out>/manifest.csv     key,value pairs: the generation parameters (from
+//                          which deepod_train --data deterministically
+//                          rebuilds the traffic/weather environment) plus
+//                          the split sizes
+//
+// deepod_train --data <out> --feed sharded then trains out-of-core from the
+// shards; --parity-check asserts it matches the in-memory path bit-for-bit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "datagen_manifest.h"
+#include "io/trip_io.h"
+#include "io/trip_store.h"
+#include "sim/dataset.h"
+#include "sim/trip_gen.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+struct Args {
+  std::string out;
+  std::string city = "xian";
+  size_t grid = 0;  // 0 = keep the city preset's rows/cols
+  size_t trips_per_day = 12;
+  size_t num_days = 15;
+  uint64_t seed = 17;
+  size_t threads = 0;  // 0 = auto
+  size_t shards = 4;
+  bool rematch_gps = false;
+  bool also_csv = false;  // additionally write train.csv (ingest comparisons)
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --out DIR [--city xian|chengdu|beijing] [--grid N]\n"
+      "          [--trips-per-day N] [--days N] [--seed N] [--threads N]\n"
+      "          [--shards K] [--match] [--csv]\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (flag == "--out" && (v = value())) {
+      args->out = v;
+    } else if (flag == "--city" && (v = value())) {
+      args->city = v;
+    } else if (flag == "--grid" && (v = value())) {
+      args->grid = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--trips-per-day" && (v = value())) {
+      args->trips_per_day = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--days" && (v = value())) {
+      args->num_days = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--seed" && (v = value())) {
+      args->seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--threads" && (v = value())) {
+      args->threads = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--shards" && (v = value())) {
+      args->shards = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--match") {
+      args->rematch_gps = true;
+    } else if (flag == "--csv") {
+      args->also_csv = true;
+    } else {
+      Usage(argv[0]);
+      return false;
+    }
+  }
+  if (args->out.empty() || args->shards == 0) {
+    Usage(argv[0]);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) return 2;
+
+  tools::DatagenManifest manifest;
+  manifest.city = args.city;
+  manifest.grid = args.grid;
+  manifest.trips_per_day = args.trips_per_day;
+  manifest.num_days = args.num_days;
+  manifest.seed = args.seed;
+  manifest.shards = args.shards;
+  manifest.rematch_gps = args.rematch_gps;
+  const sim::DatasetConfig config = tools::ToDatasetConfig(manifest);
+  const size_t threads = util::ThreadPool::ResolveThreadCount(args.threads);
+  std::printf("generating %s (%zux%zu grid): %zu trips over %zu days, "
+              "%zu thread(s)%s...\n",
+              config.city.name.c_str(), config.city.rows, config.city.cols,
+              args.trips_per_day * args.num_days, args.num_days, threads,
+              args.rematch_gps ? ", GPS re-matched" : "");
+
+  sim::TripGenOptions gen_options;
+  gen_options.num_threads = threads;
+  gen_options.rematch_gps = args.rematch_gps;
+  const sim::Dataset dataset = sim::BuildDatasetParallel(config, gen_options);
+  std::printf("dataset: %zu train / %zu val / %zu test trips, %zu segments\n",
+              dataset.train.size(), dataset.validation.size(),
+              dataset.test.size(), dataset.network.num_segments());
+
+  std::filesystem::create_directories(args.out);
+  io::WriteNetworkCsv(dataset.network, args.out + "/network.csv");
+  const std::vector<std::string> shard_paths =
+      io::WriteTripShards(args.out, "shard", dataset.train, args.shards);
+  nn::ThrowIfError(
+      io::WriteTripStore(args.out + "/val.trips", dataset.validation));
+  nn::ThrowIfError(
+      io::WriteTripStore(args.out + "/test.trips", dataset.test));
+  if (args.also_csv) {
+    io::WriteTripsCsv(dataset.train, args.out + "/train.csv");
+  }
+
+  manifest.train_count = dataset.train.size();
+  manifest.val_count = dataset.validation.size();
+  manifest.test_count = dataset.test.size();
+  tools::WriteManifest(args.out + "/manifest.csv", manifest);
+
+  size_t shard_bytes = 0;
+  for (const auto& path : shard_paths) {
+    shard_bytes += std::filesystem::file_size(path);
+  }
+  std::printf("wrote %zu shard(s), %.2f MB total: %s ... %s\n",
+              shard_paths.size(),
+              static_cast<double>(shard_bytes) / (1024.0 * 1024.0),
+              shard_paths.front().c_str(), shard_paths.back().c_str());
+  return 0;
+}

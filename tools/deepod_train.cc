@@ -14,6 +14,15 @@
 //
 // The defaults mirror the test suite's tiny dataset so a full
 // train->save->serve round trip finishes in CI time.
+//
+// With --data DIR the dataset comes from a deepod_datagen directory instead
+// of being simulated in-process: the traffic/weather environment is rebuilt
+// deterministically from DIR/manifest.csv and the splits are loaded from
+// the columnar trip stores. --feed sharded trains out-of-core from the
+// mmap'd shards (model initialisation still reads the training split once
+// for the co-occurrence counts); --parity-check trains the sharded and the
+// in-memory grouped-shuffle paths side by side at 1 thread and fails unless
+// their validation curves and final states are bit-identical.
 
 #include <algorithm>
 #include <cinttypes>
@@ -27,7 +36,11 @@
 #include "core/deepod_config.h"
 #include "core/deepod_model.h"
 #include "core/trainer.h"
+#include "core/trip_feed.h"
+#include "datagen_manifest.h"
 #include "io/model_artifact.h"
+#include "io/sharded_trip_source.h"
+#include "io/trip_store.h"
 #include "nn/quant.h"
 #include "io/trip_io.h"
 #include "sim/dataset.h"
@@ -48,6 +61,9 @@ struct Args {
   std::string checkpoint;  // optional: also write a resumable checkpoint
   // optional: also write <out>/model.<mode>.artifact with quantised weights
   deepod::nn::QuantMode quant = deepod::nn::QuantMode::kNone;
+  std::string data;               // datagen directory (empty = simulate)
+  std::string feed = "inmemory";  // inmemory | sharded (needs --data)
+  bool parity_check = false;      // sharded vs in-memory bit parity
 };
 
 void Usage(const char* argv0) {
@@ -55,7 +71,8 @@ void Usage(const char* argv0) {
       stderr,
       "usage: %s [--out DIR] [--scale N] [--epochs N] [--grid N]\n"
       "          [--trips-per-day N] [--days N] [--seed N] [--threads N]\n"
-      "          [--golden N] [--checkpoint PATH] [--quant fp16|int8]\n",
+      "          [--golden N] [--checkpoint PATH] [--quant fp16|int8]\n"
+      "          [--data DIR] [--feed inmemory|sharded] [--parity-check]\n",
       argv0);
 }
 
@@ -91,6 +108,16 @@ bool ParseArgs(int argc, char** argv, Args* args) {
         std::fprintf(stderr, "unknown --quant mode '%s'\n", v);
         return false;
       }
+    } else if (flag == "--data" && (v = value())) {
+      args->data = v;
+    } else if (flag == "--feed" && (v = value())) {
+      args->feed = v;
+      if (args->feed != "inmemory" && args->feed != "sharded") {
+        std::fprintf(stderr, "unknown --feed '%s'\n", v);
+        return false;
+      }
+    } else if (flag == "--parity-check") {
+      args->parity_check = true;
     } else {
       Usage(argv[0]);
       return false;
@@ -105,17 +132,50 @@ int main(int argc, char** argv) {
   using namespace deepod;
   Args args;
   if (!ParseArgs(argc, argv, &args)) return 2;
+  if (args.data.empty() && (args.feed == "sharded" || args.parity_check)) {
+    std::fprintf(stderr, "--feed sharded / --parity-check require --data\n");
+    return 2;
+  }
 
-  sim::DatasetConfig dataset_config;
-  dataset_config.city = road::XianSimConfig();
-  dataset_config.city.rows = args.grid;
-  dataset_config.city.cols = args.grid;
-  dataset_config.trips_per_day = args.trips_per_day;
-  dataset_config.num_days = args.num_days;
-  dataset_config.seed = args.seed;
-  std::printf("building dataset (%zux%zu grid, %zu days)...\n", args.grid,
-              args.grid, args.num_days);
-  const sim::Dataset dataset = sim::BuildDataset(dataset_config);
+  sim::Dataset dataset;
+  std::vector<std::string> shard_paths;
+  std::vector<size_t> shard_sizes;
+  if (!args.data.empty()) {
+    // Datagen directory: rebuild the environment from the manifest and load
+    // the splits from the columnar trip stores (mmap'd, zero projections).
+    const tools::DatagenManifest manifest =
+        tools::ReadManifest(args.data + "/manifest.csv");
+    const sim::DatasetConfig dataset_config = tools::ToDatasetConfig(manifest);
+    std::printf("loading dataset from %s (%zu shard(s))...\n",
+                args.data.c_str(), manifest.shards);
+    sim::InitDatasetEnvironment(dataset_config, &dataset);
+    shard_paths = tools::ManifestShardPaths(args.data, manifest.shards);
+    for (const auto& path : shard_paths) {
+      const auto reader = io::TripStoreReader::OpenOrThrow(path);
+      shard_sizes.push_back(reader.size());
+      // Model initialisation (co-occurrence counts, time scale) still walks
+      // the training split in memory; only the trainer feed is out-of-core.
+      auto trips = reader.ReadAll();
+      dataset.train.insert(dataset.train.end(),
+                           std::make_move_iterator(trips.begin()),
+                           std::make_move_iterator(trips.end()));
+    }
+    dataset.validation =
+        io::TripStoreReader::OpenOrThrow(args.data + "/val.trips").ReadAll();
+    dataset.test =
+        io::TripStoreReader::OpenOrThrow(args.data + "/test.trips").ReadAll();
+  } else {
+    sim::DatasetConfig dataset_config;
+    dataset_config.city = road::XianSimConfig();
+    dataset_config.city.rows = args.grid;
+    dataset_config.city.cols = args.grid;
+    dataset_config.trips_per_day = args.trips_per_day;
+    dataset_config.num_days = args.num_days;
+    dataset_config.seed = args.seed;
+    std::printf("building dataset (%zux%zu grid, %zu days)...\n", args.grid,
+                args.grid, args.num_days);
+    dataset = sim::BuildDataset(dataset_config);
+  }
   std::printf("dataset: %zu train / %zu val / %zu test trips, %zu segments\n",
               dataset.train.size(), dataset.validation.size(),
               dataset.test.size(), dataset.network.num_segments());
@@ -125,8 +185,55 @@ int main(int argc, char** argv) {
   config.batch_size = 8;
   config.num_threads = args.threads;
 
+  if (args.parity_check) {
+    // The out-of-core feed against its in-memory twin: both epoch orders
+    // come from core::BuildShardEpochOrder over the same shard sizes, so at
+    // 1 thread every validation MAE and the final model state must agree
+    // bit-for-bit. Any divergence is a decode or feed-order bug.
+    config.num_threads = 1;
+    core::DeepOdModel model_mem(config, dataset);
+    core::InMemoryTripFeed feed_mem(dataset.train, shard_sizes);
+    core::DeepOdTrainer trainer_mem(model_mem, dataset, &feed_mem);
+    core::DeepOdModel model_ooc(config, dataset);
+    io::ShardedTripSource feed_ooc(shard_paths);
+    core::DeepOdTrainer trainer_ooc(model_ooc, dataset, &feed_ooc);
+    bool ok = true;
+    for (int epoch = 1; epoch <= config.epochs; ++epoch) {
+      const double val_mem = trainer_mem.TrainPrefix(epoch);
+      const double val_ooc = trainer_ooc.TrainPrefix(epoch);
+      const bool same = std::memcmp(&val_mem, &val_ooc, sizeof(double)) == 0;
+      ok = ok && same;
+      std::printf("epoch %d: in-memory %a, out-of-core %a — %s\n", epoch,
+                  val_mem, val_ooc, same ? "match" : "MISMATCH");
+    }
+    const nn::StateDict state_mem = model_mem.State();
+    const nn::StateDict state_ooc = model_ooc.State();
+    std::vector<double> flat_mem, flat_ooc;
+    for (const auto& e : state_mem.entries()) {
+      flat_mem.insert(flat_mem.end(), e.data, e.data + e.size);
+    }
+    for (const auto& e : state_ooc.entries()) {
+      flat_ooc.insert(flat_ooc.end(), e.data, e.data + e.size);
+    }
+    const bool state_same =
+        flat_mem.size() == flat_ooc.size() &&
+        std::memcmp(flat_mem.data(), flat_ooc.data(),
+                    flat_mem.size() * sizeof(double)) == 0;
+    ok = ok && state_same;
+    std::printf("final model state (%zu doubles): %s\n", flat_mem.size(),
+                state_same ? "match" : "MISMATCH");
+    std::printf(ok ? "PARITY OK\n" : "PARITY FAILED\n");
+    return ok ? 0 : 1;
+  }
+
   core::DeepOdModel model(config, dataset);
-  core::DeepOdTrainer trainer(model, dataset);
+  std::unique_ptr<io::ShardedTripSource> sharded_feed;
+  if (args.feed == "sharded") {
+    io::ShardedTripSource::Options feed_options;
+    sharded_feed =
+        std::make_unique<io::ShardedTripSource>(shard_paths, feed_options);
+  }
+  core::DeepOdTrainer trainer(model, dataset, sharded_feed.get());
   const double best_mae = trainer.Train();
   std::printf("trained %d epoch(s), %zu steps, validation MAE %.3f s\n",
               config.epochs, trainer.steps_taken(), best_mae);

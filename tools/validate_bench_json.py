@@ -3,7 +3,13 @@
 
 Every machine-readable measurement file in this repo uses one schema,
 emitted either by bench::WriteBenchJson / the bench_nn_micro collector or
-by obs::Registry::ExportJson (e.g. the EtaService stats export):
+by obs::Registry::ExportJson (e.g. the EtaService stats export). Current
+emitters: BENCH_table5.json (bench_table5_efficiency, plus the datagen/*
+data-plane records merged in by bench_datagen), BENCH_table6.json
+(bench_table6_scalability: per-(method, fraction) records with
+wall_seconds = training time and value = test MAPE), BENCH_serving.json /
+BENCH_serving_stats.json (bench_serving) and BENCH_nn_micro.json
+(bench_nn_micro):
 
     {
       "hardware_concurrency": <int>,
