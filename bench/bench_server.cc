@@ -1,0 +1,166 @@
+// Network-serving bench: stands a DeepOdServer up in-process on an
+// ephemeral port and drives it with the open-loop load generator, writing
+// BENCH_server.json (obs::Record schema — the percentile-bearing superset
+// of the BenchJsonRecord lines; tools/validate_bench_json.py covers both):
+//   - server/steady/{throughput,goodput,shed_rate,latency}: ~200 qps
+//     against a generously provisioned server — the sustained-load
+//     contract. throughput carries achieved qps in samples_per_sec;
+//     latency carries client-observed p50/p95/p99.
+//   - server/overload/{offered,goodput,shed_rate,latency}: ~20x the steady
+//     rate against a deliberately small queue + per-tenant quotas. The
+//     point is the shedding contract: most of the load is rejected with
+//     typed statuses, while the latency of what IS admitted stays bounded
+//     (no queueing collapse). shed_rate here is expected to be large.
+// goodput/shed_rate are value records; bench_compare.py skips *goodput*
+// and *shed_rate* names like it skips *mae* (load-dependent values, not
+// regressions).
+// Usage: bench_server [steady_qps] (default 200; CI smoke passes less).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/deepod_model.h"
+#include "obs/metrics.h"
+#include "serve/eta_service.h"
+#include "serve/server/loadgen.h"
+#include "serve/server/server.h"
+#include "sim/dataset.h"
+
+using namespace deepod;
+
+namespace {
+
+void AppendScenarioRecords(const std::string& prefix,
+                           const serve::net::LoadgenReport& report,
+                           size_t connections,
+                           std::vector<obs::Record>* records) {
+  obs::Record throughput;
+  throughput.name = prefix + "/throughput";
+  throughput.wall_seconds = report.elapsed_seconds;
+  throughput.threads = connections;
+  if (report.achieved_qps > 0.0) {
+    throughput.samples_per_sec = report.achieved_qps;
+  }
+  throughput.count = static_cast<double>(report.ok);
+  records->push_back(throughput);
+
+  obs::Record latency;
+  latency.name = prefix + "/latency";
+  latency.wall_seconds = report.elapsed_seconds;
+  latency.threads = connections;
+  latency.count = static_cast<double>(report.ok);
+  latency.p50_ms = report.p50_ms;
+  latency.p95_ms = report.p95_ms;
+  latency.p99_ms = report.p99_ms;
+  records->push_back(latency);
+
+  obs::Record goodput;
+  goodput.name = prefix + "/goodput";
+  goodput.wall_seconds = report.elapsed_seconds;
+  goodput.threads = connections;
+  goodput.value = report.goodput_qps;
+  records->push_back(goodput);
+
+  obs::Record shed;
+  shed.name = prefix + "/shed_rate";
+  shed.wall_seconds = report.elapsed_seconds;
+  shed.threads = connections;
+  shed.value = report.shed_rate;
+  shed.count = static_cast<double>(report.shed);
+  records->push_back(shed);
+}
+
+void PrintScenario(const char* label,
+                   const serve::net::LoadgenReport& report) {
+  std::printf(
+      "%s: offered %.0f qps -> ok %llu shed %llu (rate %.3f) lost %llu\n"
+      "  latency ms: p50 %.3f p95 %.3f p99 %.3f | goodput %.0f qps\n",
+      label, report.offered_qps,
+      static_cast<unsigned long long>(report.ok),
+      static_cast<unsigned long long>(report.shed), report.shed_rate,
+      static_cast<unsigned long long>(report.lost), report.p50_ms,
+      report.p95_ms, report.p99_ms, report.goodput_qps);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double steady_qps = argc > 1 ? std::atof(argv[1]) : 200.0;
+  bench::PrintBanner("Network serving — admission control, shedding");
+
+  const sim::Dataset dataset =
+      sim::BuildDataset(bench::MiniConfig(bench::City::kXian));
+  core::DeepOdModel model(bench::BenchModelConfig(), dataset);
+  model.SetTraining(false);
+
+  std::vector<obs::Record> records;
+
+  // --- Steady state: under capacity, nothing should shed --------------------
+  {
+    serve::EtaService service(model, serve::EtaServiceOptions{});
+    serve::net::ServerOptions server_options;
+    server_options.num_segments = dataset.network.num_segments();
+    server_options.executors = 2;
+    serve::net::DeepOdServer server(service, server_options);
+    server.Start();
+
+    serve::net::LoadgenOptions load;
+    load.port = server.port();
+    load.qps = steady_qps;
+    load.duration_seconds = 2.5;
+    load.connections = 4;
+    load.num_segments = dataset.network.num_segments();
+    load.slo_ms = 250.0;
+    load.fetch_server_stats = false;
+    const auto report = serve::net::RunLoadgen(load);
+    server.Shutdown();
+    PrintScenario("steady", report);
+    AppendScenarioRecords("server/steady", report, load.connections, &records);
+  }
+
+  // --- Overload: 20x offered, small queue + tenant quotas --------------------
+  // The server must shed (quota + queue-full) rather than queue to death;
+  // the admitted slice keeps a bounded p99 because the backlog can never
+  // exceed queue_capacity.
+  {
+    serve::EtaService service(model, serve::EtaServiceOptions{});
+    serve::net::ServerOptions server_options;
+    server_options.num_segments = dataset.network.num_segments();
+    server_options.executors = 1;
+    server_options.admission.queue_capacity = 64;
+    server_options.admission.num_tenants = 4;
+    server_options.admission.tenant_rate = 100.0;
+    server_options.admission.tenant_burst = 50.0;
+    serve::net::DeepOdServer server(service, server_options);
+    server.Start();
+
+    serve::net::LoadgenOptions load;
+    load.port = server.port();
+    load.qps = steady_qps * 20.0;
+    load.duration_seconds = 2.0;
+    load.connections = 8;
+    load.num_segments = dataset.network.num_segments();
+    load.num_tenants = 4;
+    load.slo_ms = 250.0;
+    load.fetch_server_stats = false;
+    const auto report = serve::net::RunLoadgen(load);
+    server.Shutdown();
+    PrintScenario("overload", report);
+
+    obs::Record offered;
+    offered.name = "server/overload/offered";
+    offered.wall_seconds = report.elapsed_seconds;
+    offered.threads = load.connections;
+    if (report.offered_qps > 0.0) offered.samples_per_sec = report.offered_qps;
+    offered.count = static_cast<double>(report.sent);
+    records.push_back(offered);
+    AppendScenarioRecords("server/overload", report, load.connections,
+                          &records);
+  }
+
+  obs::WriteRecordsJson("BENCH_server.json", records);
+  std::fprintf(stderr, "[bench] wrote BENCH_server.json\n");
+  return 0;
+}

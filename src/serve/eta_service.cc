@@ -135,6 +135,81 @@ std::future<double> EtaService::Submit(const traj::OdInput& od) {
   return future;
 }
 
+std::optional<std::future<double>> EtaService::TrySubmit(
+    const traj::OdInput& od, std::chrono::nanoseconds timeout) {
+  Pending pending;
+  pending.od = od;
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<double> future = pending.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    const bool room = queue_not_full_.wait_for(lock, timeout, [this] {
+      return stopping_ || queue_.size() < options_.queue_capacity;
+    });
+    if (!room) return std::nullopt;  // still full after `timeout`: shed
+    if (stopping_) {
+      pending.promise.set_exception(std::make_exception_ptr(
+          std::runtime_error("EtaService: shutting down")));
+      return future;
+    }
+    queue_.push_back(std::move(pending));
+    queue_depth_.Set(static_cast<double>(queue_.size()));
+  }
+  queue_not_empty_.notify_one();
+  return future;
+}
+
+std::vector<double> EtaService::EstimateBatch(
+    std::span<const traj::OdInput> ods, util::ThreadPool* pool) {
+  if (ods.empty()) return {};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<double> out(ods.size(), 0.0);
+  std::vector<size_t> miss_index;
+  std::vector<traj::OdInput> miss_ods;
+  std::vector<OdCacheKey> miss_keys;
+  for (size_t i = 0; i < ods.size(); ++i) {
+    const OdCacheKey key = MakeKey(ods[i]);
+    if (auto cached = cache_.Get(key)) {
+      hits_.Add();
+      out[i] = *cached;
+    } else {
+      misses_.Add();
+      miss_index.push_back(i);
+      miss_ods.push_back(ods[i]);
+      miss_keys.push_back(key);
+    }
+  }
+  batch_assembly_.Observe(
+      SecondsSince(start, std::chrono::steady_clock::now()));
+  if (!miss_ods.empty()) {
+    std::vector<double> etas;
+    if (options_.kernel_mode.has_value()) {
+      const nn::KernelModeScope scope(*options_.kernel_mode);
+      etas = model_.PredictBatch(miss_ods, pool);
+    } else {
+      etas = model_.PredictBatch(miss_ods, pool);
+    }
+    for (size_t m = 0; m < miss_index.size(); ++m) {
+      cache_.Put(miss_keys[m], etas[m]);
+      out[miss_index[m]] = etas[m];
+    }
+  }
+  // Per-request latency is the whole batch's wall time — that is what a
+  // caller of the batch actually waited.
+  for (size_t i = 0; i < ods.size(); ++i) RecordCompletion(start);
+  batches_.Add();
+  batched_requests_.Add(ods.size());
+  return out;
+}
+
+void EtaService::PauseDispatcherForTest(bool paused) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    paused_for_test_ = paused;
+  }
+  queue_not_empty_.notify_all();
+}
+
 void EtaService::DispatchLoop() {
   std::vector<Pending> batch;
   batch.reserve(options_.max_batch);
@@ -142,8 +217,9 @@ void EtaService::DispatchLoop() {
     batch.clear();
     {
       std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_not_empty_.wait(lock,
-                            [this] { return stopping_ || !queue_.empty(); });
+      queue_not_empty_.wait(lock, [this] {
+        return stopping_ || (!paused_for_test_ && !queue_.empty());
+      });
       if (queue_.empty()) return;  // stopping, queue drained
       const size_t take = std::min(options_.max_batch, queue_.size());
       for (size_t i = 0; i < take; ++i) {

@@ -9,6 +9,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -141,6 +142,28 @@ class EtaService {
   // Asynchronous estimate; blocks only when the request queue is full.
   std::future<double> Submit(const traj::OdInput& od);
 
+  // Submit with a bounded enqueue wait: when the bounded queue stays full
+  // past `timeout`, returns nullopt instead of blocking the producer
+  // indefinitely. This is the entry point back-pressure-aware callers
+  // (deepod_server's shedding layer) use — a nullopt is a signal to shed
+  // the request with a retry-after, so producer-side worst-case latency is
+  // `timeout`, not "until the dispatcher catches up". timeout 0 is a pure
+  // try-enqueue.
+  std::optional<std::future<double>> TrySubmit(const traj::OdInput& od,
+                                               std::chrono::nanoseconds timeout);
+
+  // Synchronous batched estimate on the calling thread, through the same
+  // cache and metrics as Estimate(): resolves hits, runs one PredictBatch
+  // over the misses (fanned over `pool` when given), fills the cache and
+  // returns one ETA per input, in order. This is the continuous-batching
+  // executor's entry point (serve/server): the caller owns batch assembly
+  // and scheduling; the service owns cache + model + stats. Safe to call
+  // from several executor threads concurrently as long as each passes its
+  // own pool (or none) — util::ThreadPool does not support concurrent
+  // ParallelFor calls on one pool.
+  std::vector<double> EstimateBatch(std::span<const traj::OdInput> ods,
+                                    util::ThreadPool* pool = nullptr);
+
   EtaServiceStats StatsSnapshot() const;
   // {"hardware_concurrency": N, "records": [...]} over the serve/* metrics.
   std::string ExportJson() const;
@@ -149,6 +172,11 @@ class EtaService {
   const obs::Registry& registry() const { return registry_; }
 
   OdCacheKey MakeKey(const traj::OdInput& od) const;
+
+  // Test-only: parks the dispatcher so tests can fill the bounded queue
+  // deterministically (TrySubmit timeout coverage). Unpausing resumes the
+  // normal drain; pending futures then resolve as usual.
+  void PauseDispatcherForTest(bool paused);
 
  private:
   struct Pending {
@@ -187,6 +215,7 @@ class EtaService {
   std::condition_variable queue_not_full_;
   std::deque<Pending> queue_;
   bool stopping_ = false;
+  bool paused_for_test_ = false;
   std::thread dispatcher_;
 
   std::chrono::steady_clock::time_point start_time_;

@@ -1,0 +1,137 @@
+#ifndef DEEPOD_SERVE_SERVER_ADMISSION_H_
+#define DEEPOD_SERVE_SERVER_ADMISSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "serve/server/frame.h"
+
+namespace deepod::serve::net {
+
+// Deterministic token bucket. Time is an explicit monotonic-seconds
+// argument (never read from a clock internally) so quota decisions are
+// exactly reproducible in tests and the caller pays for one clock read per
+// admission, not one per bucket.
+class TokenBucket {
+ public:
+  // `rate_per_sec` tokens accrue continuously up to `burst`. The bucket
+  // starts full. rate 0 makes the burst a hard lifetime cap — useful in
+  // tests that need "exactly N requests pass" behaviour.
+  TokenBucket(double rate_per_sec, double burst);
+
+  // Consumes one token if available at `now_seconds`.
+  bool TryTake(double now_seconds);
+
+  // Seconds until one full token is available (0 when one already is).
+  // Infinity-free: rate 0 reports one hour.
+  double SecondsUntilNextToken(double now_seconds) const;
+
+  double tokens(double now_seconds) const;
+
+ private:
+  void Refill(double now_seconds);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  double last_ = 0.0;
+};
+
+struct AdmissionOptions {
+  // Shared capacity of the priority queues. A request arriving when
+  // `queue_capacity` requests are already admitted is shed with
+  // kShedQueueFull (never queued to death). 0 sheds everything (tests).
+  size_t queue_capacity = 1024;
+
+  // Per-tenant token buckets over tenants [0, num_tenants). 0 disables
+  // quota enforcement entirely (any tenant id is admitted); with quotas
+  // on, an id outside the table is kUnknownTenant.
+  size_t num_tenants = 0;
+  double tenant_rate = 1000.0;  // tokens (requests) per second
+  double tenant_burst = 100.0;
+
+  // Deadline-aware shedding: a request whose remaining deadline is smaller
+  // than the estimated queue wait (depth ahead of it x the EWMA per-request
+  // service time reported by the executor) is shed on arrival with
+  // kShedDeadline instead of wasting a slot on a guaranteed miss.
+  bool deadline_shedding = true;
+};
+
+// One admitted unit of work. `respond` is the completion channel the
+// executor invokes exactly once (the server binds it to the originating
+// connection; tests bind it to a promise).
+struct AdmittedRequest {
+  RequestFrame frame;
+  std::chrono::steady_clock::time_point arrival{};
+  // arrival + deadline budget; time_point::max() when the frame carries no
+  // deadline. Checked again at dequeue: expiry while queued is a
+  // deadline-miss, not a shed.
+  std::chrono::steady_clock::time_point deadline{};
+  std::function<void(const ResponseFrame&)> respond;
+};
+
+struct AdmitDecision {
+  Status status = Status::kOk;
+  uint32_t retry_after_ms = 0;  // backoff hint for shed statuses
+};
+
+// The admission/scheduler layer between the connection threads and the
+// continuous-batching executor: strict-priority bounded queues with
+// per-tenant token buckets and deadline-aware load shedding. Producers
+// never block — a request is either admitted or shed with a typed status
+// and a retry-after hint, so worst-case enqueue latency is one mutex
+// acquisition. Thread-safe.
+//
+// Lifecycle: running -> draining -> closed. SetDraining() makes every new
+// Offer() answer kShuttingDown while PopBatch() keeps handing out the
+// already-admitted backlog; once the queue is empty poppers get `false`
+// and the graceful shutdown can join the executors knowing every admitted
+// request was answered.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const AdmissionOptions& options);
+
+  // Admit or shed `request` (decided under one lock; never blocks).
+  // On kOk the request was moved into the queue.
+  AdmitDecision Offer(AdmittedRequest&& request);
+
+  // Blocks until work is available or the queue is draining+empty. Appends
+  // up to `max_n` requests to *out, highest priority class first (classes
+  // may mix within one batch — the executor batches across them). Returns
+  // false only when draining with nothing left.
+  bool PopBatch(size_t max_n, std::vector<AdmittedRequest>* out);
+
+  // Executor feedback: per-request service time (batch wall / batch size),
+  // folded into the EWMA behind deadline shedding and retry-after hints.
+  void RecordServiceTime(double seconds_per_request);
+  double EwmaServiceSeconds() const;
+
+  size_t Depth() const;
+
+  void SetDraining();
+  bool draining() const;
+
+ private:
+  double EstimatedWaitSeconds(size_t depth) const;
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::vector<std::deque<AdmittedRequest>> queues_;  // one per priority
+  std::vector<TokenBucket> tenants_;
+  size_t depth_ = 0;
+  bool draining_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+  std::atomic<double> ewma_service_seconds_{0.0};
+};
+
+}  // namespace deepod::serve::net
+
+#endif  // DEEPOD_SERVE_SERVER_ADMISSION_H_

@@ -1,0 +1,134 @@
+#ifndef DEEPOD_SERVE_SERVER_FRAME_H_
+#define DEEPOD_SERVE_SERVER_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "traj/trajectory.h"
+
+namespace deepod::serve::net {
+
+// Wire protocol of deepod_server (DESIGN.md "Network serving").
+//
+// Every frame on the wire is a 4-byte little-endian length prefix followed
+// by exactly `length` payload bytes. Payloads are fixed-layout
+// little-endian records identified by a leading 32-bit magic:
+//
+//   request  (client -> server, kRequestPayloadBytes):
+//     magic u32 | request_id u64 | tenant_id u32 | priority u8 |
+//     deadline_ms i32 | origin_segment u64 | dest_segment u64 |
+//     origin_ratio f64 | dest_ratio f64 | departure_time f64 | weather i32
+//   response (server -> client, kResponsePayloadBytes):
+//     magic u32 | request_id u64 | status u8 | retry_after_ms u32 | eta f64
+//   stats request  (client -> server): magic u32 alone
+//   stats response (server -> client): magic u32 | the server's obs
+//     registry rendered as BENCH-schema JSON (variable length)
+//
+// deadline_ms is the client's remaining latency budget relative to server
+// receipt: > 0 = budget in milliseconds, 0 = no deadline, < 0 = already
+// expired when sent (the server answers kDeadlineExpired without queueing).
+// Doubles travel as raw IEEE-754 bit patterns, so an ETA survives the wire
+// bit-for-bit.
+//
+// Error handling is connection-preserving by construction: the length
+// prefix always tells the server how many bytes to consume, so a truncated
+// payload, a wrong magic or an oversized frame each produce one typed
+// error response and leave the stream in sync for the next frame. Only a
+// broken length prefix (EOF mid-frame) kills the connection.
+
+inline constexpr uint32_t kRequestMagic = 0xD33B0D10u;
+inline constexpr uint32_t kResponseMagic = 0xD33B0D11u;
+inline constexpr uint32_t kStatsRequestMagic = 0xD33B0D12u;
+inline constexpr uint32_t kStatsResponseMagic = 0xD33B0D13u;
+
+// Hard ceiling on inbound frame payloads. Larger declared lengths are
+// drained in bounded chunks (never buffered whole) and answered with
+// kFrameTooLarge.
+inline constexpr uint32_t kMaxInboundFrameBytes = 4096;
+
+enum class Status : uint8_t {
+  kOk = 0,
+  kBadFrame = 1,         // payload malformed / truncated vs. the layout
+  kBadMagic = 2,         // unknown leading magic
+  kFrameTooLarge = 3,    // declared length above kMaxInboundFrameBytes
+  kInvalidRequest = 4,   // od fields out of range for the served network
+  kUnknownTenant = 5,    // tenant id outside the configured quota table
+  kDeadlineExpired = 6,  // expired on arrival or while queued
+  kShedQueueFull = 7,    // admission queue at capacity
+  kShedQuota = 8,        // per-tenant token bucket empty
+  kShedDeadline = 9,     // estimated queue wait exceeds the deadline
+  kShuttingDown = 10,    // server draining; request not admitted
+};
+
+const char* StatusName(Status s);
+
+// Shed statuses carry a retry_after_ms hint: the client should back off
+// and retry instead of treating the answer as a hard failure.
+inline bool IsShed(Status s) {
+  return s == Status::kShedQueueFull || s == Status::kShedQuota ||
+         s == Status::kShedDeadline;
+}
+
+struct RequestFrame {
+  uint64_t request_id = 0;
+  uint32_t tenant_id = 0;
+  uint8_t priority = 1;     // 0 = interactive, 1 = normal, 2 = best-effort
+  int32_t deadline_ms = 0;  // see header comment
+  traj::OdInput od;         // matched fields only (segments/ratios/time/weather)
+};
+
+inline constexpr uint8_t kNumPriorities = 3;
+
+struct ResponseFrame {
+  uint64_t request_id = 0;
+  Status status = Status::kOk;
+  uint32_t retry_after_ms = 0;  // only meaningful when IsShed(status)
+  double eta_seconds = 0.0;     // only meaningful when status == kOk
+};
+
+inline constexpr size_t kRequestPayloadBytes =
+    4 + 8 + 4 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4;  // = 65
+inline constexpr size_t kResponsePayloadBytes = 4 + 8 + 1 + 4 + 8;  // = 25
+
+// Encoders emit the full wire frame (length prefix included).
+std::vector<uint8_t> EncodeRequestFrame(const RequestFrame& frame);
+std::vector<uint8_t> EncodeResponseFrame(const ResponseFrame& frame);
+std::vector<uint8_t> EncodeStatsRequestFrame();
+std::vector<uint8_t> EncodeStatsResponseFrame(std::string_view json);
+
+// First 4 payload bytes as a little-endian magic; 0 when size < 4.
+uint32_t PeekMagic(const uint8_t* data, size_t size);
+
+// Decodes a request payload (length prefix already stripped). Returns kOk
+// on success, else the typed error the server should answer with. On a
+// kBadFrame whose payload still holds the id field, out->request_id is
+// recovered so the error response can be correlated by the client.
+Status DecodeRequestPayload(const uint8_t* data, size_t size,
+                            RequestFrame* out);
+// Client side; false on a malformed payload.
+bool DecodeResponsePayload(const uint8_t* data, size_t size,
+                           ResponseFrame* out);
+
+// --- Blocking socket helpers (EINTR-safe, SIGPIPE-suppressed) --------------
+
+bool ReadExact(int fd, void* buf, size_t n);
+bool WriteAll(int fd, const void* buf, size_t n);
+
+enum class ReadFrameResult {
+  kOk,        // *payload holds the declared bytes
+  kOversize,  // declared length > max_bytes; payload bytes were drained
+  kEof,       // clean EOF before a length prefix
+  kError,     // short read mid-frame or socket error
+};
+
+// Reads one length-prefixed frame into *payload (resized to the declared
+// length, capped by max_bytes). Oversized payloads are consumed in bounded
+// chunks so the stream stays in sync.
+ReadFrameResult ReadFrame(int fd, std::vector<uint8_t>* payload,
+                          uint32_t max_bytes);
+
+}  // namespace deepod::serve::net
+
+#endif  // DEEPOD_SERVE_SERVER_FRAME_H_

@@ -1,0 +1,342 @@
+#include "serve/server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/encoders.h"
+
+namespace deepod::serve::net {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start,
+                    std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - start).count();
+}
+
+}  // namespace
+
+DeepOdServer::DeepOdServer(EtaService& service, const ServerOptions& options)
+    : service_(service),
+      options_(options),
+      admission_(options.admission),
+      accepted_(registry_.counter("server/accepted_connections")),
+      rejected_conns_(registry_.counter("server/rejected_connections")),
+      requests_(registry_.counter("server/requests")),
+      bad_frames_(registry_.counter("server/bad_frames")),
+      invalid_requests_(registry_.counter("server/invalid_requests")),
+      unknown_tenants_(registry_.counter("server/unknown_tenant")),
+      admitted_(registry_.counter("server/admitted")),
+      shed_(registry_.counter("server/shed")),
+      shed_queue_full_(registry_.counter("server/shed/queue_full")),
+      shed_quota_(registry_.counter("server/shed/quota")),
+      shed_deadline_(registry_.counter("server/shed/deadline")),
+      deadline_missed_(registry_.counter("server/deadline_missed")),
+      completed_(registry_.counter("server/completed")),
+      connections_gauge_(registry_.gauge("server/connections")),
+      queue_depth_(registry_.gauge("server/queue_depth")),
+      batch_fill_(registry_.histogram("server/batch_fill")),
+      latency_(registry_.histogram("server/latency")) {
+  if (options_.max_batch == 0) options_.max_batch = 1;
+  if (options_.executors == 0) options_.executors = 1;
+}
+
+DeepOdServer::~DeepOdServer() { Shutdown(); }
+
+void DeepOdServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("unparseable host: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error(std::string("bind() failed: ") +
+                             std::strerror(err));
+  }
+  if (::listen(listen_fd_, options_.accept_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (options_.batch_threads > 1) {
+    for (size_t i = 0; i < options_.executors; ++i) {
+      executor_pools_.push_back(
+          std::make_unique<util::ThreadPool>(options_.batch_threads));
+    }
+  }
+  for (size_t i = 0; i < options_.executors; ++i) {
+    executor_threads_.emplace_back([this, i] { ExecutorLoop(i); });
+  }
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true);
+}
+
+void DeepOdServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    if (!started_.load() || stopping_.load()) return;
+    stopping_.store(true);
+  }
+  // 1. Stop accepting. shutdown() unblocks the acceptor's accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (acceptor_.joinable()) acceptor_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  // 2. Shed new offers; connection readers keep answering kShuttingDown.
+  admission_.SetDraining();
+  // 3. Drain: executors exit once every admitted request is answered.
+  for (auto& t : executor_threads_) {
+    if (t.joinable()) t.join();
+  }
+  // 4. Unblock and reap the connection readers.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, conn] : connections_) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  std::unique_lock<std::mutex> lock(conns_mu_);
+  conns_done_.wait(lock, [this] { return live_connections_ == 0; });
+}
+
+void DeepOdServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen socket shut down
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    uint64_t id;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (live_connections_ >= options_.max_connections) {
+        rejected_conns_.Add();
+        ::close(fd);
+        continue;
+      }
+      id = next_conn_id_++;
+      connections_[id] = conn;
+      ++live_connections_;
+      connections_gauge_.Set(static_cast<double>(live_connections_));
+    }
+    accepted_.Add();
+    std::thread([this, conn, id] {
+      ConnectionLoop(conn);
+      {
+        std::lock_guard<std::mutex> write_lock(conn->write_mu);
+        conn->open.store(false);
+        ::close(conn->fd);
+      }
+      {
+        std::lock_guard<std::mutex> lock(conns_mu_);
+        connections_.erase(id);
+        --live_connections_;
+        connections_gauge_.Set(static_cast<double>(live_connections_));
+      }
+      conns_done_.notify_all();
+    }).detach();
+  }
+}
+
+void DeepOdServer::WriteResponse(const std::shared_ptr<Connection>& conn,
+                                 const ResponseFrame& response) {
+  const std::vector<uint8_t> wire = EncodeResponseFrame(response);
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open.load()) return;
+  WriteAll(conn->fd, wire.data(), wire.size());
+}
+
+void DeepOdServer::RespondError(const std::shared_ptr<Connection>& conn,
+                                uint64_t request_id, Status status,
+                                uint32_t retry_after_ms) {
+  switch (status) {
+    case Status::kBadFrame:
+    case Status::kBadMagic:
+    case Status::kFrameTooLarge:
+      bad_frames_.Add();
+      break;
+    case Status::kInvalidRequest:
+      invalid_requests_.Add();
+      break;
+    case Status::kUnknownTenant:
+      unknown_tenants_.Add();
+      break;
+    case Status::kDeadlineExpired:
+      deadline_missed_.Add();
+      break;
+    case Status::kShedQueueFull:
+      shed_.Add();
+      shed_queue_full_.Add();
+      break;
+    case Status::kShedQuota:
+      shed_.Add();
+      shed_quota_.Add();
+      break;
+    case Status::kShedDeadline:
+      shed_.Add();
+      shed_deadline_.Add();
+      break;
+    case Status::kShuttingDown:
+    case Status::kOk:
+      break;
+  }
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status = status;
+  response.retry_after_ms = retry_after_ms;
+  WriteResponse(conn, response);
+}
+
+void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> payload;
+  for (;;) {
+    switch (ReadFrame(conn->fd, &payload, kMaxInboundFrameBytes)) {
+      case ReadFrameResult::kEof:
+      case ReadFrameResult::kError:
+        return;
+      case ReadFrameResult::kOversize:
+        RespondError(conn, 0, Status::kFrameTooLarge, 0);
+        continue;
+      case ReadFrameResult::kOk:
+        break;
+    }
+    const uint32_t magic = PeekMagic(payload.data(), payload.size());
+    if (magic == kStatsRequestMagic && payload.size() == 4) {
+      const std::vector<uint8_t> wire =
+          EncodeStatsResponseFrame(ExportStatsJson());
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->open.load()) WriteAll(conn->fd, wire.data(), wire.size());
+      continue;
+    }
+    RequestFrame request;
+    const Status decode_status =
+        DecodeRequestPayload(payload.data(), payload.size(), &request);
+    if (decode_status != Status::kOk) {
+      RespondError(conn, request.request_id, decode_status, 0);
+      continue;
+    }
+    requests_.Add();
+    const traj::OdInput& od = request.od;
+    const bool segments_ok =
+        options_.num_segments == 0 || (od.origin_segment < options_.num_segments &&
+                                       od.dest_segment < options_.num_segments);
+    const bool fields_ok =
+        std::isfinite(od.origin_ratio) && std::isfinite(od.dest_ratio) &&
+        std::isfinite(od.departure_time) && od.weather_type >= 0 &&
+        od.weather_type <
+            static_cast<int>(core::ExternalFeaturesEncoder::kNumWeatherTypes);
+    if (!segments_ok || !fields_ok) {
+      RespondError(conn, request.request_id, Status::kInvalidRequest, 0);
+      continue;
+    }
+    const auto arrival = std::chrono::steady_clock::now();
+    if (request.deadline_ms < 0) {
+      // Expired before it even reached the scheduler.
+      RespondError(conn, request.request_id, Status::kDeadlineExpired, 0);
+      continue;
+    }
+    AdmittedRequest admitted;
+    admitted.frame = request;
+    admitted.arrival = arrival;
+    admitted.deadline =
+        request.deadline_ms > 0
+            ? arrival + std::chrono::milliseconds(request.deadline_ms)
+            : std::chrono::steady_clock::time_point::max();
+    admitted.respond = [this, conn](const ResponseFrame& response) {
+      WriteResponse(conn, response);
+    };
+    const AdmitDecision decision = admission_.Offer(std::move(admitted));
+    if (decision.status == Status::kOk) {
+      admitted_.Add();
+      queue_depth_.Set(static_cast<double>(admission_.Depth()));
+    } else {
+      RespondError(conn, request.request_id, decision.status,
+                   decision.retry_after_ms);
+    }
+  }
+}
+
+void DeepOdServer::ExecutorLoop(size_t slot) {
+  util::ThreadPool* pool =
+      executor_pools_.empty() ? nullptr : executor_pools_[slot].get();
+  std::vector<AdmittedRequest> batch;
+  std::vector<traj::OdInput> ods;
+  std::vector<size_t> live;
+  for (;;) {
+    batch.clear();
+    if (!admission_.PopBatch(options_.max_batch, &batch)) return;
+    queue_depth_.Set(static_cast<double>(admission_.Depth()));
+    const auto start = std::chrono::steady_clock::now();
+    ods.clear();
+    live.clear();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].deadline < start) {
+        // Expired while queued: a deadline miss, answered without spending
+        // a model forward on it.
+        deadline_missed_.Add();
+        ResponseFrame response;
+        response.request_id = batch[i].frame.request_id;
+        response.status = Status::kDeadlineExpired;
+        batch[i].respond(response);
+      } else {
+        live.push_back(i);
+        ods.push_back(batch[i].frame.od);
+      }
+    }
+    if (ods.empty()) continue;
+    batch_fill_.Observe(static_cast<double>(ods.size()));
+    const std::vector<double> etas = service_.EstimateBatch(ods, pool);
+    const auto end = std::chrono::steady_clock::now();
+    admission_.RecordServiceTime(SecondsSince(start, end) /
+                                 static_cast<double>(ods.size()));
+    for (size_t m = 0; m < live.size(); ++m) {
+      AdmittedRequest& request = batch[live[m]];
+      ResponseFrame response;
+      response.request_id = request.frame.request_id;
+      response.status = Status::kOk;
+      response.eta_seconds = etas[m];
+      latency_.Observe(SecondsSince(request.arrival, end));
+      completed_.Add();
+      request.respond(response);
+    }
+  }
+}
+
+std::string DeepOdServer::ExportStatsJson() const {
+  std::vector<obs::Record> records = registry_.Export("");
+  const std::vector<obs::Record> service_records =
+      service_.registry().Export("");
+  records.insert(records.end(), service_records.begin(),
+                 service_records.end());
+  return obs::RenderRecordsJson(records);
+}
+
+}  // namespace deepod::serve::net

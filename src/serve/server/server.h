@@ -1,0 +1,147 @@
+#ifndef DEEPOD_SERVE_SERVER_SERVER_H_
+#define DEEPOD_SERVE_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "serve/eta_service.h"
+#include "serve/server/admission.h"
+#include "serve/server/frame.h"
+#include "util/thread_pool.h"
+
+namespace deepod::serve::net {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  // 0 binds an ephemeral port; port() reports the bound one after Start().
+  uint16_t port = 0;
+  int accept_backlog = 64;
+  // Accepted-connection cap: beyond it new connections are closed on
+  // accept (the client sees EOF) instead of spawning unbounded readers.
+  size_t max_connections = 256;
+
+  // Continuous-batching executor: `executors` slots each drain up to
+  // `max_batch` admitted requests per dispatch — whatever is queued right
+  // now, never waiting for a batch to fill — and push them through
+  // EtaService::EstimateBatch. `batch_threads` > 1 gives every slot its
+  // own ThreadPool for the PredictBatch fan-out (pools are per-slot
+  // because util::ThreadPool does not support concurrent ParallelFor).
+  size_t max_batch = 32;
+  size_t executors = 1;
+  size_t batch_threads = 1;
+
+  // Segment-id bound for request validation (kInvalidRequest). 0 skips
+  // segment validation — only safe when every client is trusted.
+  size_t num_segments = 0;
+
+  AdmissionOptions admission;
+};
+
+// The network front end: a length-prefixed-TCP server around EtaService,
+// structured as three layers (DESIGN.md "Network serving"):
+//   acceptor/connections -> admission/scheduler -> batching executor.
+// Connection threads decode and validate frames and offer them to the
+// AdmissionQueue (never blocking on a full queue — requests are admitted
+// or shed with a typed status + retry-after). Executor slots drain the
+// admitted backlog into EstimateBatch as they free up, re-checking
+// deadlines at dequeue so a request that expired while queued costs a
+// response frame, not a model forward.
+//
+// Observability: a private obs::Registry under "server/" — accepted /
+// admitted / completed / per-reason shed / deadline-missed counters, a
+// queue-depth gauge, a batch-fill histogram (requests per executor
+// dispatch) and an arrival→response latency histogram. ExportStatsJson()
+// renders it together with the wrapped service's "serve/" registry in the
+// shared BENCH-json schema; clients can fetch the same document over the
+// wire with a stats frame.
+//
+// Shutdown() is graceful: stop accepting, shed new offers with
+// kShuttingDown, drain and answer every admitted request, then close
+// connections. The destructor calls it.
+class DeepOdServer {
+ public:
+  DeepOdServer(EtaService& service, const ServerOptions& options);
+  ~DeepOdServer();
+
+  DeepOdServer(const DeepOdServer&) = delete;
+  DeepOdServer& operator=(const DeepOdServer&) = delete;
+
+  // Binds, listens and starts the acceptor + executor threads. Throws
+  // std::runtime_error when the socket cannot be bound.
+  void Start();
+
+  // The bound port (valid after Start(); resolves option port 0).
+  uint16_t port() const { return port_; }
+
+  void Shutdown();
+
+  const obs::Registry& registry() const { return registry_; }
+  std::string ExportStatsJson() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    std::atomic<bool> open{true};
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(std::shared_ptr<Connection> conn);
+  void ExecutorLoop(size_t slot);
+  void WriteResponse(const std::shared_ptr<Connection>& conn,
+                     const ResponseFrame& response);
+  // Counts the shed/error and answers it on `conn`.
+  void RespondError(const std::shared_ptr<Connection>& conn,
+                    uint64_t request_id, Status status,
+                    uint32_t retry_after_ms);
+
+  EtaService& service_;
+  ServerOptions options_;
+  AdmissionQueue admission_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::vector<std::thread> executor_threads_;
+  std::vector<std::unique_ptr<util::ThreadPool>> executor_pools_;
+
+  std::mutex conns_mu_;
+  std::condition_variable conns_done_;
+  std::map<uint64_t, std::shared_ptr<Connection>> connections_;
+  uint64_t next_conn_id_ = 0;
+  size_t live_connections_ = 0;  // includes readers past their map erase
+
+  // Metrics (registry_ precedes the instrument references).
+  obs::Registry registry_;
+  obs::Counter& accepted_;
+  obs::Counter& rejected_conns_;
+  obs::Counter& requests_;
+  obs::Counter& bad_frames_;
+  obs::Counter& invalid_requests_;
+  obs::Counter& unknown_tenants_;
+  obs::Counter& admitted_;
+  obs::Counter& shed_;
+  obs::Counter& shed_queue_full_;
+  obs::Counter& shed_quota_;
+  obs::Counter& shed_deadline_;
+  obs::Counter& deadline_missed_;
+  obs::Counter& completed_;
+  obs::Gauge& connections_gauge_;
+  obs::Gauge& queue_depth_;
+  obs::Histogram& batch_fill_;  // requests per executor dispatch
+  obs::Histogram& latency_;     // arrival -> response (seconds), Ok only
+};
+
+}  // namespace deepod::serve::net
+
+#endif  // DEEPOD_SERVE_SERVER_SERVER_H_

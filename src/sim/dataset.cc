@@ -29,10 +29,16 @@ void InitDatasetEnvironment(const DatasetConfig& config, Dataset* ds) {
 }
 
 Dataset BuildDataset(const DatasetConfig& config) {
+  Dataset ds;
+  BuildDataset(config, &ds);
+  return ds;
+}
+
+void BuildDataset(const DatasetConfig& config, Dataset* out) {
   if (config.num_days < 3) {
     throw std::invalid_argument("BuildDataset: need at least 3 days");
   }
-  Dataset ds;
+  Dataset& ds = *out;
   InitDatasetEnvironment(config, &ds);
 
   TripSimulator::Options sim_options;
@@ -57,7 +63,6 @@ Dataset BuildDataset(const DatasetConfig& config) {
               return a.od.departure_time < b.od.departure_time;
             });
   SplitTripsChronological(std::move(all), config.num_days, &ds);
-  return ds;
 }
 
 void SplitTripsChronological(std::vector<traj::TripRecord> all,

@@ -53,7 +53,16 @@ struct DatasetConfig {
 };
 
 // Simulates a full dataset. Deterministic in the config.
+//
+// A built Dataset must stay where it was constructed: traffic, weather and
+// speed_matrices hold references to the `network` member, so moving the
+// Dataset afterwards (move-assignment in particular) leaves them dangling.
+// Direct initialisation from the value overload is safe (guaranteed
+// elision); to fill a Dataset that already exists — a member, an outer
+// variable assigned in a branch — use the pointer overload, which builds
+// in place.
 Dataset BuildDataset(const DatasetConfig& config);
+void BuildDataset(const DatasetConfig& config, Dataset* out);
 
 // Builds the environment members of `ds` (name, network, traffic, weather,
 // speed matrices, slotter) from the config — the deterministic prefix

@@ -24,7 +24,9 @@ const sim::Dataset& SmallDataset() {
     config.trips_per_day = 80;
     config.num_days = 25;
     config.seed = 99;
-    return new sim::Dataset(sim::BuildDataset(config));
+    auto* ds = new sim::Dataset;
+    sim::BuildDataset(config, ds);
+    return ds;
   }();
   return *dataset;
 }
@@ -147,7 +149,7 @@ TEST(LrTest, RecoversPlantedLinearFunction) {
   config.city.cols = 5;
   config.trips_per_day = 40;
   config.num_days = 10;
-  ds = sim::BuildDataset(config);
+  sim::BuildDataset(config, &ds);
   for (auto& t : ds.train) {
     const auto f = OdFeatures(t.od, ds.network);
     t.travel_time = 100.0 + 50.0 * f[1] - 30.0 * f[4];

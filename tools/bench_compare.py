@@ -33,7 +33,11 @@ import fnmatch
 import json
 import sys
 
-DEFAULT_IGNORES = ["*speedup*", "*hit_rate*", "*mae*"]
+# speedup/hit_rate/mae are ratio/error values; shed_rate/goodput are
+# load-policy outcomes (how much an overload run was rejected) — none of
+# them are machine-performance numbers a regression gate should compare.
+DEFAULT_IGNORES = ["*speedup*", "*hit_rate*", "*mae*", "*shed_rate*",
+                   "*goodput*"]
 
 
 def load_records(path):

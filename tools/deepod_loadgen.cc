@@ -1,0 +1,215 @@
+// deepod_loadgen: open-loop Poisson load generator for deepod_server.
+//
+//   deepod_loadgen --port P [--host H] --network network.csv
+//                  [--qps Q] [--duration S] [--connections N] [--seed S]
+//                  [--deadline-ms D] [--high-fraction F] [--low-fraction F]
+//                  [--tenants N] [--slo-ms X] [--hot-fraction F]
+//                  [--json PATH] [--server-stats]
+//                  [--assert-max-shed-rate X] [--assert-min-shed-rate X]
+//                  [--assert-max-p99-ms X] [--assert-min-goodput X]
+//
+// Senders never wait for responses (open loop), so the offered rate stays
+// at --qps even when the server sheds or slows — the overload scenario
+// stays an overload. Reports client-observed p50/p95/p99, shed and error
+// rates and goodput-under-SLO, plus the server's own obs registry fetched
+// over the wire with --server-stats. --json writes the report as
+// BENCH-json records (validate with tools/validate_bench_json.py). The
+// --assert-* flags turn the run into a CI gate: exit 1 when the measured
+// value crosses the bound.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "io/trip_io.h"
+#include "obs/metrics.h"
+#include "serve/server/loadgen.h"
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  serve::net::LoadgenOptions options;
+  options.fetch_server_stats = false;
+  std::string network_path, json_path;
+  double assert_max_shed_rate = -1.0;
+  double assert_min_shed_rate = -1.0;
+  double assert_max_p99_ms = -1.0;
+  double assert_min_goodput = -1.0;
+  bool print_server_stats = false;
+  const auto usage = [&argv] {
+    std::fprintf(
+        stderr,
+        "usage: %s --port P --network PATH [--host H] [--qps Q]\n"
+        "  [--duration S] [--connections N] [--seed S] [--deadline-ms D]\n"
+        "  [--high-fraction F] [--low-fraction F] [--tenants N]\n"
+        "  [--slo-ms X] [--hot-fraction F] [--json PATH] [--server-stats]\n"
+        "  [--assert-max-shed-rate X] [--assert-min-shed-rate X]\n"
+        "  [--assert-max-p99-ms X] [--assert-min-goodput X]\n",
+        argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (flag == "--network" && i + 1 < argc) {
+      network_path = argv[++i];
+    } else if (flag == "--qps" && i + 1 < argc) {
+      options.qps = std::atof(argv[++i]);
+    } else if (flag == "--duration" && i + 1 < argc) {
+      options.duration_seconds = std::atof(argv[++i]);
+    } else if (flag == "--connections" && i + 1 < argc) {
+      options.connections = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--seed" && i + 1 < argc) {
+      options.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--deadline-ms" && i + 1 < argc) {
+      options.deadline_ms = std::atoi(argv[++i]);
+    } else if (flag == "--high-fraction" && i + 1 < argc) {
+      options.high_fraction = std::atof(argv[++i]);
+    } else if (flag == "--low-fraction" && i + 1 < argc) {
+      options.low_fraction = std::atof(argv[++i]);
+    } else if (flag == "--tenants" && i + 1 < argc) {
+      options.num_tenants = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--slo-ms" && i + 1 < argc) {
+      options.slo_ms = std::atof(argv[++i]);
+    } else if (flag == "--hot-fraction" && i + 1 < argc) {
+      options.hot_fraction = std::atof(argv[++i]);
+    } else if (flag == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (flag == "--server-stats") {
+      options.fetch_server_stats = true;
+      print_server_stats = true;
+    } else if (flag == "--assert-max-shed-rate" && i + 1 < argc) {
+      assert_max_shed_rate = std::atof(argv[++i]);
+    } else if (flag == "--assert-min-shed-rate" && i + 1 < argc) {
+      assert_min_shed_rate = std::atof(argv[++i]);
+    } else if (flag == "--assert-max-p99-ms" && i + 1 < argc) {
+      assert_max_p99_ms = std::atof(argv[++i]);
+    } else if (flag == "--assert-min-goodput" && i + 1 < argc) {
+      assert_min_goodput = std::atof(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  if (options.port == 0 || network_path.empty()) {
+    std::fprintf(stderr, "--port and --network are required\n");
+    return 2;
+  }
+  // The workload needs the segment-id universe; read it off the same
+  // network csv the server loaded so every OD pair validates.
+  const road::RoadNetwork network = io::ReadNetworkCsv(network_path);
+  options.num_segments = network.num_segments();
+  if (options.num_segments == 0) {
+    std::fprintf(stderr, "network %s has no segments\n", network_path.c_str());
+    return 1;
+  }
+
+  serve::net::LoadgenReport report;
+  try {
+    report = serve::net::RunLoadgen(options);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loadgen failed: %s\n", e.what());
+    return 1;
+  }
+
+  std::printf(
+      "loadgen: offered %.1f qps for %.2fs -> sent %llu ok %llu shed %llu "
+      "expired %llu errors %llu lost %llu\n",
+      report.offered_qps, report.elapsed_seconds,
+      static_cast<unsigned long long>(report.sent),
+      static_cast<unsigned long long>(report.ok),
+      static_cast<unsigned long long>(report.shed),
+      static_cast<unsigned long long>(report.deadline_expired),
+      static_cast<unsigned long long>(report.errors),
+      static_cast<unsigned long long>(report.lost));
+  std::printf(
+      "latency ms: p50 %.3f p95 %.3f p99 %.3f max %.3f | achieved %.1f qps "
+      "goodput(slo %.0fms) %.1f qps shed_rate %.4f\n",
+      report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms,
+      report.achieved_qps, options.slo_ms, report.goodput_qps,
+      report.shed_rate);
+  static const char* const kPriorityNames[] = {"interactive", "normal",
+                                               "best-effort"};
+  for (size_t p = 0; p < serve::net::kNumPriorities; ++p) {
+    const auto& s = report.by_priority[p];
+    if (s.sent == 0) continue;
+    std::printf("  priority %zu (%s): sent %llu ok %llu shed %llu "
+                "p50 %.3fms p99 %.3fms\n",
+                p, kPriorityNames[p],
+                static_cast<unsigned long long>(s.sent),
+                static_cast<unsigned long long>(s.ok),
+                static_cast<unsigned long long>(s.shed), s.p50_ms, s.p99_ms);
+  }
+  if (print_server_stats && !report.server_stats_json.empty()) {
+    std::printf("server stats: %s\n", report.server_stats_json.c_str());
+  }
+
+  if (!json_path.empty()) {
+    std::vector<obs::Record> records;
+    obs::Record throughput;
+    throughput.name = "loadgen/throughput";
+    throughput.wall_seconds = report.elapsed_seconds;
+    throughput.threads = options.connections;
+    if (report.achieved_qps > 0.0) {
+      throughput.samples_per_sec = report.achieved_qps;
+    }
+    throughput.count = report.ok;
+    records.push_back(throughput);
+    obs::Record latency;
+    latency.name = "loadgen/latency";
+    latency.wall_seconds = report.elapsed_seconds;
+    latency.threads = options.connections;
+    latency.count = report.ok;
+    latency.p50_ms = report.p50_ms;
+    latency.p95_ms = report.p95_ms;
+    latency.p99_ms = report.p99_ms;
+    records.push_back(latency);
+    obs::Record goodput;
+    goodput.name = "loadgen/goodput";
+    goodput.wall_seconds = report.elapsed_seconds;
+    goodput.threads = options.connections;
+    goodput.value = report.goodput_qps;
+    records.push_back(goodput);
+    obs::Record shed;
+    shed.name = "loadgen/shed_rate";
+    shed.wall_seconds = report.elapsed_seconds;
+    shed.threads = options.connections;
+    shed.value = report.shed_rate;
+    shed.count = report.shed;
+    records.push_back(shed);
+    obs::WriteRecordsJson(json_path, records);
+  }
+
+  int exit_code = 0;
+  if (report.sent == 0) {
+    std::fprintf(stderr, "ASSERT FAIL: no requests sent\n");
+    exit_code = 1;
+  }
+  if (assert_max_shed_rate >= 0.0 && report.shed_rate > assert_max_shed_rate) {
+    std::fprintf(stderr, "ASSERT FAIL: shed_rate %.4f > %.4f\n",
+                 report.shed_rate, assert_max_shed_rate);
+    exit_code = 1;
+  }
+  if (assert_min_shed_rate >= 0.0 && report.shed_rate < assert_min_shed_rate) {
+    std::fprintf(stderr, "ASSERT FAIL: shed_rate %.4f < %.4f\n",
+                 report.shed_rate, assert_min_shed_rate);
+    exit_code = 1;
+  }
+  if (assert_max_p99_ms >= 0.0 && report.p99_ms > assert_max_p99_ms) {
+    std::fprintf(stderr, "ASSERT FAIL: p99 %.3fms > %.3fms\n", report.p99_ms,
+                 assert_max_p99_ms);
+    exit_code = 1;
+  }
+  if (assert_min_goodput >= 0.0 && report.goodput_qps < assert_min_goodput) {
+    std::fprintf(stderr, "ASSERT FAIL: goodput %.1f qps < %.1f qps\n",
+                 report.goodput_qps, assert_min_goodput);
+    exit_code = 1;
+  }
+  if (report.lost > 0) {
+    std::fprintf(stderr, "ASSERT FAIL: %llu requests lost (no response)\n",
+                 static_cast<unsigned long long>(report.lost));
+    exit_code = 1;
+  }
+  return exit_code;
+}

@@ -1,0 +1,175 @@
+// deepod_server: the network front end. Loads a model artifact + road
+// network into an EtaService (predict-only, same loading path as
+// deepod_serve) and serves it over length-prefixed TCP with admission
+// control and continuous batching (DESIGN.md "Network serving").
+//
+//   deepod_server --artifact model.artifact --network network.csv
+//                 [--host H] [--port P] [--max-batch N] [--executors N]
+//                 [--batch-threads N] [--queue-capacity N]
+//                 [--tenants N] [--tenant-rate R] [--tenant-burst B]
+//                 [--no-deadline-shed] [--quant MODE] [--kernel MODE]
+//                 [--cache-capacity N] [--stats-json PATH]
+//
+// Prints "listening on HOST:PORT" once the socket is bound (port 0 binds
+// an ephemeral port; scripts parse the line to discover it). SIGTERM and
+// SIGINT trigger a graceful drain: stop accepting, answer every admitted
+// request, close connections, then exit 0 — the shutdown contract the CI
+// server-smoke job asserts. --stats-json writes the server+service obs
+// registries (BENCH-json schema) on the way out.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "io/model_artifact.h"
+#include "io/trip_io.h"
+#include "nn/quant.h"
+#include "nn/serialize.h"
+#include "serve/eta_service.h"
+#include "serve/server/server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleStop(int) { g_stop = 1; }
+
+bool ParseKernelMode(const std::string& name, deepod::nn::KernelMode* out) {
+  using deepod::nn::KernelMode;
+  if (name == "legacy") *out = KernelMode::kLegacy;
+  else if (name == "blocked") *out = KernelMode::kBlocked;
+  else if (name == "vector") *out = KernelMode::kVector;
+  else if (name == "simd") *out = KernelMode::kSimd;
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace deepod;
+  std::string artifact_path, network_path, stats_json_path;
+  serve::EtaServiceOptions service_options;
+  serve::net::ServerOptions server_options;
+  const auto usage = [&argv] {
+    std::fprintf(
+        stderr,
+        "usage: %s --artifact PATH --network PATH [--host H] [--port P]\n"
+        "  [--max-batch N] [--executors N] [--batch-threads N]\n"
+        "  [--queue-capacity N] [--tenants N] [--tenant-rate R]\n"
+        "  [--tenant-burst B] [--no-deadline-shed]\n"
+        "  [--quant none|fp16|int8] [--kernel legacy|blocked|vector|simd]\n"
+        "  [--cache-capacity N] [--stats-json PATH]\n",
+        argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--artifact" && i + 1 < argc) {
+      artifact_path = argv[++i];
+    } else if (flag == "--network" && i + 1 < argc) {
+      network_path = argv[++i];
+    } else if (flag == "--host" && i + 1 < argc) {
+      server_options.host = argv[++i];
+    } else if (flag == "--port" && i + 1 < argc) {
+      server_options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else if (flag == "--max-batch" && i + 1 < argc) {
+      server_options.max_batch = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--executors" && i + 1 < argc) {
+      server_options.executors = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--batch-threads" && i + 1 < argc) {
+      server_options.batch_threads = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--queue-capacity" && i + 1 < argc) {
+      server_options.admission.queue_capacity =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--tenants" && i + 1 < argc) {
+      server_options.admission.num_tenants =
+          std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--tenant-rate" && i + 1 < argc) {
+      server_options.admission.tenant_rate = std::atof(argv[++i]);
+    } else if (flag == "--tenant-burst" && i + 1 < argc) {
+      server_options.admission.tenant_burst = std::atof(argv[++i]);
+    } else if (flag == "--no-deadline-shed") {
+      server_options.admission.deadline_shedding = false;
+    } else if (flag == "--quant" && i + 1 < argc) {
+      if (!nn::ParseQuantMode(argv[++i], &service_options.quant)) {
+        std::fprintf(stderr, "unknown --quant mode '%s'\n", argv[i]);
+        return 2;
+      }
+    } else if (flag == "--kernel" && i + 1 < argc) {
+      nn::KernelMode mode;
+      if (!ParseKernelMode(argv[++i], &mode)) {
+        std::fprintf(stderr, "unknown --kernel mode '%s'\n", argv[i]);
+        return 2;
+      }
+      service_options.kernel_mode = mode;
+    } else if (flag == "--cache-capacity" && i + 1 < argc) {
+      service_options.cache_capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (flag == "--stats-json" && i + 1 < argc) {
+      stats_json_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (artifact_path.empty() || network_path.empty()) {
+    std::fprintf(stderr, "--artifact and --network are required\n");
+    return 2;
+  }
+
+  const road::RoadNetwork network = io::ReadNetworkCsv(network_path);
+  std::unique_ptr<serve::EtaService> service;
+  try {
+    service = serve::EtaService::FromArtifact(artifact_path, network,
+                                              service_options);
+  } catch (const nn::SerializeError& e) {
+    std::fprintf(stderr, "artifact load failed [%s]: %s\n",
+                 nn::LoadErrorKindName(e.status().kind), e.what());
+    return 1;
+  }
+  server_options.num_segments = network.num_segments();
+
+  // Block SIGTERM/SIGINT before the server spawns its threads so every
+  // thread inherits the blocked mask and delivery can only happen inside
+  // the main thread's sigsuspend window below (no lost-wakeup race).
+  sigset_t stop_set, old_mask;
+  sigemptyset(&stop_set);
+  sigaddset(&stop_set, SIGTERM);
+  sigaddset(&stop_set, SIGINT);
+  sigprocmask(SIG_BLOCK, &stop_set, &old_mask);
+  struct sigaction sa{};
+  sa.sa_handler = HandleStop;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+
+  serve::net::DeepOdServer server(*service, server_options);
+  try {
+    server.Start();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "server start failed: %s\n", e.what());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              static_cast<unsigned>(server.port()));
+  std::fflush(stdout);
+
+  sigset_t wait_mask = old_mask;
+  sigdelset(&wait_mask, SIGTERM);
+  sigdelset(&wait_mask, SIGINT);
+  while (g_stop == 0) sigsuspend(&wait_mask);
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  if (!stats_json_path.empty()) {
+    std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
+    if (f != nullptr) {
+      const std::string json = server.ExportStatsJson();
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+    }
+  }
+  std::printf("shutdown complete\n");
+  return 0;
+}

@@ -174,7 +174,7 @@ int main(int argc, char** argv) {
     dataset_config.seed = args.seed;
     std::printf("building dataset (%zux%zu grid, %zu days)...\n", args.grid,
                 args.grid, args.num_days);
-    dataset = sim::BuildDataset(dataset_config);
+    sim::BuildDataset(dataset_config, &dataset);
   }
   std::printf("dataset: %zu train / %zu val / %zu test trips, %zu segments\n",
               dataset.train.size(), dataset.validation.size(),
