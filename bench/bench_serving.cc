@@ -13,18 +13,20 @@
 //   - serving/cache/capacity=C/{qps,hit_rate}: EtaService cache sweep over a
 //     skewed stream; hit_rate records carry the hit fraction in
 //     wall_seconds (it is a ratio, not a time).
-//   - serving/microbatch/qps: Submit() through the bounded queue and the
-//     dispatcher's micro-batching.
+//   - serving/microbatch/qps: TrySubmit through the bounded queue and the
+//     dispatcher's micro-batching (bounded-wait retries on backpressure).
 //   - serving/quant/<mode>/{qps,mae}: EtaService::FromArtifact with fp64,
 //     fp16 and int8 weights on the kSimd tier; mae records carry the mean
 //     absolute ETA error in seconds vs. the fp64 answers in wall_seconds
 //     (it is an error, not a time — bench_compare skips *mae* records).
 // Usage: bench_serving [num_queries]  (default 2000; CI smoke passes 200).
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <future>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -209,7 +211,7 @@ int main(int argc, char** argv) {
     records.push_back({prefix + "/hit_rate", hit_rate, 1, 0.0});
   }
 
-  // --- Micro-batched Submit --------------------------------------------------
+  // --- Micro-batched TrySubmit -----------------------------------------------
   {
     serve::EtaServiceOptions options;
     options.batch_threads = auto_threads;
@@ -217,7 +219,14 @@ int main(int argc, char** argv) {
     std::vector<std::future<double>> futures;
     futures.reserve(stream.size());
     sw.Reset();
-    for (const auto& od : stream) futures.push_back(service.Submit(od));
+    for (const auto& od : stream) {
+      // The primary bounded-wait API; a full queue is backpressure, not an
+      // error — keep retrying like a producer that cannot shed.
+      std::optional<std::future<double>> f;
+      while (!(f = service.TrySubmit(od, std::chrono::milliseconds(100)))) {
+      }
+      futures.push_back(std::move(*f));
+    }
     for (auto& f : futures) sink += f.get();
     const double secs = sw.ElapsedSeconds();
     const auto stats = service.StatsSnapshot();

@@ -79,6 +79,43 @@ void Counter::Reset() {
 
 void Gauge::Add(double d) { AtomicAddDouble(value_, d); }
 
+// --- RollingMean -------------------------------------------------------------
+
+RollingMean::RollingMean(size_t window) : ring_(window == 0 ? 1 : window) {}
+
+void RollingMean::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filled_ == ring_.size()) {
+    sum_ -= ring_[next_];
+  } else {
+    ++filled_;
+  }
+  ring_[next_] = v;
+  sum_ += v;
+  next_ = (next_ + 1) % ring_.size();
+  ++count_;
+}
+
+double RollingMean::Value() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (filled_ == 0) return 0.0;
+  return sum_ / static_cast<double>(filled_);
+}
+
+uint64_t RollingMean::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+void RollingMean::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fill(ring_.begin(), ring_.end(), 0.0);
+  next_ = 0;
+  filled_ = 0;
+  count_ = 0;
+  sum_ = 0.0;
+}
+
 // --- Histogram ---------------------------------------------------------------
 
 size_t Histogram::BucketIndex(double v) {

@@ -71,6 +71,33 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+// Windowed running mean over the last `window` observations (ring buffer
+// under a short mutex — this is a low-rate instrument: drift errors, not
+// per-request latencies). Value() is the mean of the window's contents, so
+// it tracks the *current* regime and forgets old observations — the
+// behaviour a drift detector needs, where a lifetime mean would dilute a
+// recent shock into invisibility.
+class RollingMean {
+ public:
+  explicit RollingMean(size_t window = 256);
+
+  void Observe(double v);
+  // Mean of the last min(Count(), window) observations; 0 when empty.
+  double Value() const;
+  // Total observations ever (not clamped to the window).
+  uint64_t Count() const;
+  size_t window() const { return ring_.size(); }
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> ring_;
+  size_t next_ = 0;      // ring slot the next observation overwrites
+  size_t filled_ = 0;    // live slots (saturates at ring_.size())
+  uint64_t count_ = 0;   // lifetime observations
+  double sum_ = 0.0;     // sum of the live slots
+};
+
 // Fixed-bucket log-linear histogram (DDSketch-style): values are bucketed
 // by power-of-two octave with kSubBuckets linear sub-buckets per octave, so
 // Observe() is a frexp plus two relaxed atomic adds — no locks, no dynamic

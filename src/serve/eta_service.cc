@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "obs/trace.h"
+#include "serve/stats.h"
 
 namespace deepod::serve {
 namespace {
@@ -18,23 +20,33 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
 
 EtaService::EtaService(core::DeepOdModel& model,
                        const EtaServiceOptions& options)
-    : model_(model),
-      options_(options),
-      slotter_(0.0, model.config().slot_seconds),
+    : EtaService(BorrowServingState(model), options) {}
+
+EtaService::EtaService(std::shared_ptr<ServingState> initial,
+                       const EtaServiceOptions& options)
+    : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
       requests_(registry_.counter("serve/requests")),
       hits_(registry_.counter("serve/cache_hits")),
       misses_(registry_.counter("serve/cache_misses")),
       batches_(registry_.counter("serve/batches")),
       batched_requests_(registry_.counter("serve/batched_requests")),
+      swaps_(registry_.counter("serve/swaps")),
       queue_depth_(registry_.gauge("serve/queue_depth")),
+      epoch_gauge_(registry_.gauge("serve/epoch")),
       latency_(registry_.histogram("serve/latency")),
       queue_wait_(registry_.histogram("serve/queue_wait")),
       batch_assembly_(registry_.histogram("serve/batch_assembly")),
       start_time_(std::chrono::steady_clock::now()) {
+  if (!initial || initial->model == nullptr) {
+    throw std::invalid_argument("EtaService: null serving state");
+  }
   if (options_.max_batch == 0) options_.max_batch = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
   if (options_.ratio_bucket <= 0.0) options_.ratio_bucket = 0.05;
+  initial->epoch = last_epoch_;  // construction epoch 0
+  state_ = std::move(initial);
+  epoch_gauge_.Set(0.0);
   if (options_.batch_threads > 1) {
     pool_ = std::make_unique<util::ThreadPool>(options_.batch_threads);
   }
@@ -46,15 +58,8 @@ std::unique_ptr<EtaService> EtaService::FromArtifact(
     const EtaServiceOptions& options) {
   io::ArtifactOptions artifact_options;
   artifact_options.quant = options.quant;
-  io::ServingModel bundle =
-      io::LoadModelArtifact(artifact_path, network, artifact_options);
-  // Bind the service to the heap-allocated model first, then hand the
-  // bundle over: the unique_ptr move keeps the pointee address stable, so
-  // model_ stays valid for the service's lifetime.
-  auto service =
-      std::unique_ptr<EtaService>(new EtaService(*bundle.model, options));
-  service->owned_ = std::move(bundle);
-  return service;
+  return std::make_unique<EtaService>(
+      LoadServingState(artifact_path, network, artifact_options), options);
 }
 
 EtaService::~EtaService() {
@@ -67,13 +72,43 @@ EtaService::~EtaService() {
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
-OdCacheKey EtaService::MakeKey(const traj::OdInput& od) const {
+std::shared_ptr<const ServingState> EtaService::state() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return state_;
+}
+
+uint64_t EtaService::SwapState(std::shared_ptr<ServingState> fresh) {
+  if (!fresh || fresh->model == nullptr) {
+    throw std::invalid_argument("EtaService::SwapState: null serving state");
+  }
+  std::lock_guard<std::mutex> lock(state_mu_);
+  fresh->epoch = ++last_epoch_;
+  state_ = std::move(fresh);
+  swaps_.Add();
+  epoch_gauge_.Set(static_cast<double>(state_->epoch));
+  return state_->epoch;
+}
+
+uint64_t EtaService::BumpEpoch() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto fresh = std::make_shared<ServingState>(*state_);
+  fresh->epoch = ++last_epoch_;
+  // The speed data the model reads changed under it: memoised external
+  // codes (keyed by weather/snapshot, not by matrix content) are stale.
+  fresh->model->ClearOcodeMemo();
+  state_ = std::move(fresh);
+  epoch_gauge_.Set(static_cast<double>(state_->epoch));
+  return state_->epoch;
+}
+
+OdCacheKey EtaService::MakeKeyForState(const traj::OdInput& od,
+                                       const ServingState& state) const {
   OdCacheKey key;
   key.segments = (static_cast<uint64_t>(od.origin_segment) << 32) |
                  static_cast<uint64_t>(od.dest_segment & 0xffffffffull);
-  const int64_t slot = slotter_.Slot(od.departure_time);
+  const int64_t slot = state.slotter.Slot(od.departure_time);
   const uint64_t node =
-      static_cast<uint64_t>(slotter_.WeeklyNode(slot)) & 0xffffffffull;
+      static_cast<uint64_t>(state.slotter.WeeklyNode(slot)) & 0xffffffffull;
   const auto bucket = [this](double ratio) -> uint64_t {
     const double clamped = std::clamp(ratio, 0.0, 1.0);
     return static_cast<uint64_t>(clamped / options_.ratio_bucket) & 0xffull;
@@ -83,7 +118,12 @@ OdCacheKey EtaService::MakeKey(const traj::OdInput& od) const {
                                        0xffffu)
                  << 16) |
                 (bucket(od.origin_ratio) << 8) | bucket(od.dest_ratio);
+  key.epoch = state.epoch;
   return key;
+}
+
+OdCacheKey EtaService::MakeKey(const traj::OdInput& od) const {
+  return MakeKeyForState(od, *state());
 }
 
 void EtaService::RecordCompletion(
@@ -94,7 +134,8 @@ void EtaService::RecordCompletion(
 
 double EtaService::Estimate(const traj::OdInput& od) {
   const auto start = std::chrono::steady_clock::now();
-  const OdCacheKey key = MakeKey(od);
+  const std::shared_ptr<const ServingState> state = this->state();
+  const OdCacheKey key = MakeKeyForState(od, *state);
   if (auto cached = cache_.Get(key)) {
     hits_.Add();
     RecordCompletion(start);
@@ -104,9 +145,9 @@ double EtaService::Estimate(const traj::OdInput& od) {
   double eta;
   if (options_.kernel_mode.has_value()) {
     const nn::KernelModeScope scope(*options_.kernel_mode);
-    eta = model_.Predict(od);
+    eta = state->model->Predict(od);
   } else {
-    eta = model_.Predict(od);
+    eta = state->model->Predict(od);
   }
   cache_.Put(key, eta);
   RecordCompletion(start);
@@ -114,25 +155,15 @@ double EtaService::Estimate(const traj::OdInput& od) {
 }
 
 std::future<double> EtaService::Submit(const traj::OdInput& od) {
-  Pending pending;
-  pending.od = od;
-  pending.enqueued = std::chrono::steady_clock::now();
-  std::future<double> future = pending.promise.get_future();
-  {
-    std::unique_lock<std::mutex> lock(queue_mu_);
-    queue_not_full_.wait(lock, [this] {
-      return stopping_ || queue_.size() < options_.queue_capacity;
-    });
-    if (stopping_) {
-      pending.promise.set_exception(std::make_exception_ptr(
-          std::runtime_error("EtaService: shutting down")));
-      return future;
+  // Blocking convenience: retry the bounded enqueue until it succeeds. The
+  // 100ms slice is a liveness bound only — TrySubmit's wait wakes on the
+  // dispatcher's notify as soon as the queue drains, and on shutdown the
+  // ready exception-future breaks the loop.
+  for (;;) {
+    if (auto future = TrySubmit(od, std::chrono::milliseconds(100))) {
+      return std::move(*future);
     }
-    queue_.push_back(std::move(pending));
-    queue_depth_.Set(static_cast<double>(queue_.size()));
   }
-  queue_not_empty_.notify_one();
-  return future;
 }
 
 std::optional<std::future<double>> EtaService::TrySubmit(
@@ -163,12 +194,15 @@ std::vector<double> EtaService::EstimateBatch(
     std::span<const traj::OdInput> ods, util::ThreadPool* pool) {
   if (ods.empty()) return {};
   const auto start = std::chrono::steady_clock::now();
+  // One state snapshot answers the whole batch: a concurrent SwapState
+  // never splits it across models or cache generations.
+  const std::shared_ptr<const ServingState> state = this->state();
   std::vector<double> out(ods.size(), 0.0);
   std::vector<size_t> miss_index;
   std::vector<traj::OdInput> miss_ods;
   std::vector<OdCacheKey> miss_keys;
   for (size_t i = 0; i < ods.size(); ++i) {
-    const OdCacheKey key = MakeKey(ods[i]);
+    const OdCacheKey key = MakeKeyForState(ods[i], *state);
     if (auto cached = cache_.Get(key)) {
       hits_.Add();
       out[i] = *cached;
@@ -185,9 +219,9 @@ std::vector<double> EtaService::EstimateBatch(
     std::vector<double> etas;
     if (options_.kernel_mode.has_value()) {
       const nn::KernelModeScope scope(*options_.kernel_mode);
-      etas = model_.PredictBatch(miss_ods, pool);
+      etas = state->model->PredictBatch(miss_ods, pool);
     } else {
-      etas = model_.PredictBatch(miss_ods, pool);
+      etas = state->model->PredictBatch(miss_ods, pool);
     }
     for (size_t m = 0; m < miss_index.size(); ++m) {
       cache_.Put(miss_keys[m], etas[m]);
@@ -230,6 +264,11 @@ void EtaService::DispatchLoop() {
     }
     queue_not_full_.notify_all();
 
+    // One state snapshot per drained batch: everything below — cache keys,
+    // the forward, the answers cached back — is consistent with the epoch
+    // current at dequeue time, even while a reloader flips the pointer.
+    const std::shared_ptr<const ServingState> state = this->state();
+
     // Batch assembly: resolve cache hits and collect the miss list; the
     // queue-wait histogram records how long each request sat in the queue.
     const auto assembly_start = std::chrono::steady_clock::now();
@@ -238,7 +277,7 @@ void EtaService::DispatchLoop() {
     std::vector<OdCacheKey> miss_keys;
     for (size_t i = 0; i < batch.size(); ++i) {
       queue_wait_.Observe(SecondsSince(batch[i].enqueued, assembly_start));
-      const OdCacheKey key = MakeKey(batch[i].od);
+      const OdCacheKey key = MakeKeyForState(batch[i].od, *state);
       if (auto cached = cache_.Get(key)) {
         hits_.Add();
         // Record before set_value: a caller unblocked by the future may
@@ -263,9 +302,9 @@ void EtaService::DispatchLoop() {
       if (options_.kernel_mode.has_value()) {
         // PredictBatch pool workers inherit the dispatcher's mode.
         const nn::KernelModeScope scope(*options_.kernel_mode);
-        etas = model_.PredictBatch(miss_ods, pool_.get());
+        etas = state->model->PredictBatch(miss_ods, pool_.get());
       } else {
-        etas = model_.PredictBatch(miss_ods, pool_.get());
+        etas = state->model->PredictBatch(miss_ods, pool_.get());
       }
       for (size_t m = 0; m < miss_index.size(); ++m) {
         cache_.Put(miss_keys[m], etas[m]);
@@ -293,6 +332,8 @@ EtaServiceStats EtaService::StatsSnapshot() const {
       stats.batches == 0
           ? 0.0
           : static_cast<double>(batched) / static_cast<double>(stats.batches);
+  stats.swaps = swaps_.Value();
+  stats.epoch = state()->epoch;
   stats.p50_ms = latency_.Percentile(0.50) * 1e3;
   stats.p95_ms = latency_.Percentile(0.95) * 1e3;
   stats.p99_ms = latency_.Percentile(0.99) * 1e3;
@@ -304,7 +345,9 @@ EtaServiceStats EtaService::StatsSnapshot() const {
 }
 
 std::string EtaService::ExportJson() const {
-  return registry_.ExportJson("serve/");
+  StatsSources sources;
+  sources.service = this;
+  return ExportStatsJson(sources);
 }
 
 std::string EtaService::ExportPrometheus() const {

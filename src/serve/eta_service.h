@@ -19,6 +19,7 @@
 #include "nn/quant.h"
 #include "nn/tensor.h"
 #include "obs/metrics.h"
+#include "serve/serving_state.h"
 #include "temporal/time_slot.h"
 #include "traj/trajectory.h"
 #include "util/lru_cache.h"
@@ -30,12 +31,17 @@ namespace deepod::serve {
 // words hold the origin/destination segment ids, the weekly time-slot node,
 // the weather category and the quantised position ratios, so two queries
 // share a key only when every keyed field matches — no collision aliasing.
+// `epoch` is the serving-state generation the answer was computed under:
+// a model swap or speed-field publish bumps the epoch, which makes every
+// older entry unreachable without touching the cache itself.
 struct OdCacheKey {
   uint64_t segments = 0;  // origin << 32 | dest
   uint64_t context = 0;   // slot << 32 | weather << 16 | r1_bucket << 8 | rn_bucket
+  uint64_t epoch = 0;     // ServingState::epoch the entry belongs to
 
   bool operator==(const OdCacheKey& other) const {
-    return segments == other.segments && context == other.context;
+    return segments == other.segments && context == other.context &&
+           epoch == other.epoch;
   }
 };
 
@@ -43,6 +49,7 @@ struct OdCacheKeyHash {
   size_t operator()(const OdCacheKey& k) const {
     uint64_t h = k.segments * 0x9e3779b97f4a7c15ull;
     h ^= k.context + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+    h ^= k.epoch + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
     return static_cast<size_t>(h);
   }
 };
@@ -56,10 +63,11 @@ struct EtaServiceOptions {
   // answer; 0.05 keeps the induced error well under the model's own).
   double ratio_bucket = 0.05;
 
-  // Micro-batching: Submit() enqueues into a bounded queue; a dispatcher
+  // Micro-batching: TrySubmit() enqueues into a bounded queue; a dispatcher
   // thread drains up to `max_batch` requests at a time into one
-  // PredictBatch call. Submit blocks while the queue holds
-  // `queue_capacity` requests (back-pressure, no unbounded growth).
+  // PredictBatch call. When the queue holds `queue_capacity` requests the
+  // enqueue waits out its timeout, then sheds (back-pressure, no unbounded
+  // growth).
   size_t max_batch = 32;
   size_t queue_capacity = 1024;
   // Worker threads for the batched forward (1 = run inline on the
@@ -91,6 +99,8 @@ struct EtaServiceStats {
   uint64_t cache_misses = 0;
   uint64_t batches = 0;          // micro-batches dispatched
   double avg_batch_size = 0.0;   // requests per dispatched batch
+  uint64_t swaps = 0;            // serving-state flips (SwapState)
+  uint64_t epoch = 0;            // current cache generation
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
@@ -103,24 +113,40 @@ struct EtaServiceStats {
 //  - Estimate(): synchronous, caller-thread inference. Bit-identical to
 //    DeepOdModel::Predict for the first query of each key; later queries of
 //    the key return the cached answer.
-//  - Submit(): asynchronous; requests are micro-batched by a dispatcher
-//    thread into PredictBatch calls (amortising per-query overhead) and
-//    resolved through the same cache.
+//  - TrySubmit(): asynchronous with bounded-wait admission; requests are
+//    micro-batched by a dispatcher thread into PredictBatch calls
+//    (amortising per-query overhead) and resolved through the same cache.
+//    Submit() is a thin convenience wrapper that retries TrySubmit forever.
+//
+// Live serving: the service holds its model, speed field and cache
+// generation as one immutable ServingState epoch (serving_state.h). Every
+// request path acquires one state snapshot for its whole unit of work, so
+// SwapState() — the zero-downtime hot-swap entry point the ModelReloader
+// drives — answers in-flight requests from the epoch they started on and
+// new requests from the fresh one, with the epoch number keying the cache
+// so stale answers are unreachable. BumpEpoch() invalidates the cache and
+// the model's ocode memo without changing the model — the flip a
+// RollingSpeedField publish needs.
 //
 // Observability: every stat lives in a private obs::Registry under the
-// "serve/" prefix — counters for requests/hits/misses/batches, a latency
-// histogram, queue-wait and batch-assembly histograms, and a queue-depth
-// gauge. The registry is per-instance (stats never bleed between services)
-// and always on: the instruments replace the bespoke stats this class used
-// to keep and are cheaper than the mutex-guarded ring they replaced, so
-// they are not gated on DEEPOD_OBS. StatsSnapshot() is served from the
-// registry; ExportJson() emits the shared BENCH-json schema (validated by
-// tools/validate_bench_json.py) and ExportPrometheus() the text exposition
-// format. Thread-safe; the model must not be trained while the service is
-// running.
+// "serve/" prefix — counters for requests/hits/misses/batches/swaps, a
+// latency histogram, queue-wait and batch-assembly histograms, queue-depth
+// and epoch gauges. The registry is per-instance (stats never bleed
+// between services) and always on. StatsSnapshot() is served from the
+// registry; ExportJson() emits the shared BENCH-json schema through
+// serve::ExportStatsJson (stats.h) — the same entry point the network
+// server's stats frame and --stats-json use — and ExportPrometheus() the
+// text exposition format. Thread-safe; the model must not be trained while
+// the service is running.
 class EtaService {
  public:
   EtaService(core::DeepOdModel& model, const EtaServiceOptions& options);
+
+  // Adopts `initial` (un-adopted, from LoadServingState/BorrowServingState)
+  // as the construction epoch. Throws std::invalid_argument on a null
+  // state/model.
+  EtaService(std::shared_ptr<ServingState> initial,
+             const EtaServiceOptions& options);
   ~EtaService();
 
   // Stands a service up from a model artifact + road network alone: loads
@@ -139,18 +165,22 @@ class EtaService {
   // Synchronous estimate in seconds.
   double Estimate(const traj::OdInput& od);
 
-  // Asynchronous estimate; blocks only when the request queue is full.
-  std::future<double> Submit(const traj::OdInput& od);
-
-  // Submit with a bounded enqueue wait: when the bounded queue stays full
-  // past `timeout`, returns nullopt instead of blocking the producer
-  // indefinitely. This is the entry point back-pressure-aware callers
-  // (deepod_server's shedding layer) use — a nullopt is a signal to shed
-  // the request with a retry-after, so producer-side worst-case latency is
+  // PRIMARY async entry point: submit with a bounded enqueue wait. When the
+  // bounded queue stays full past `timeout`, returns nullopt instead of
+  // blocking the producer indefinitely — a nullopt is a signal to shed the
+  // request with a retry-after, so producer-side worst-case latency is
   // `timeout`, not "until the dispatcher catches up". timeout 0 is a pure
-  // try-enqueue.
+  // try-enqueue. This is the API back-pressure-aware callers (the network
+  // server's admission layer, load generators) build on.
   std::optional<std::future<double>> TrySubmit(const traj::OdInput& od,
                                                std::chrono::nanoseconds timeout);
+
+  // Convenience wrapper over TrySubmit for callers that prefer blocking
+  // back-pressure: retries the bounded enqueue until it succeeds (so it
+  // blocks only while the request queue is full). Prefer TrySubmit in new
+  // code — unbounded blocking in a producer hides overload instead of
+  // shedding it.
+  std::future<double> Submit(const traj::OdInput& od);
 
   // Synchronous batched estimate on the calling thread, through the same
   // cache and metrics as Estimate(): resolves hits, runs one PredictBatch
@@ -160,17 +190,46 @@ class EtaService {
   // and scheduling; the service owns cache + model + stats. Safe to call
   // from several executor threads concurrently as long as each passes its
   // own pool (or none) — util::ThreadPool does not support concurrent
-  // ParallelFor calls on one pool.
+  // ParallelFor calls on one pool. The whole batch is answered from one
+  // acquired ServingState, so a concurrent swap never splits a batch
+  // across models.
   std::vector<double> EstimateBatch(std::span<const traj::OdInput> ods,
                                     util::ThreadPool* pool = nullptr);
 
+  // --- Live serving -------------------------------------------------------
+
+  // The current serving epoch. The returned snapshot stays valid (model,
+  // bundle and all) for as long as the caller holds it, regardless of
+  // concurrent swaps.
+  std::shared_ptr<const ServingState> state() const;
+
+  // Atomically flips the serving state to `fresh` (un-adopted; epoch is
+  // assigned here) — the RCU hot-swap: new requests see the new model and
+  // a new cache generation immediately, in-flight requests finish on the
+  // state they acquired, the old bundle is freed when its last reference
+  // drops. Returns the adopted epoch. Throws std::invalid_argument on a
+  // null state/model.
+  uint64_t SwapState(std::shared_ptr<ServingState> fresh);
+
+  // Bumps the cache generation without changing the model: republishes the
+  // current state under a fresh epoch and drops the model's ocode memo.
+  // Call after mutating the data a model reads through its speed provider
+  // (RollingSpeedField::Publish) — cached ETAs and memoised external codes
+  // are stale the moment the matrices change. Returns the new epoch.
+  uint64_t BumpEpoch();
+
+  // --- Stats --------------------------------------------------------------
+
   EtaServiceStats StatsSnapshot() const;
-  // {"hardware_concurrency": N, "records": [...]} over the serve/* metrics.
+  // {"hardware_concurrency": N, "records": [...]} over the serve/* metrics
+  // (serve::ExportStatsJson with this service as the only source).
   std::string ExportJson() const;
   // Prometheus text exposition of the serve/* metrics.
   std::string ExportPrometheus() const;
   const obs::Registry& registry() const { return registry_; }
 
+  // Cache key of `od` under the current epoch (acquires the state; the
+  // request paths key against the state they already hold).
   OdCacheKey MakeKey(const traj::OdInput& od) const;
 
   // Test-only: parks the dispatcher so tests can fill the bounded queue
@@ -185,17 +244,21 @@ class EtaService {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  OdCacheKey MakeKeyForState(const traj::OdInput& od,
+                             const ServingState& state) const;
   void DispatchLoop();
   void RecordCompletion(std::chrono::steady_clock::time_point start);
 
-  // Set only by FromArtifact: the owned serving bundle model_ points into.
-  // Declared before model_ so it outlives every use of the reference.
-  io::ServingModel owned_;
-  core::DeepOdModel& model_;
   EtaServiceOptions options_;
-  temporal::TimeSlotter slotter_;
   util::ShardedLruCache<OdCacheKey, double, OdCacheKeyHash> cache_;
   std::unique_ptr<util::ThreadPool> pool_;  // batched-forward workers
+
+  // The published serving epoch (see state()/SwapState). A plain mutex
+  // guards the pointer flip; readers pay one uncontended lock per unit of
+  // work, which is noise next to a model forward.
+  mutable std::mutex state_mu_;
+  std::shared_ptr<const ServingState> state_;
+  uint64_t last_epoch_ = 0;
 
   // Metrics (registry_ must precede the instrument references).
   obs::Registry registry_;
@@ -204,12 +267,14 @@ class EtaService {
   obs::Counter& misses_;
   obs::Counter& batches_;
   obs::Counter& batched_requests_;
+  obs::Counter& swaps_;
   obs::Gauge& queue_depth_;
+  obs::Gauge& epoch_gauge_;
   obs::Histogram& latency_;         // request completion latency (seconds)
   obs::Histogram& queue_wait_;      // Submit enqueue -> dispatcher dequeue
   obs::Histogram& batch_assembly_;  // cache resolution + miss-batch build
 
-  // Bounded request queue (Submit side).
+  // Bounded request queue (TrySubmit side).
   mutable std::mutex queue_mu_;
   std::condition_variable queue_not_empty_;
   std::condition_variable queue_not_full_;

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <stdexcept>
 
 namespace deepod::serve::net {
 namespace {
@@ -113,6 +114,32 @@ std::vector<uint8_t> EncodeStatsResponseFrame(std::string_view json) {
   return WithLengthPrefix(std::move(payload));
 }
 
+std::vector<uint8_t> EncodeObserveFrame(const ObserveFrame& frame) {
+  if (frame.observations.size() > kMaxObservationsPerFrame) {
+    throw std::invalid_argument(
+        "EncodeObserveFrame: too many observations for one frame");
+  }
+  std::vector<uint8_t> payload;
+  payload.reserve(kObservePayloadHeaderBytes +
+                  frame.observations.size() * kObservationBytes);
+  AppendU32(&payload, kObserveMagic);
+  AppendU64(&payload, frame.request_id);
+  AppendU64(&payload, static_cast<uint64_t>(frame.od.origin_segment));
+  AppendU64(&payload, static_cast<uint64_t>(frame.od.dest_segment));
+  AppendF64(&payload, frame.od.origin_ratio);
+  AppendF64(&payload, frame.od.dest_ratio);
+  AppendF64(&payload, frame.od.departure_time);
+  AppendU32(&payload, static_cast<uint32_t>(frame.od.weather_type));
+  AppendF64(&payload, frame.actual_seconds);
+  AppendU32(&payload, static_cast<uint32_t>(frame.observations.size()));
+  for (const sim::TripObservation& obs : frame.observations) {
+    AppendU64(&payload, obs.segment_id);
+    AppendF64(&payload, obs.time);
+    AppendF64(&payload, obs.speed_mps);
+  }
+  return WithLengthPrefix(std::move(payload));
+}
+
 uint32_t PeekMagic(const uint8_t* data, size_t size) {
   return size < 4 ? 0 : ReadU32(data);
 }
@@ -149,6 +176,50 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
   p += 8;
   out->od.weather_type = static_cast<int>(ReadU32(p));
   if (out->priority >= kNumPriorities) out->priority = kNumPriorities - 1;
+  return Status::kOk;
+}
+
+Status DecodeObservePayload(const uint8_t* data, size_t size,
+                            ObserveFrame* out) {
+  *out = ObserveFrame{};
+  if (size < 4) return Status::kBadFrame;
+  if (ReadU32(data) != kObserveMagic) return Status::kBadMagic;
+  if (size < kObservePayloadHeaderBytes) {
+    if (size >= 12) out->request_id = ReadU64(data + 4);
+    return Status::kBadFrame;
+  }
+  const uint8_t* p = data + 4;
+  out->request_id = ReadU64(p);
+  p += 8;
+  out->od.origin_segment = static_cast<size_t>(ReadU64(p));
+  p += 8;
+  out->od.dest_segment = static_cast<size_t>(ReadU64(p));
+  p += 8;
+  out->od.origin_ratio = ReadF64(p);
+  p += 8;
+  out->od.dest_ratio = ReadF64(p);
+  p += 8;
+  out->od.departure_time = ReadF64(p);
+  p += 8;
+  out->od.weather_type = static_cast<int>(ReadU32(p));
+  p += 4;
+  out->actual_seconds = ReadF64(p);
+  p += 8;
+  const uint32_t n = ReadU32(p);
+  p += 4;
+  if (n > kMaxObservationsPerFrame ||
+      size != kObservePayloadHeaderBytes + size_t(n) * kObservationBytes) {
+    return Status::kBadFrame;
+  }
+  out->observations.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    out->observations[i].segment_id = ReadU64(p);
+    p += 8;
+    out->observations[i].time = ReadF64(p);
+    p += 8;
+    out->observations[i].speed_mps = ReadF64(p);
+    p += 8;
+  }
   return Status::kOk;
 }
 

@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "sim/rolling_speed_field.h"
 #include "traj/trajectory.h"
 
 namespace deepod::serve::net {
@@ -42,6 +43,7 @@ inline constexpr uint32_t kRequestMagic = 0xD33B0D10u;
 inline constexpr uint32_t kResponseMagic = 0xD33B0D11u;
 inline constexpr uint32_t kStatsRequestMagic = 0xD33B0D12u;
 inline constexpr uint32_t kStatsResponseMagic = 0xD33B0D13u;
+inline constexpr uint32_t kObserveMagic = 0xD33B0D14u;
 
 // Hard ceiling on inbound frame payloads. Larger declared lengths are
 // drained in bounded chunks (never buffered whole) and answered with
@@ -92,11 +94,45 @@ inline constexpr size_t kRequestPayloadBytes =
     4 + 8 + 4 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4;  // = 65
 inline constexpr size_t kResponsePayloadBytes = 4 + 8 + 1 + 4 + 8;  // = 25
 
+// --- ObserveTrip ingest ------------------------------------------------------
+//
+// A completed trip reported back to the server (client -> server):
+//
+//   observe (kObservePayloadHeaderBytes + n_observations * 24):
+//     magic u32 | request_id u64 | origin_segment u64 | dest_segment u64 |
+//     origin_ratio f64 | dest_ratio f64 | departure_time f64 | weather i32 |
+//     actual_seconds f64 | n_observations u32 |
+//     n_observations x { segment u64 | time f64 | speed_mps f64 }
+//
+// The OD block mirrors the request layout so the server can re-score the
+// trip against its current model (the drift monitor's prediction/actual
+// pair); the per-segment observations feed the RollingSpeedField. The
+// server answers with a standard response frame: status kOk and
+// eta_seconds = the prediction used for drift scoring (0 when the server
+// has no drift monitor), so a reporting client sees what the serving model
+// currently believes about the trip it just completed. n_observations is
+// bounded by the frame ceiling — chunk longer trips across frames.
+
+struct ObserveFrame {
+  uint64_t request_id = 0;
+  traj::OdInput od;              // the trip's OD query, as in RequestFrame
+  double actual_seconds = 0.0;   // observed door-to-door travel time
+  std::vector<sim::TripObservation> observations;
+};
+
+inline constexpr size_t kObservePayloadHeaderBytes =
+    4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 8 + 4;  // = 68
+inline constexpr size_t kObservationBytes = 8 + 8 + 8;  // = 24
+inline constexpr size_t kMaxObservationsPerFrame =
+    (kMaxInboundFrameBytes - kObservePayloadHeaderBytes) / kObservationBytes;
+
 // Encoders emit the full wire frame (length prefix included).
 std::vector<uint8_t> EncodeRequestFrame(const RequestFrame& frame);
 std::vector<uint8_t> EncodeResponseFrame(const ResponseFrame& frame);
 std::vector<uint8_t> EncodeStatsRequestFrame();
 std::vector<uint8_t> EncodeStatsResponseFrame(std::string_view json);
+// Throws std::invalid_argument past kMaxObservationsPerFrame.
+std::vector<uint8_t> EncodeObserveFrame(const ObserveFrame& frame);
 
 // First 4 payload bytes as a little-endian magic; 0 when size < 4.
 uint32_t PeekMagic(const uint8_t* data, size_t size);
@@ -110,6 +146,12 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
 // Client side; false on a malformed payload.
 bool DecodeResponsePayload(const uint8_t* data, size_t size,
                            ResponseFrame* out);
+
+// Decodes an observe payload (length prefix stripped). kOk on success, else
+// the typed error to answer with; request_id is recovered on truncated
+// payloads that still hold the id bytes.
+Status DecodeObservePayload(const uint8_t* data, size_t size,
+                            ObserveFrame* out);
 
 // --- Blocking socket helpers (EINTR-safe, SIGPIPE-suppressed) --------------
 

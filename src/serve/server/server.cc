@@ -12,6 +12,10 @@
 #include <stdexcept>
 
 #include "core/encoders.h"
+#include "serve/drift_monitor.h"
+#include "serve/model_reloader.h"
+#include "serve/stats.h"
+#include "sim/rolling_speed_field.h"
 
 namespace deepod::serve::net {
 namespace {
@@ -40,6 +44,8 @@ DeepOdServer::DeepOdServer(EtaService& service, const ServerOptions& options)
       shed_deadline_(registry_.counter("server/shed/deadline")),
       deadline_missed_(registry_.counter("server/deadline_missed")),
       completed_(registry_.counter("server/completed")),
+      observes_(registry_.counter("server/observes")),
+      observations_(registry_.counter("server/observations")),
       connections_gauge_(registry_.gauge("server/connections")),
       queue_depth_(registry_.gauge("server/queue_depth")),
       batch_fill_(registry_.histogram("server/batch_fill")),
@@ -236,6 +242,17 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
       if (conn->open.load()) WriteAll(conn->fd, wire.data(), wire.size());
       continue;
     }
+    if (magic == kObserveMagic) {
+      ObserveFrame observe;
+      const Status observe_status =
+          DecodeObservePayload(payload.data(), payload.size(), &observe);
+      if (observe_status != Status::kOk) {
+        RespondError(conn, observe.request_id, observe_status, 0);
+        continue;
+      }
+      HandleObserve(conn, observe);
+      continue;
+    }
     RequestFrame request;
     const Status decode_status =
         DecodeRequestPayload(payload.data(), payload.size(), &request);
@@ -282,6 +299,43 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
                    decision.retry_after_ms);
     }
   }
+}
+
+void DeepOdServer::HandleObserve(const std::shared_ptr<Connection>& conn,
+                                 const ObserveFrame& frame) {
+  const traj::OdInput& od = frame.od;
+  const bool segments_ok =
+      options_.num_segments == 0 ||
+      (od.origin_segment < options_.num_segments &&
+       od.dest_segment < options_.num_segments);
+  const bool fields_ok =
+      std::isfinite(od.origin_ratio) && std::isfinite(od.dest_ratio) &&
+      std::isfinite(od.departure_time) &&
+      std::isfinite(frame.actual_seconds) && frame.actual_seconds >= 0.0 &&
+      od.weather_type >= 0 &&
+      od.weather_type <
+          static_cast<int>(core::ExternalFeaturesEncoder::kNumWeatherTypes);
+  if (!segments_ok || !fields_ok) {
+    RespondError(conn, frame.request_id, Status::kInvalidRequest, 0);
+    return;
+  }
+  observes_.Add();
+  if (options_.live.rolling_field != nullptr && !frame.observations.empty()) {
+    observations_.Add(
+        options_.live.rolling_field->Ingest(frame.observations));
+  }
+  ResponseFrame response;
+  response.request_id = frame.request_id;
+  response.status = Status::kOk;
+  if (options_.live.drift != nullptr) {
+    // Re-score the finished trip against the model serving RIGHT NOW (one
+    // synchronous forward on the connection thread — ingest traffic is
+    // orders of magnitude rarer than queries) and feed the drift gauge.
+    const double predicted = service_.Estimate(od);
+    options_.live.drift->Observe(predicted, frame.actual_seconds);
+    response.eta_seconds = predicted;
+  }
+  WriteResponse(conn, response);
 }
 
 void DeepOdServer::ExecutorLoop(size_t slot) {
@@ -331,12 +385,12 @@ void DeepOdServer::ExecutorLoop(size_t slot) {
 }
 
 std::string DeepOdServer::ExportStatsJson() const {
-  std::vector<obs::Record> records = registry_.Export("");
-  const std::vector<obs::Record> service_records =
-      service_.registry().Export("");
-  records.insert(records.end(), service_records.begin(),
-                 service_records.end());
-  return obs::RenderRecordsJson(records);
+  StatsSources sources;
+  sources.server = &registry_;
+  sources.service = &service_;
+  sources.reloader = options_.live.reloader;
+  sources.drift = options_.live.drift;
+  return serve::ExportStatsJson(sources);
 }
 
 }  // namespace deepod::serve::net

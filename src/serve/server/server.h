@@ -17,7 +17,29 @@
 #include "serve/server/frame.h"
 #include "util/thread_pool.h"
 
+namespace deepod::serve {
+class DriftMonitor;
+class ModelReloader;
+}  // namespace deepod::serve
+
 namespace deepod::serve::net {
+
+// Live-serving hooks, all optional and borrowed (must outlive the server):
+// the sinks the ObserveTrip ingest endpoint feeds and the extra stat
+// sources the unified stats surface reports. A server without hooks still
+// accepts observe frames (they are acknowledged and dropped) so clients
+// need not know the deployment shape.
+struct LiveServingHooks {
+  // Streamed per-segment speed observations land here. NOTE: ingest only —
+  // somebody must call Publish() + EtaService::BumpEpoch() to make them
+  // servable (deepod_server's publish ticker, or a test directly).
+  sim::RollingSpeedField* rolling_field = nullptr;
+  // Each observed trip is re-scored against the current model and the
+  // prediction/actual pair recorded here (the drift gauge).
+  DriftMonitor* drift = nullptr;
+  // Stats-only: folded into the stats frame / --stats-json document.
+  const ModelReloader* reloader = nullptr;
+};
 
 struct ServerOptions {
   std::string host = "127.0.0.1";
@@ -43,6 +65,8 @@ struct ServerOptions {
   size_t num_segments = 0;
 
   AdmissionOptions admission;
+
+  LiveServingHooks live;
 };
 
 // The network front end: a length-prefixed-TCP server around EtaService,
@@ -56,12 +80,13 @@ struct ServerOptions {
 // response frame, not a model forward.
 //
 // Observability: a private obs::Registry under "server/" — accepted /
-// admitted / completed / per-reason shed / deadline-missed counters, a
-// queue-depth gauge, a batch-fill histogram (requests per executor
-// dispatch) and an arrival→response latency histogram. ExportStatsJson()
-// renders it together with the wrapped service's "serve/" registry in the
-// shared BENCH-json schema; clients can fetch the same document over the
-// wire with a stats frame.
+// admitted / completed / per-reason shed / deadline-missed / observe
+// counters, a queue-depth gauge, a batch-fill histogram (requests per
+// executor dispatch) and an arrival→response latency histogram.
+// ExportStatsJson() delegates to serve::ExportStatsJson over every stat
+// source the deployment has (this registry, the service's "serve/", the
+// reloader's "reload/", the drift monitor's "drift/"), so the wire stats
+// frame and `--stats-json` render the identical document.
 //
 // Shutdown() is graceful: stop accepting, shed new offers with
 // kShuttingDown, drain and answer every admitted request, then close
@@ -95,6 +120,10 @@ class DeepOdServer {
 
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<Connection> conn);
+  // ObserveTrip ingest: validates, feeds the live hooks, answers with the
+  // prediction used for drift scoring.
+  void HandleObserve(const std::shared_ptr<Connection>& conn,
+                     const ObserveFrame& frame);
   void ExecutorLoop(size_t slot);
   void WriteResponse(const std::shared_ptr<Connection>& conn,
                      const ResponseFrame& response);
@@ -136,6 +165,8 @@ class DeepOdServer {
   obs::Counter& shed_deadline_;
   obs::Counter& deadline_missed_;
   obs::Counter& completed_;
+  obs::Counter& observes_;       // observe frames accepted
+  obs::Counter& observations_;   // per-segment observations ingested
   obs::Gauge& connections_gauge_;
   obs::Gauge& queue_depth_;
   obs::Histogram& batch_fill_;  // requests per executor dispatch

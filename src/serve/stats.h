@@ -1,0 +1,45 @@
+#ifndef DEEPOD_SERVE_STATS_H_
+#define DEEPOD_SERVE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace deepod::serve {
+
+class DriftMonitor;
+class EtaService;
+class ModelReloader;
+
+// The serving stack's stat sources, each optional. One serving process has
+// up to four registries — the server front end's ("server/*" instruments),
+// the EtaService's ("serve/*"), the ModelReloader's ("reload/*") and the
+// DriftMonitor's ("drift/*") — and before this entry point existed each
+// surface concatenated its own subset, so `--stats-json`, the wire stats
+// frame and EtaService::ExportJson could disagree on schema and coverage.
+struct StatsSources {
+  const obs::Registry* server = nullptr;
+  const EtaService* service = nullptr;
+  const ModelReloader* reloader = nullptr;
+  const DriftMonitor* drift = nullptr;
+};
+
+// Snapshot of every instrument across the non-null sources, merged and
+// name-sorted into the shared BENCH-json Record schema. This is THE stats
+// surface: the server's stats frame, `deepod_server --stats-json`, and
+// EtaService::ExportJson all render this one collection, so every consumer
+// sees the same records under the same names.
+std::vector<obs::Record> CollectStats(const StatsSources& sources);
+
+// CollectStats rendered as {"hardware_concurrency": N, "records": [...]}
+// (obs::RenderRecordsJson — same schema bench emitters write, same
+// validator covers it).
+std::string ExportStatsJson(const StatsSources& sources);
+
+// CollectStats rendered in the Prometheus text exposition format.
+std::string ExportStatsPrometheus(const StatsSources& sources);
+
+}  // namespace deepod::serve
+
+#endif  // DEEPOD_SERVE_STATS_H_

@@ -9,10 +9,11 @@
 //  - the sharded LRU cache evicts in LRU order, keys exactly, and keeps
 //    consistent hit/miss counts under concurrency;
 //  - EtaService serves Predict's numbers through cache, Estimate and the
-//    micro-batched Submit path.
+//    micro-batched TrySubmit path.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <future>
 #include <vector>
@@ -283,7 +284,7 @@ TEST(EtaServiceTest, EstimateServesPredictValuesAndCaches) {
   EXPECT_EQ(stats.requests, 2u);
 }
 
-TEST(EtaServiceTest, SubmitMicroBatchesAndMatchesEstimate) {
+TEST(EtaServiceTest, TrySubmitMicroBatchesAndMatchesEstimate) {
   core::DeepOdModel model(TinyConfig(), TinyDataset());
   model.SetTraining(false);
   serve::EtaServiceOptions options;
@@ -297,7 +298,13 @@ TEST(EtaServiceTest, SubmitMicroBatchesAndMatchesEstimate) {
   std::vector<double> expected;
   for (const auto& od : ods) expected.push_back(model.Predict(od));
   std::vector<std::future<double>> futures;
-  for (const auto& od : ods) futures.push_back(service.Submit(od));
+  for (const auto& od : ods) {
+    // TrySubmit is the primary enqueue API; capacity 16 > 12 queries, so a
+    // bounded wait always finds room here.
+    auto future = service.TrySubmit(od, std::chrono::seconds(5));
+    ASSERT_TRUE(future.has_value());
+    futures.push_back(std::move(*future));
+  }
   for (size_t i = 0; i < futures.size(); ++i) {
     EXPECT_EQ(futures[i].get(), expected[i]);
   }

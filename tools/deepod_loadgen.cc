@@ -7,6 +7,7 @@
 //                  [--json PATH] [--server-stats]
 //                  [--assert-max-shed-rate X] [--assert-min-shed-rate X]
 //                  [--assert-max-p99-ms X] [--assert-min-goodput X]
+//   deepod_loadgen --port P --golden golden.csv [--tolerance X] [--host H]
 //
 // Senders never wait for responses (open loop), so the offered rate stays
 // at --qps even when the server sheds or slows — the overload scenario
@@ -16,24 +17,97 @@
 // BENCH-json records (validate with tools/validate_bench_json.py). The
 // --assert-* flags turn the run into a CI gate: exit 1 when the measured
 // value crosses the bound.
+//
+// --golden switches to replay mode: every query of a deepod_train --golden
+// file is sent over the wire and the answer compared against the recorded
+// prediction — bit-for-bit without --tolerance. This is the cross-process
+// twin of deepod_serve --check, and the post-hot-swap gate: replaying v2's
+// golden file against a server that swapped v1 -> v2 in place must match a
+// fresh v2 process exactly.
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
+#include "cli_flags.h"
+#include "golden_file.h"
 #include "io/trip_io.h"
 #include "obs/metrics.h"
 #include "serve/server/loadgen.h"
+
+namespace {
+
+// Replays a golden file over one connection; returns the process exit code.
+int RunGoldenReplay(const std::string& host, uint16_t port,
+                    const std::string& golden_path, double tolerance) {
+  using namespace deepod;
+  std::vector<tools::GoldenQuery> golden;
+  if (!tools::ReadGoldenFile(golden_path, &golden)) {
+    std::fprintf(stderr, "cannot parse %s\n", golden_path.c_str());
+    return 1;
+  }
+  serve::net::Client client;
+  if (!client.Connect(host, port)) {
+    std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(),
+                 static_cast<unsigned>(port));
+    return 1;
+  }
+  const auto matches = [tolerance](double got, double expected) {
+    if (tolerance == 0.0) {
+      return std::memcmp(&got, &expected, sizeof(double)) == 0;
+    }
+    return std::abs(got - expected) <=
+           tolerance * std::max(1.0, std::abs(expected));
+  };
+  size_t mismatches = 0, errors = 0;
+  for (size_t i = 0; i < golden.size(); ++i) {
+    serve::net::RequestFrame request;
+    request.request_id = i + 1;
+    request.priority = 0;  // interactive: never shed by deadline estimation
+    request.od = golden[i].od;
+    serve::net::ResponseFrame response;
+    if (!client.Send(request) || !client.ReadResponse(&response)) {
+      std::fprintf(stderr, "connection lost at query %zu\n", i);
+      return 1;
+    }
+    if (response.status != serve::net::Status::kOk) {
+      if (++errors <= 5) {
+        std::fprintf(stderr, "query %zu: status %s\n", i,
+                     serve::net::StatusName(response.status));
+      }
+    } else if (!matches(response.eta_seconds, golden[i].prediction)) {
+      if (++mismatches <= 5) {
+        std::fprintf(stderr, "mismatch: od %zu->%zu expected %a got %a\n",
+                     golden[i].od.origin_segment, golden[i].od.dest_segment,
+                     golden[i].prediction, response.eta_seconds);
+      }
+    }
+  }
+  client.Close();
+  const bool pass = mismatches == 0 && errors == 0 && !golden.empty();
+  std::printf(
+      "golden replay: %zu queries, %zu mismatches, %zu errors "
+      "(tolerance %g) -> %s\n",
+      golden.size(), mismatches, errors, tolerance, pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepod;
   serve::net::LoadgenOptions options;
   options.fetch_server_stats = false;
-  std::string network_path, json_path;
+  std::string network_path, json_path, golden_path;
+  double tolerance = 0.0;  // 0 = bit-for-bit (golden mode)
   double assert_max_shed_rate = -1.0;
   double assert_min_shed_rate = -1.0;
   double assert_max_p99_ms = -1.0;
   double assert_min_goodput = -1.0;
+  int assert_max_errors = -1;
   bool print_server_stats = false;
   const auto usage = [&argv] {
     std::fprintf(
@@ -43,54 +117,74 @@ int main(int argc, char** argv) {
         "  [--high-fraction F] [--low-fraction F] [--tenants N]\n"
         "  [--slo-ms X] [--hot-fraction F] [--json PATH] [--server-stats]\n"
         "  [--assert-max-shed-rate X] [--assert-min-shed-rate X]\n"
-        "  [--assert-max-p99-ms X] [--assert-min-goodput X]\n",
-        argv[0]);
+        "  [--assert-max-p99-ms X] [--assert-min-goodput X]\n"
+        "  [--assert-max-errors N]\n"
+        "or: %s --port P --golden golden.csv [%s] [--host H]\n",
+        argv[0], argv[0], tools::cli::FlagCursor::ToleranceHelp());
     return 2;
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--host" && i + 1 < argc) {
-      options.host = argv[++i];
-    } else if (flag == "--port" && i + 1 < argc) {
-      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
-    } else if (flag == "--network" && i + 1 < argc) {
-      network_path = argv[++i];
-    } else if (flag == "--qps" && i + 1 < argc) {
-      options.qps = std::atof(argv[++i]);
-    } else if (flag == "--duration" && i + 1 < argc) {
-      options.duration_seconds = std::atof(argv[++i]);
-    } else if (flag == "--connections" && i + 1 < argc) {
-      options.connections = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--seed" && i + 1 < argc) {
-      options.seed = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--deadline-ms" && i + 1 < argc) {
-      options.deadline_ms = std::atoi(argv[++i]);
-    } else if (flag == "--high-fraction" && i + 1 < argc) {
-      options.high_fraction = std::atof(argv[++i]);
-    } else if (flag == "--low-fraction" && i + 1 < argc) {
-      options.low_fraction = std::atof(argv[++i]);
-    } else if (flag == "--tenants" && i + 1 < argc) {
-      options.num_tenants = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--slo-ms" && i + 1 < argc) {
-      options.slo_ms = std::atof(argv[++i]);
-    } else if (flag == "--hot-fraction" && i + 1 < argc) {
-      options.hot_fraction = std::atof(argv[++i]);
-    } else if (flag == "--json" && i + 1 < argc) {
-      json_path = argv[++i];
+  tools::cli::FlagCursor flags(argc, argv);
+  while (flags.Next()) {
+    const std::string& flag = flags.flag();
+    if (flag == "--host") {
+      if (!flags.StringValue(&options.host)) return 2;
+    } else if (flag == "--port") {
+      if (!flags.PortValue(&options.port)) return 2;
+    } else if (flag == "--network") {
+      if (!flags.StringValue(&network_path)) return 2;
+    } else if (flag == "--qps") {
+      if (!flags.DoubleValue(&options.qps)) return 2;
+    } else if (flag == "--duration") {
+      if (!flags.DoubleValue(&options.duration_seconds)) return 2;
+    } else if (flag == "--connections") {
+      if (!flags.SizeValue(&options.connections)) return 2;
+    } else if (flag == "--seed") {
+      if (!flags.U64Value(&options.seed)) return 2;
+    } else if (flag == "--deadline-ms") {
+      int deadline = 0;
+      if (!flags.IntValue(&deadline)) return 2;
+      options.deadline_ms = deadline;
+    } else if (flag == "--high-fraction") {
+      if (!flags.DoubleValue(&options.high_fraction)) return 2;
+    } else if (flag == "--low-fraction") {
+      if (!flags.DoubleValue(&options.low_fraction)) return 2;
+    } else if (flag == "--tenants") {
+      if (!flags.SizeValue(&options.num_tenants)) return 2;
+    } else if (flag == "--slo-ms") {
+      if (!flags.DoubleValue(&options.slo_ms)) return 2;
+    } else if (flag == "--hot-fraction") {
+      if (!flags.DoubleValue(&options.hot_fraction)) return 2;
+    } else if (flag == "--json") {
+      if (!flags.StringValue(&json_path)) return 2;
+    } else if (flag == "--golden") {
+      if (!flags.StringValue(&golden_path)) return 2;
+    } else if (flag == "--tolerance") {
+      if (!flags.ToleranceValue(&tolerance)) return 2;
     } else if (flag == "--server-stats") {
       options.fetch_server_stats = true;
       print_server_stats = true;
-    } else if (flag == "--assert-max-shed-rate" && i + 1 < argc) {
-      assert_max_shed_rate = std::atof(argv[++i]);
-    } else if (flag == "--assert-min-shed-rate" && i + 1 < argc) {
-      assert_min_shed_rate = std::atof(argv[++i]);
-    } else if (flag == "--assert-max-p99-ms" && i + 1 < argc) {
-      assert_max_p99_ms = std::atof(argv[++i]);
-    } else if (flag == "--assert-min-goodput" && i + 1 < argc) {
-      assert_min_goodput = std::atof(argv[++i]);
+    } else if (flag == "--assert-max-shed-rate") {
+      if (!flags.DoubleValue(&assert_max_shed_rate)) return 2;
+    } else if (flag == "--assert-min-shed-rate") {
+      if (!flags.DoubleValue(&assert_min_shed_rate)) return 2;
+    } else if (flag == "--assert-max-p99-ms") {
+      if (!flags.DoubleValue(&assert_max_p99_ms)) return 2;
+    } else if (flag == "--assert-min-goodput") {
+      if (!flags.DoubleValue(&assert_min_goodput)) return 2;
+    } else if (flag == "--assert-max-errors") {
+      if (!flags.IntValue(&assert_max_errors)) return 2;
     } else {
       return usage();
     }
+  }
+  if (!golden_path.empty()) {
+    // Replay mode: the queries come from the golden file, so no network csv
+    // (segment universe) is needed.
+    if (options.port == 0) {
+      std::fprintf(stderr, "--port is required\n");
+      return 2;
+    }
+    return RunGoldenReplay(options.host, options.port, golden_path, tolerance);
   }
   if (options.port == 0 || network_path.empty()) {
     std::fprintf(stderr, "--port and --network are required\n");
@@ -204,6 +298,13 @@ int main(int argc, char** argv) {
   if (assert_min_goodput >= 0.0 && report.goodput_qps < assert_min_goodput) {
     std::fprintf(stderr, "ASSERT FAIL: goodput %.1f qps < %.1f qps\n",
                  report.goodput_qps, assert_min_goodput);
+    exit_code = 1;
+  }
+  if (assert_max_errors >= 0 &&
+      report.errors > static_cast<uint64_t>(assert_max_errors)) {
+    std::fprintf(stderr, "ASSERT FAIL: %llu errors > %d\n",
+                 static_cast<unsigned long long>(report.errors),
+                 assert_max_errors);
     exit_code = 1;
   }
   if (report.lost > 0) {

@@ -24,60 +24,13 @@
 #include <string>
 #include <vector>
 
+#include "cli_flags.h"
+#include "golden_file.h"
 #include "io/model_artifact.h"
 #include "io/trip_io.h"
 #include "nn/quant.h"
 #include "nn/serialize.h"
 #include "serve/eta_service.h"
-
-namespace {
-
-struct GoldenQuery {
-  deepod::traj::OdInput od;
-  double prediction = 0.0;
-};
-
-// Parses a deepod_train --golden file (hex-float fields, header line).
-bool ReadGolden(const std::string& path, std::vector<GoldenQuery>* out) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return false;
-  char line[512];
-  bool header = true;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
-    if (header) {
-      header = false;
-      continue;
-    }
-    GoldenQuery q;
-    unsigned long long origin = 0, dest = 0;
-    int weather = 0;
-    // %la parses both hex-float and decimal doubles.
-    if (std::sscanf(line, "%llu,%llu,%la,%la,%la,%d,%la", &origin, &dest,
-                    &q.od.origin_ratio, &q.od.dest_ratio,
-                    &q.od.departure_time, &weather, &q.prediction) != 7) {
-      std::fclose(f);
-      return false;
-    }
-    q.od.origin_segment = static_cast<size_t>(origin);
-    q.od.dest_segment = static_cast<size_t>(dest);
-    q.od.weather_type = weather;
-    out->push_back(q);
-  }
-  std::fclose(f);
-  return true;
-}
-
-bool ParseKernelMode(const std::string& name, deepod::nn::KernelMode* out) {
-  using deepod::nn::KernelMode;
-  if (name == "legacy") *out = KernelMode::kLegacy;
-  else if (name == "blocked") *out = KernelMode::kBlocked;
-  else if (name == "vector") *out = KernelMode::kVector;
-  else if (name == "simd") *out = KernelMode::kSimd;
-  else return false;
-  return true;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   using namespace deepod;
@@ -94,32 +47,21 @@ int main(int argc, char** argv) {
                  argv[0]);
     return 2;
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--artifact" && i + 1 < argc) {
-      artifact_path = argv[++i];
-    } else if (flag == "--network" && i + 1 < argc) {
-      network_path = argv[++i];
-    } else if (flag == "--check" && i + 1 < argc) {
-      check_path = argv[++i];
-    } else if (flag == "--tolerance" && i + 1 < argc) {
-      tolerance = std::atof(argv[++i]);
-      if (!(tolerance >= 0.0)) {
-        std::fprintf(stderr, "--tolerance must be >= 0\n");
-        return 2;
-      }
-    } else if (flag == "--quant" && i + 1 < argc) {
-      if (!nn::ParseQuantMode(argv[++i], &options.quant)) {
-        std::fprintf(stderr, "unknown --quant mode '%s'\n", argv[i]);
-        return 2;
-      }
-    } else if (flag == "--kernel" && i + 1 < argc) {
-      nn::KernelMode mode;
-      if (!ParseKernelMode(argv[++i], &mode)) {
-        std::fprintf(stderr, "unknown --kernel mode '%s'\n", argv[i]);
-        return 2;
-      }
-      options.kernel_mode = mode;
+  tools::cli::FlagCursor flags(argc, argv);
+  while (flags.Next()) {
+    const std::string& flag = flags.flag();
+    if (flag == "--artifact") {
+      if (!flags.StringValue(&artifact_path)) return 2;
+    } else if (flag == "--network") {
+      if (!flags.StringValue(&network_path)) return 2;
+    } else if (flag == "--check") {
+      if (!flags.StringValue(&check_path)) return 2;
+    } else if (flag == "--tolerance") {
+      if (!flags.ToleranceValue(&tolerance)) return 2;
+    } else if (flag == "--quant") {
+      if (!flags.QuantValue(&options.quant)) return 2;
+    } else if (flag == "--kernel") {
+      if (!flags.KernelValue(&options.kernel_mode)) return 2;
     } else if (flag == "--stats") {
       stats = true;
     } else {
@@ -146,8 +88,8 @@ int main(int argc, char** argv) {
 
   int exit_code = 0;
   if (!check_path.empty()) {
-    std::vector<GoldenQuery> golden;
-    if (!ReadGolden(check_path, &golden)) {
+    std::vector<tools::GoldenQuery> golden;
+    if (!tools::ReadGoldenFile(check_path, &golden)) {
       std::fprintf(stderr, "cannot parse %s\n", check_path.c_str());
       return 1;
     }

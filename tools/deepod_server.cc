@@ -9,42 +9,56 @@
 //                 [--tenants N] [--tenant-rate R] [--tenant-burst B]
 //                 [--no-deadline-shed] [--quant MODE] [--kernel MODE]
 //                 [--cache-capacity N] [--stats-json PATH]
+//                 [--watch] [--poll-ms N]
+//                 [--live-speed] [--publish-ms N] [--speed-grid-m X]
+//                 [--speed-window-s X]
+//                 [--drift-window N] [--drift-trigger X]
 //
 // Prints "listening on HOST:PORT" once the socket is bound (port 0 binds
 // an ephemeral port; scripts parse the line to discover it). SIGTERM and
 // SIGINT trigger a graceful drain: stop accepting, answer every admitted
 // request, close connections, then exit 0 — the shutdown contract the CI
-// server-smoke job asserts. --stats-json writes the server+service obs
-// registries (BENCH-json schema) on the way out.
+// server-smoke job asserts. --stats-json writes the unified stats document
+// (serve::ExportStatsJson — identical to the wire stats frame) on the way
+// out.
+//
+// Live serving (DESIGN.md "Live serving"):
+//   --watch        polls the artifact path and hot-swaps a rewritten
+//                  artifact into the running service with zero downtime
+//                  (publish new artifacts with an atomic rename into place;
+//                  a corrupt artifact is rejected and the old model keeps
+//                  serving).
+//   --live-speed   stands up a RollingSpeedField fed by ObserveTrip frames;
+//                  a publish ticker folds ingested observations into served
+//                  matrices every --publish-ms and bumps the service epoch.
+//   --drift-trigger X  prints a retrain-trigger line when the rolling MAE
+//                  of predictions vs observed actuals crosses X seconds.
 
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
+#include "cli_flags.h"
 #include "io/model_artifact.h"
 #include "io/trip_io.h"
 #include "nn/quant.h"
 #include "nn/serialize.h"
+#include "serve/drift_monitor.h"
 #include "serve/eta_service.h"
+#include "serve/model_reloader.h"
 #include "serve/server/server.h"
+#include "sim/rolling_speed_field.h"
 
 namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void HandleStop(int) { g_stop = 1; }
-
-bool ParseKernelMode(const std::string& name, deepod::nn::KernelMode* out) {
-  using deepod::nn::KernelMode;
-  if (name == "legacy") *out = KernelMode::kLegacy;
-  else if (name == "blocked") *out = KernelMode::kBlocked;
-  else if (name == "vector") *out = KernelMode::kVector;
-  else if (name == "simd") *out = KernelMode::kSimd;
-  else return false;
-  return true;
-}
 
 }  // namespace
 
@@ -53,6 +67,14 @@ int main(int argc, char** argv) {
   std::string artifact_path, network_path, stats_json_path;
   serve::EtaServiceOptions service_options;
   serve::net::ServerOptions server_options;
+  bool watch = false;
+  size_t poll_ms = 200;
+  bool live_speed = false;
+  size_t publish_ms = 1000;
+  double speed_grid_m = 200.0;    // sim::DatasetConfig::speed_grid_m default
+  double speed_window_s = 3600.0;
+  size_t drift_window = 256;
+  double drift_trigger = 0.0;
   const auto usage = [&argv] {
     std::fprintf(
         stderr,
@@ -60,55 +82,66 @@ int main(int argc, char** argv) {
         "  [--max-batch N] [--executors N] [--batch-threads N]\n"
         "  [--queue-capacity N] [--tenants N] [--tenant-rate R]\n"
         "  [--tenant-burst B] [--no-deadline-shed]\n"
-        "  [--quant none|fp16|int8] [--kernel legacy|blocked|vector|simd]\n"
-        "  [--cache-capacity N] [--stats-json PATH]\n",
-        argv[0]);
+        "  [%s] [%s]\n"
+        "  [--cache-capacity N] [--stats-json PATH]\n"
+        "  [--watch] [--poll-ms N]\n"
+        "  [--live-speed] [--publish-ms N] [--speed-grid-m X]\n"
+        "  [--speed-window-s X] [--drift-window N] [--drift-trigger X]\n",
+        argv[0], tools::cli::FlagCursor::QuantHelp(),
+        tools::cli::FlagCursor::KernelHelp());
     return 2;
   };
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    if (flag == "--artifact" && i + 1 < argc) {
-      artifact_path = argv[++i];
-    } else if (flag == "--network" && i + 1 < argc) {
-      network_path = argv[++i];
-    } else if (flag == "--host" && i + 1 < argc) {
-      server_options.host = argv[++i];
-    } else if (flag == "--port" && i + 1 < argc) {
-      server_options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
-    } else if (flag == "--max-batch" && i + 1 < argc) {
-      server_options.max_batch = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--executors" && i + 1 < argc) {
-      server_options.executors = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--batch-threads" && i + 1 < argc) {
-      server_options.batch_threads = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--queue-capacity" && i + 1 < argc) {
-      server_options.admission.queue_capacity =
-          std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--tenants" && i + 1 < argc) {
-      server_options.admission.num_tenants =
-          std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--tenant-rate" && i + 1 < argc) {
-      server_options.admission.tenant_rate = std::atof(argv[++i]);
-    } else if (flag == "--tenant-burst" && i + 1 < argc) {
-      server_options.admission.tenant_burst = std::atof(argv[++i]);
+  tools::cli::FlagCursor flags(argc, argv);
+  while (flags.Next()) {
+    const std::string& flag = flags.flag();
+    if (flag == "--artifact") {
+      if (!flags.StringValue(&artifact_path)) return 2;
+    } else if (flag == "--network") {
+      if (!flags.StringValue(&network_path)) return 2;
+    } else if (flag == "--host") {
+      if (!flags.StringValue(&server_options.host)) return 2;
+    } else if (flag == "--port") {
+      if (!flags.PortValue(&server_options.port)) return 2;
+    } else if (flag == "--max-batch") {
+      if (!flags.SizeValue(&server_options.max_batch)) return 2;
+    } else if (flag == "--executors") {
+      if (!flags.SizeValue(&server_options.executors)) return 2;
+    } else if (flag == "--batch-threads") {
+      if (!flags.SizeValue(&server_options.batch_threads)) return 2;
+    } else if (flag == "--queue-capacity") {
+      if (!flags.SizeValue(&server_options.admission.queue_capacity)) return 2;
+    } else if (flag == "--tenants") {
+      if (!flags.SizeValue(&server_options.admission.num_tenants)) return 2;
+    } else if (flag == "--tenant-rate") {
+      if (!flags.DoubleValue(&server_options.admission.tenant_rate)) return 2;
+    } else if (flag == "--tenant-burst") {
+      if (!flags.DoubleValue(&server_options.admission.tenant_burst)) return 2;
     } else if (flag == "--no-deadline-shed") {
       server_options.admission.deadline_shedding = false;
-    } else if (flag == "--quant" && i + 1 < argc) {
-      if (!nn::ParseQuantMode(argv[++i], &service_options.quant)) {
-        std::fprintf(stderr, "unknown --quant mode '%s'\n", argv[i]);
-        return 2;
-      }
-    } else if (flag == "--kernel" && i + 1 < argc) {
-      nn::KernelMode mode;
-      if (!ParseKernelMode(argv[++i], &mode)) {
-        std::fprintf(stderr, "unknown --kernel mode '%s'\n", argv[i]);
-        return 2;
-      }
-      service_options.kernel_mode = mode;
-    } else if (flag == "--cache-capacity" && i + 1 < argc) {
-      service_options.cache_capacity = std::strtoull(argv[++i], nullptr, 10);
-    } else if (flag == "--stats-json" && i + 1 < argc) {
-      stats_json_path = argv[++i];
+    } else if (flag == "--quant") {
+      if (!flags.QuantValue(&service_options.quant)) return 2;
+    } else if (flag == "--kernel") {
+      if (!flags.KernelValue(&service_options.kernel_mode)) return 2;
+    } else if (flag == "--cache-capacity") {
+      if (!flags.SizeValue(&service_options.cache_capacity)) return 2;
+    } else if (flag == "--stats-json") {
+      if (!flags.StringValue(&stats_json_path)) return 2;
+    } else if (flag == "--watch") {
+      watch = true;
+    } else if (flag == "--poll-ms") {
+      if (!flags.SizeValue(&poll_ms)) return 2;
+    } else if (flag == "--live-speed") {
+      live_speed = true;
+    } else if (flag == "--publish-ms") {
+      if (!flags.SizeValue(&publish_ms)) return 2;
+    } else if (flag == "--speed-grid-m") {
+      if (!flags.DoubleValue(&speed_grid_m)) return 2;
+    } else if (flag == "--speed-window-s") {
+      if (!flags.DoubleValue(&speed_window_s)) return 2;
+    } else if (flag == "--drift-window") {
+      if (!flags.SizeValue(&drift_window)) return 2;
+    } else if (flag == "--drift-trigger") {
+      if (!flags.DoubleValue(&drift_trigger)) return 2;
     } else {
       return usage();
     }
@@ -129,6 +162,71 @@ int main(int argc, char** argv) {
     return 1;
   }
   server_options.num_segments = network.num_segments();
+
+  // The construction epoch, pinned for the process lifetime: the rolling
+  // field's baseline points into this bundle's frozen speed field, so the
+  // bundle must survive hot swaps that would otherwise free it.
+  const std::shared_ptr<const serve::ServingState> initial_state =
+      service->state();
+
+  std::unique_ptr<sim::RollingSpeedField> rolling;
+  if (live_speed) {
+    const sim::SpeedProvider* baseline =
+        initial_state->bundle != nullptr ? initial_state->bundle->speed.get()
+                                         : nullptr;
+    const double snapshot_seconds =
+        baseline != nullptr ? baseline->snapshot_seconds()
+                            : initial_state->bundle->config.slot_seconds;
+    sim::RollingSpeedField::Options rolling_options;
+    rolling_options.window_seconds = speed_window_s;
+    rolling = std::make_unique<sim::RollingSpeedField>(
+        network, speed_grid_m, snapshot_seconds, baseline, rolling_options);
+    // Point the serving model at the live field (its empty table falls back
+    // to the artifact's frozen matrices, so behaviour is unchanged until
+    // the first publish) and invalidate what was cached under the frozen
+    // provider.
+    initial_state->model->SetSpeedProvider(rolling.get());
+    service->BumpEpoch();
+    std::printf("live speed field: %zux%zu grid, %.0fs snapshots, %.0fs "
+                "window\n",
+                rolling->rows(), rolling->cols(), snapshot_seconds,
+                speed_window_s);
+  }
+
+  serve::DriftMonitorOptions drift_options;
+  drift_options.window = drift_window;
+  drift_options.trigger_mae = drift_trigger;
+  serve::DriftMonitor drift(drift_options, [](double mae) {
+    std::printf("drift: retrain trigger fired (rolling MAE %.3f s)\n", mae);
+    std::fflush(stdout);
+  });
+
+  std::unique_ptr<serve::ModelReloader> reloader;
+  if (watch) {
+    serve::ModelReloaderOptions reloader_options;
+    reloader_options.poll_interval = std::chrono::milliseconds(poll_ms);
+    reloader_options.artifact.quant = service_options.quant;
+    sim::RollingSpeedField* rolling_ptr = rolling.get();
+    const std::string log_path = artifact_path;
+    reloader = std::make_unique<serve::ModelReloader>(
+        *service, artifact_path, network, reloader_options,
+        [rolling_ptr, log_path](serve::ServingState& state) {
+          // Swapped-in models serve live speeds from their first request.
+          if (rolling_ptr != nullptr) {
+            state.model->SetSpeedProvider(rolling_ptr);
+          }
+          // Runs on the watcher thread after a successful load+validate,
+          // immediately before the epoch flip — the operator-visible (and
+          // CI-greppable) record that a new artifact went live.
+          std::printf("reloaded %s\n", log_path.c_str());
+          std::fflush(stdout);
+        });
+    std::printf("watching %s (poll %zums)\n", artifact_path.c_str(), poll_ms);
+  }
+
+  server_options.live.rolling_field = rolling.get();
+  server_options.live.drift = &drift;
+  server_options.live.reloader = reloader.get();
 
   // Block SIGTERM/SIGINT before the server spawns its threads so every
   // thread inherits the blocked mask and delivery can only happen inside
@@ -154,6 +252,26 @@ int main(int argc, char** argv) {
               static_cast<unsigned>(server.port()));
   std::fflush(stdout);
 
+  // Publish ticker: fold ingested observations into served matrices and
+  // bump the cache generation whenever anything new arrived.
+  std::thread publisher;
+  std::mutex publish_mu;
+  std::condition_variable publish_cv;
+  bool publish_stop = false;
+  if (rolling != nullptr) {
+    publisher = std::thread([&] {
+      for (;;) {
+        {
+          std::unique_lock<std::mutex> lock(publish_mu);
+          publish_cv.wait_for(lock, std::chrono::milliseconds(publish_ms),
+                              [&] { return publish_stop; });
+          if (publish_stop) return;
+        }
+        if (rolling->Publish() > 0) service->BumpEpoch();
+      }
+    });
+  }
+
   sigset_t wait_mask = old_mask;
   sigdelset(&wait_mask, SIGTERM);
   sigdelset(&wait_mask, SIGINT);
@@ -161,6 +279,15 @@ int main(int argc, char** argv) {
 
   std::printf("draining...\n");
   std::fflush(stdout);
+  if (publisher.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(publish_mu);
+      publish_stop = true;
+    }
+    publish_cv.notify_all();
+    publisher.join();
+  }
+  if (reloader != nullptr) reloader->Stop();
   server.Shutdown();
   if (!stats_json_path.empty()) {
     std::FILE* f = std::fopen(stats_json_path.c_str(), "w");

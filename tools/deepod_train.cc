@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_flags.h"
 #include "core/deepod_config.h"
 #include "core/deepod_model.h"
 #include "core/trainer.h"
@@ -77,43 +78,38 @@ void Usage(const char* argv0) {
 }
 
 bool ParseArgs(int argc, char** argv, Args* args) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
-    const auto value = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : nullptr;
-    };
-    const char* v = nullptr;
-    if (flag == "--out" && (v = value())) {
-      args->out = v;
-    } else if (flag == "--scale" && (v = value())) {
-      args->scale = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--epochs" && (v = value())) {
-      args->epochs = std::atoi(v);
-    } else if (flag == "--grid" && (v = value())) {
-      args->grid = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--trips-per-day" && (v = value())) {
-      args->trips_per_day = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--days" && (v = value())) {
-      args->num_days = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--seed" && (v = value())) {
-      args->seed = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--threads" && (v = value())) {
-      args->threads = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--golden" && (v = value())) {
-      args->golden = std::strtoull(v, nullptr, 10);
-    } else if (flag == "--checkpoint" && (v = value())) {
-      args->checkpoint = v;
-    } else if (flag == "--quant" && (v = value())) {
-      if (!deepod::nn::ParseQuantMode(v, &args->quant)) {
-        std::fprintf(stderr, "unknown --quant mode '%s'\n", v);
-        return false;
-      }
-    } else if (flag == "--data" && (v = value())) {
-      args->data = v;
-    } else if (flag == "--feed" && (v = value())) {
-      args->feed = v;
+  deepod::tools::cli::FlagCursor flags(argc, argv);
+  while (flags.Next()) {
+    const std::string& flag = flags.flag();
+    if (flag == "--out") {
+      if (!flags.StringValue(&args->out)) return false;
+    } else if (flag == "--scale") {
+      if (!flags.SizeValue(&args->scale)) return false;
+    } else if (flag == "--epochs") {
+      if (!flags.IntValue(&args->epochs)) return false;
+    } else if (flag == "--grid") {
+      if (!flags.SizeValue(&args->grid)) return false;
+    } else if (flag == "--trips-per-day") {
+      if (!flags.SizeValue(&args->trips_per_day)) return false;
+    } else if (flag == "--days") {
+      if (!flags.SizeValue(&args->num_days)) return false;
+    } else if (flag == "--seed") {
+      if (!flags.U64Value(&args->seed)) return false;
+    } else if (flag == "--threads") {
+      if (!flags.SizeValue(&args->threads)) return false;
+    } else if (flag == "--golden") {
+      if (!flags.SizeValue(&args->golden)) return false;
+    } else if (flag == "--checkpoint") {
+      if (!flags.StringValue(&args->checkpoint)) return false;
+    } else if (flag == "--quant") {
+      if (!flags.QuantValue(&args->quant)) return false;
+    } else if (flag == "--data") {
+      if (!flags.DataDirValue(&args->data)) return false;
+    } else if (flag == "--feed") {
+      if (!flags.StringValue(&args->feed)) return false;
       if (args->feed != "inmemory" && args->feed != "sharded") {
-        std::fprintf(stderr, "unknown --feed '%s'\n", v);
+        std::fprintf(stderr, "unknown --feed '%s' (expected inmemory|sharded)\n",
+                     args->feed.c_str());
         return false;
       }
     } else if (flag == "--parity-check") {
