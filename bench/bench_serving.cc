@@ -231,7 +231,7 @@ int main(int argc, char** argv) {
     const double secs = sw.ElapsedSeconds();
     const auto stats = service.StatsSnapshot();
     std::printf(
-        "Submit micro-batching:     %8.0f queries/s  avg batch %.1f  "
+        "TrySubmit micro-batching:  %8.0f queries/s  avg batch %.1f  "
         "p50 %.3f ms  p99 %.3f ms\n",
         n / secs, stats.avg_batch_size, stats.p50_ms, stats.p99_ms);
     records.push_back(

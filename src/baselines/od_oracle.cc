@@ -1,0 +1,161 @@
+#include "baselines/od_oracle.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace deepod::baselines {
+
+namespace {
+
+// Binary search for `key` in a sorted double-key table; returns the index or
+// SIZE_MAX when absent.
+size_t FindKey(const std::vector<double>& keys, double key) {
+  auto it = std::lower_bound(keys.begin(), keys.end(), key);
+  if (it == keys.end() || *it != key) return static_cast<size_t>(-1);
+  return static_cast<size_t>(it - keys.begin());
+}
+
+// Extracts an accumulator map into sorted parallel (key, mean, count) arrays.
+void ExtractSorted(
+    const std::unordered_map<int64_t, std::pair<double, double>>& acc,
+    std::vector<double>* keys, std::vector<double>* means,
+    std::vector<double>* counts) {
+  std::vector<int64_t> order;
+  order.reserve(acc.size());
+  for (const auto& [key, unused] : acc) order.push_back(key);
+  std::sort(order.begin(), order.end());
+  keys->clear();
+  means->clear();
+  counts->clear();
+  keys->reserve(order.size());
+  means->reserve(order.size());
+  counts->reserve(order.size());
+  for (int64_t key : order) {
+    const auto& [sum, count] = acc.at(key);
+    keys->push_back(static_cast<double>(key));
+    means->push_back(count > 0.0 ? sum / count : 0.0);
+    counts->push_back(count);
+  }
+}
+
+}  // namespace
+
+OdOracle::OdOracle(const road::RoadNetwork& network, const Options& options) {
+  grid_cells_ = static_cast<double>(std::max<size_t>(options.grid_cells, 1));
+  slot_seconds_ = options.slot_seconds > 0.0 ? options.slot_seconds : 3600.0;
+  slots_per_day_ = std::max(1.0, std::ceil(86400.0 / slot_seconds_));
+  road::Point lo, hi;
+  network.BoundingBox(&lo, &hi);
+  lo_x_ = lo.x;
+  lo_y_ = lo.y;
+  hi_x_ = hi.x;
+  hi_y_ = hi.y;
+}
+
+bool OdOracle::CellOf(const road::Point& p, double* cell) const {
+  if (grid_cells_ <= 0.0) return false;
+  const double cells = grid_cells_;
+  const double span_x = hi_x_ - lo_x_;
+  const double span_y = hi_y_ - lo_y_;
+  // Degenerate spans (single-column networks) collapse that axis to cell 0.
+  double col = span_x > 0.0 ? std::floor((p.x - lo_x_) / span_x * cells) : 0.0;
+  double row = span_y > 0.0 ? std::floor((p.y - lo_y_) / span_y * cells) : 0.0;
+  col = std::clamp(col, 0.0, cells - 1.0);
+  row = std::clamp(row, 0.0, cells - 1.0);
+  *cell = row * cells + col;
+  return true;
+}
+
+bool OdOracle::Locate(const road::RoadNetwork& network,
+                      const traj::OdInput& od, double* pair_key,
+                      double* bucket_key) const {
+  if (od.origin_segment >= network.num_segments() ||
+      od.dest_segment >= network.num_segments()) {
+    return false;
+  }
+  const road::Point o =
+      network.PointAlong(od.origin_segment, od.origin_ratio);
+  const road::Point d = network.PointAlong(od.dest_segment, od.dest_ratio);
+  double o_cell = 0.0, d_cell = 0.0;
+  if (!CellOf(o, &o_cell) || !CellOf(d, &d_cell)) return false;
+  const double num_cells = grid_cells_ * grid_cells_;
+  double seconds_of_day = std::fmod(od.departure_time, 86400.0);
+  if (seconds_of_day < 0.0) seconds_of_day += 86400.0;
+  double slot = std::floor(seconds_of_day / slot_seconds_);
+  slot = std::clamp(slot, 0.0, slots_per_day_ - 1.0);
+  *pair_key = o_cell * num_cells + d_cell;
+  *bucket_key = *pair_key * slots_per_day_ + slot;
+  return true;
+}
+
+void OdOracle::Add(const road::RoadNetwork& network, const traj::OdInput& od,
+                   double travel_time) {
+  sum_ += travel_time;
+  global_count_ += 1.0;
+  double pair_key = 0.0, bucket_key = 0.0;
+  if (!Locate(network, od, &pair_key, &bucket_key)) return;
+  auto& bucket = acc_[static_cast<int64_t>(bucket_key)];
+  bucket.first += travel_time;
+  bucket.second += 1.0;
+  auto& pair = pair_acc_[static_cast<int64_t>(pair_key)];
+  pair.first += travel_time;
+  pair.second += 1.0;
+}
+
+void OdOracle::Finalize() {
+  global_mean_ = global_count_ > 0.0 ? sum_ / global_count_ : 0.0;
+  ExtractSorted(acc_, &keys_, &means_, &counts_);
+  ExtractSorted(pair_acc_, &pair_keys_, &pair_means_, &pair_counts_);
+  acc_.clear();
+  pair_acc_.clear();
+}
+
+double OdOracle::Predict(const road::RoadNetwork& network,
+                         const traj::OdInput& od) const {
+  double pair_key = 0.0, bucket_key = 0.0;
+  if (!Locate(network, od, &pair_key, &bucket_key)) return global_mean_;
+  size_t idx = FindKey(keys_, bucket_key);
+  if (idx != static_cast<size_t>(-1)) return means_[idx];
+  idx = FindKey(pair_keys_, pair_key);
+  if (idx != static_cast<size_t>(-1)) return pair_means_[idx];
+  return global_mean_;
+}
+
+bool OdOracle::InDistribution(const road::RoadNetwork& network,
+                              const traj::OdInput& od) const {
+  double pair_key = 0.0, bucket_key = 0.0;
+  if (!Locate(network, od, &pair_key, &bucket_key)) return false;
+  return FindKey(pair_keys_, pair_key) != static_cast<size_t>(-1);
+}
+
+void OdOracle::AppendState(const std::string& prefix, nn::StateDict& dict) {
+  dict.AddScalarBuffer(prefix + "grid_cells", &grid_cells_);
+  dict.AddScalarBuffer(prefix + "slots_per_day", &slots_per_day_);
+  dict.AddScalarBuffer(prefix + "slot_seconds", &slot_seconds_);
+  dict.AddScalarBuffer(prefix + "lo_x", &lo_x_);
+  dict.AddScalarBuffer(prefix + "lo_y", &lo_y_);
+  dict.AddScalarBuffer(prefix + "hi_x", &hi_x_);
+  dict.AddScalarBuffer(prefix + "hi_y", &hi_y_);
+  dict.AddScalarBuffer(prefix + "global_mean", &global_mean_);
+  dict.AddScalarBuffer(prefix + "global_count", &global_count_);
+  dict.AddBuffer(prefix + "keys", {keys_.size()}, keys_.data());
+  dict.AddBuffer(prefix + "means", {means_.size()}, means_.data());
+  dict.AddBuffer(prefix + "counts", {counts_.size()}, counts_.data());
+  dict.AddBuffer(prefix + "pair_keys", {pair_keys_.size()}, pair_keys_.data());
+  dict.AddBuffer(prefix + "pair_means", {pair_means_.size()},
+                 pair_means_.data());
+  dict.AddBuffer(prefix + "pair_counts", {pair_counts_.size()},
+                 pair_counts_.data());
+}
+
+void OdOracle::PrepareLoad(size_t num_buckets, size_t num_pairs) {
+  keys_.assign(num_buckets, 0.0);
+  means_.assign(num_buckets, 0.0);
+  counts_.assign(num_buckets, 0.0);
+  pair_keys_.assign(num_pairs, 0.0);
+  pair_means_.assign(num_pairs, 0.0);
+  pair_counts_.assign(num_pairs, 0.0);
+}
+
+}  // namespace deepod::baselines

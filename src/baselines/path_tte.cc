@@ -1,0 +1,84 @@
+#include "baselines/path_tte.h"
+
+#include <algorithm>
+
+#include "road/routing.h"
+
+namespace deepod::baselines {
+
+void LinkMeanEstimator::Add(const traj::MatchedTrajectory& trajectory) {
+  for (const traj::PathElement& element : trajectory.path) {
+    if (element.segment_id >= sums_.size()) {
+      sums_.resize(element.segment_id + 1, 0.0);
+      counts_.resize(element.segment_id + 1, 0.0);
+    }
+    sums_[element.segment_id] += element.exit - element.enter;
+    counts_[element.segment_id] += 1.0;
+  }
+}
+
+void LinkMeanEstimator::Finalize(size_t num_segments) {
+  sums_.resize(std::max(num_segments, sums_.size()), 0.0);
+  counts_.resize(sums_.size(), 0.0);
+  double mean_sum = 0.0;
+  double seen = 0.0;
+  for (size_t i = 0; i < sums_.size(); ++i) {
+    if (counts_[i] > 0.0) {
+      mean_sum += sums_[i] / counts_[i];
+      seen += 1.0;
+    }
+  }
+  fallback_ = seen > 0.0 ? mean_sum / seen : 0.0;
+  means_.assign(sums_.size(), fallback_);
+  for (size_t i = 0; i < sums_.size(); ++i) {
+    if (counts_[i] > 0.0) means_[i] = sums_[i] / counts_[i];
+  }
+  sums_.clear();
+  counts_.clear();
+}
+
+double LinkMeanEstimator::PredictRoute(
+    std::span<const size_t> segment_ids) const {
+  double total = 0.0;
+  for (size_t id : segment_ids) {
+    total += id < means_.size() ? means_[id] : fallback_;
+  }
+  return total;
+}
+
+double LinkMeanEstimator::Predict(const road::RoadNetwork& network,
+                                  const traj::OdInput& od) const {
+  if (od.origin_segment >= network.num_segments() ||
+      od.dest_segment >= network.num_segments()) {
+    return fallback_;
+  }
+  const double origin_mean = od.origin_segment < means_.size()
+                                 ? means_[od.origin_segment]
+                                 : fallback_;
+  if (od.origin_segment == od.dest_segment) {
+    const double span = std::max(0.0, od.dest_ratio - od.origin_ratio);
+    return origin_mean * span;
+  }
+  const double dest_mean =
+      od.dest_segment < means_.size() ? means_[od.dest_segment] : fallback_;
+  double total = origin_mean * (1.0 - od.origin_ratio) +
+                 dest_mean * od.dest_ratio;
+  const road::Route route = road::ShortestRoute(
+      network, network.segment(od.origin_segment).to,
+      network.segment(od.dest_segment).from, road::FreeFlowCost);
+  // Unreachable OD: the endpoint contributions are all we can say.
+  total += PredictRoute(route.segment_ids);
+  return total;
+}
+
+void LinkMeanEstimator::AppendState(const std::string& prefix,
+                                    nn::StateDict& dict) {
+  dict.AddScalarBuffer(prefix + "fallback", &fallback_);
+  dict.AddBuffer(prefix + "means", {means_.size()}, means_.data());
+}
+
+void LinkMeanEstimator::PrepareLoad(size_t num_segments) {
+  means_.assign(num_segments, 0.0);
+}
+
+}  // namespace deepod::baselines

@@ -1,0 +1,67 @@
+#ifndef DEEPOD_BASELINES_PATH_TTE_H_
+#define DEEPOD_BASELINES_PATH_TTE_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/module.h"
+#include "road/road_network.h"
+#include "traj/trajectory.h"
+
+namespace deepod::baselines {
+
+// Link-mean PathTTE estimator (SNIPPETS.md §2, after MMTEC's path-based
+// travel-time baseline): each road segment gets the mean observed dwell time
+// of its traversals in the training trajectories; a route's travel time is
+// the sum of its links' means. OD queries without a route are answered by
+// routing the free-flow shortest path first, with the first/last partial
+// segments scaled by the matched ratios.
+//
+// Like OdOracle this is a serving-time fallback tier — trained in one
+// streaming pass (Add per trajectory, Finalize once), serialized into the
+// model artifact, and cheap enough to answer on the connection thread.
+class LinkMeanEstimator {
+ public:
+  // Empty estimator for deserialisation (PrepareLoad + AppendState +
+  // nn::DeserializeStateDict).
+  LinkMeanEstimator() = default;
+
+  // Accumulates the per-link dwell times of one matched trajectory.
+  void Add(const traj::MatchedTrajectory& trajectory);
+
+  // Builds per-segment means; segments never traversed in training get the
+  // mean of the observed links' means so every route stays answerable.
+  void Finalize(size_t num_segments);
+
+  // Sum of link means over an explicit segment sequence.
+  double PredictRoute(std::span<const size_t> segment_ids) const;
+
+  // Routes the free-flow shortest path between the OD's matched segments and
+  // sums its link means; the origin contributes (1 - origin_ratio) of its
+  // mean and the destination dest_ratio of its mean. Returns the fallback
+  // mean when no path exists or the segments are invalid.
+  double Predict(const road::RoadNetwork& network,
+                 const traj::OdInput& od) const;
+
+  size_t num_segments() const { return means_.size(); }
+  double fallback() const { return fallback_; }
+
+  // --- Serialization (model-artifact records under `prefix`) ----------------
+  // Buffers point at this object's storage; it must outlive the dict.
+  void AppendState(const std::string& prefix, nn::StateDict& dict);
+  void PrepareLoad(size_t num_segments);
+
+ private:
+  std::vector<double> means_;
+  double fallback_ = 0.0;
+
+  // Accumulation state (train-time only; cleared by Finalize).
+  std::vector<double> sums_;
+  std::vector<double> counts_;
+};
+
+}  // namespace deepod::baselines
+
+#endif  // DEEPOD_BASELINES_PATH_TTE_H_

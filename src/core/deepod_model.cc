@@ -33,9 +33,32 @@ void InitEmbedding(nn::Embedding& table, const util::WeightedDigraph& graph,
   table.LoadPretrained(matrix);
 }
 
+// The trajectory-derived constructor inputs, computed from the in-memory
+// train split. The streamed path (deepod_train --feed sharded) computes the
+// same two values in one pass over the trip shards instead.
+std::unique_ptr<util::WeightedDigraph> TrainEdgeGraph(
+    const DeepOdConfig& config, const sim::Dataset& dataset) {
+  if (config.road_init == RoadInit::kOneHot) return nullptr;
+  return std::make_unique<util::WeightedDigraph>(road::BuildEdgeGraph(
+      dataset.network, dataset.TrainSegmentSequences()));
+}
+
+double TrainTimeScale(const sim::Dataset& dataset) {
+  if (dataset.train.empty()) return 1.0;
+  double sum = 0.0;
+  for (const auto& t : dataset.train) sum += t.travel_time;
+  return sum / static_cast<double>(dataset.train.size());
+}
+
 }  // namespace
 
 DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset)
+    : DeepOdModel(config, dataset, TrainEdgeGraph(config, dataset).get(),
+                  TrainTimeScale(dataset)) {}
+
+DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset,
+                         const util::WeightedDigraph* edge_graph,
+                         double time_scale)
     : config_(config),
       network_(dataset.network),
       speed_(dataset.speed_matrices.get()),
@@ -51,9 +74,11 @@ DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset
       dataset.network.num_segments(), config_.ds, rng);
   const bool road_random = config_.road_init == RoadInit::kOneHot;
   if (!road_random) {
-    const auto edge_graph = road::BuildEdgeGraph(
-        dataset.network, dataset.TrainSegmentSequences());
-    InitEmbedding(*road_embedding_, edge_graph, config_.embed_method,
+    if (edge_graph == nullptr) {
+      throw std::invalid_argument(
+          "DeepOdModel: road_init requires a co-occurrence edge graph");
+    }
+    InitEmbedding(*road_embedding_, *edge_graph, config_.embed_method,
                   config_.ds, rng, road_random);
   }
 
@@ -76,12 +101,8 @@ DeepOdModel::DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset
 
   BuildModules(rng);
 
-  // Default time scale: mean training travel time.
-  if (!dataset.train.empty()) {
-    double sum = 0.0;
-    for (const auto& t : dataset.train) sum += t.travel_time;
-    time_scale_ = sum / static_cast<double>(dataset.train.size());
-  }
+  // Mean training travel time (1.0 when no training trips exist).
+  time_scale_ = time_scale;
 }
 
 DeepOdModel::DeepOdModel(const DeepOdConfig& config,

@@ -16,6 +16,10 @@
 #include "traj/trajectory.h"
 #include "util/thread_pool.h"
 
+namespace deepod::util {
+class WeightedDigraph;
+}
+
 namespace deepod::core {
 
 // The DeepOD architecture (Fig. 3): the OD encoder M_O, the trajectory
@@ -33,6 +37,18 @@ class DeepOdModel : public nn::Module {
   // field, the temporal slotter and the training trajectories used for
   // edge-graph co-occurrence weights (and the time-scale default).
   DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset);
+
+  // Streamed-init training construction: identical to the constructor above
+  // except the two trajectory-derived inputs — the co-occurrence edge graph
+  // and the mean training travel time — are supplied by the caller (e.g.
+  // accumulated in one pass over trip shards with road::EdgeGraphAccumulator)
+  // instead of being read from dataset.train, which may therefore be empty.
+  // RNG consumption order matches the in-memory constructor exactly, so
+  // equal inputs produce bit-identical parameters (pinned by datagen_test).
+  // `edge_graph` may be null only when config.road_init == kOneHot (the
+  // in-memory path never builds the graph there either).
+  DeepOdModel(const DeepOdConfig& config, const sim::Dataset& dataset,
+              const util::WeightedDigraph* edge_graph, double time_scale);
 
   // Predict-only construction: the model needs only the road network (for
   // table sizes and route predictions) and a speed provider (may be null —

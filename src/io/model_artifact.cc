@@ -11,7 +11,12 @@
 namespace deepod::io {
 namespace {
 
-constexpr double kArtifactVersion = 1.0;
+// v1: version + config.* + model.* + optional speed.*.
+// v2: adds artifact.network_id and the optional oracle.* / linkmean.*
+// fallback-estimator blocks. v1 artifacts still load (network_id 0, no
+// fallback estimators); new artifacts are always written as v2.
+constexpr double kArtifactVersion = 2.0;
+constexpr double kMinArtifactVersion = 1.0;
 
 // The config snapshot as (field name, value) pairs. Enum fields are stored
 // as their integer values; the seed is stored as a double (exact below
@@ -131,6 +136,8 @@ void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
   nn::StateDict dict;
   double version = kArtifactVersion;
   dict.AddScalarBuffer("artifact.version", &version);
+  double network_id = static_cast<double>(options.network_id);
+  dict.AddScalarBuffer("artifact.network_id", &network_id);
 
   auto config_fields = ConfigFields(model.config());
   for (auto& [name, value] : config_fields) {
@@ -138,6 +145,11 @@ void WriteModelArtifact(const std::string& path, core::DeepOdModel& model,
   }
 
   model.AppendState("model.", dict);
+
+  if (options.oracle != nullptr) options.oracle->AppendState("oracle.", dict);
+  if (options.link_mean != nullptr) {
+    options.link_mean->AppendState("linkmean.", dict);
+  }
 
   SpeedStaging staging;
   if (speed != nullptr) {
@@ -187,7 +199,7 @@ ServingModel LoadModelArtifact(const std::string& path,
   };
 
   const double version = scalar("artifact.version");
-  if (version != kArtifactVersion) {
+  if (version < kMinArtifactVersion || version > kArtifactVersion) {
     throw nn::SerializeError(nn::LoadStatus::Error(
         nn::LoadErrorKind::kBadVersion,
         "unsupported artifact version " + std::to_string(version),
@@ -195,6 +207,10 @@ ServingModel LoadModelArtifact(const std::string& path,
   }
 
   ServingModel out;
+  if (find("artifact.network_id") != nullptr) {
+    out.network_id =
+        static_cast<uint32_t>(std::llround(scalar("artifact.network_id")));
+  }
   out.config = ConfigFromScalars([&](const char* name) {
     return scalar((std::string("config.") + name).c_str());
   });
@@ -243,9 +259,27 @@ ServingModel LoadModelArtifact(const std::string& path,
   // catches truncated tables, unexpected tensors and table-size mismatches
   // (e.g. an artifact from a different road network) with a typed error
   // before any value lands in the model.
+  // The optional fallback-estimator blocks, sized from the indexed record
+  // shapes so the strict pass below can deserialise straight into them.
+  if (find("oracle.keys") != nullptr) {
+    const nn::TensorRecord* pair_keys = find("oracle.pair_keys");
+    if (pair_keys == nullptr) ThrowMissing("oracle.pair_keys");
+    out.oracle = std::make_unique<baselines::OdOracle>();
+    out.oracle->PrepareLoad(find("oracle.keys")->num_elements,
+                            pair_keys->num_elements);
+  }
+  if (find("linkmean.means") != nullptr) {
+    out.link_mean = std::make_unique<baselines::LinkMeanEstimator>();
+    out.link_mean->PrepareLoad(find("linkmean.means")->num_elements);
+  }
+
   nn::StateDict dict;
   double version_staging = 0.0;
   dict.AddScalarBuffer("artifact.version", &version_staging);
+  double network_id_staging = 0.0;
+  if (find("artifact.network_id") != nullptr) {
+    dict.AddScalarBuffer("artifact.network_id", &network_id_staging);
+  }
   auto config_fields = ConfigFields(out.config);
   for (auto& [name, value] : config_fields) {
     dict.AddScalarBuffer(std::string("config.") + name, &value);
@@ -258,6 +292,8 @@ ServingModel LoadModelArtifact(const std::string& path,
                             out.speed->cols());
     AppendSpeedEntries(staging, dict);
   }
+  if (out.oracle != nullptr) out.oracle->AppendState("oracle.", dict);
+  if (out.link_mean != nullptr) out.link_mean->AppendState("linkmean.", dict);
   nn::ThrowIfError(nn::DeserializeStateDict(buffer, dict));
 
   // Effective quantisation: a load-time request wins; otherwise whatever
@@ -276,6 +312,71 @@ ServingModel LoadModelArtifact(const std::string& path,
 
   out.model->ClearOcodeMemo();
   out.model->SetTraining(false);
+  return out;
+}
+
+void WriteOracleArtifact(const std::string& path, uint32_t network_id,
+                         baselines::OdOracle* oracle,
+                         baselines::LinkMeanEstimator* link_mean) {
+  nn::StateDict dict;
+  double version = kArtifactVersion;
+  dict.AddScalarBuffer("artifact.version", &version);
+  double network_id_staging = static_cast<double>(network_id);
+  dict.AddScalarBuffer("artifact.network_id", &network_id_staging);
+  if (oracle != nullptr) oracle->AppendState("oracle.", dict);
+  if (link_mean != nullptr) link_mean->AppendState("linkmean.", dict);
+  nn::ThrowIfError(nn::SaveStateDict(path, dict, nn::QuantMode::kNone));
+}
+
+OracleBundle LoadOracleArtifact(const std::string& path) {
+  std::vector<uint8_t> buffer;
+  nn::ThrowIfError(nn::ReadFileBytes(path, &buffer));
+  std::vector<nn::TensorRecord> records;
+  nn::ThrowIfError(nn::IndexStateDict(buffer, &records));
+
+  const auto find = [&records](const char* name) -> const nn::TensorRecord* {
+    for (const auto& r : records) {
+      if (r.name == name) return &r;
+    }
+    return nullptr;
+  };
+  const auto scalar = [&](const char* name) {
+    const nn::TensorRecord* r = find(name);
+    if (r == nullptr || r->num_elements != 1) ThrowMissing(name);
+    return nn::ReadRecordPayload(buffer, *r)[0];
+  };
+
+  const double version = scalar("artifact.version");
+  if (version < 2.0 || version > kArtifactVersion) {
+    throw nn::SerializeError(nn::LoadStatus::Error(
+        nn::LoadErrorKind::kBadVersion,
+        "unsupported oracle artifact version " + std::to_string(version),
+        "artifact.version"));
+  }
+
+  OracleBundle out;
+  out.network_id =
+      static_cast<uint32_t>(std::llround(scalar("artifact.network_id")));
+  if (find("oracle.keys") != nullptr) {
+    const nn::TensorRecord* pair_keys = find("oracle.pair_keys");
+    if (pair_keys == nullptr) ThrowMissing("oracle.pair_keys");
+    out.oracle = std::make_unique<baselines::OdOracle>();
+    out.oracle->PrepareLoad(find("oracle.keys")->num_elements,
+                            pair_keys->num_elements);
+  }
+  if (find("linkmean.means") != nullptr) {
+    out.link_mean = std::make_unique<baselines::LinkMeanEstimator>();
+    out.link_mean->PrepareLoad(find("linkmean.means")->num_elements);
+  }
+
+  nn::StateDict dict;
+  double version_staging = 0.0;
+  dict.AddScalarBuffer("artifact.version", &version_staging);
+  double network_id_staging = 0.0;
+  dict.AddScalarBuffer("artifact.network_id", &network_id_staging);
+  if (out.oracle != nullptr) out.oracle->AppendState("oracle.", dict);
+  if (out.link_mean != nullptr) out.link_mean->AppendState("linkmean.", dict);
+  nn::ThrowIfError(nn::DeserializeStateDict(buffer, dict));
   return out;
 }
 

@@ -1,9 +1,12 @@
 #ifndef DEEPOD_IO_MODEL_ARTIFACT_H_
 #define DEEPOD_IO_MODEL_ARTIFACT_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
+#include "baselines/od_oracle.h"
+#include "baselines/path_tte.h"
 #include "core/deepod_model.h"
 #include "nn/quant.h"
 #include "road/road_network.h"
@@ -15,11 +18,17 @@ namespace deepod::io {
 // nn/serialize v2 format) holding everything serving needs besides the road
 // network itself:
 //
-//   artifact.version   format generation of the entry layout (currently 1)
-//   config.*           one scalar per DeepOdConfig field
-//   model.*            every parameter, BatchNorm buffer and the time scale
-//   speed.*            the frozen speed field (optional: rows/cols/
-//                      snapshot_seconds scalars, snapshot indices, matrices)
+//   artifact.version     format generation of the entry layout (currently 2;
+//                        version-1 artifacts still load — they simply lack
+//                        the entries below this line)
+//   artifact.network_id  fleet routing id of the network the model was
+//                        trained on (v2; absent in v1 = id 0)
+//   config.*             one scalar per DeepOdConfig field
+//   model.*              every parameter, BatchNorm buffer and the time scale
+//   speed.*              the frozen speed field (optional: rows/cols/
+//                        snapshot_seconds scalars, snapshot indices, matrices)
+//   oracle.*             the OD-histogram fallback oracle (optional, v2)
+//   linkmean.*           the link-mean PathTTE fallback (optional, v2)
 //
 // LoadModelArtifact reconstructs a predict-only DeepOdModel from the
 // artifact plus a road network alone — no training dataset, traffic process
@@ -36,6 +45,13 @@ namespace deepod::io {
 // bit-identically.
 struct ArtifactOptions {
   nn::QuantMode quant = nn::QuantMode::kNone;
+  // Fleet routing id stamped into the artifact on write (ignored on load —
+  // the stored id is authoritative there).
+  uint32_t network_id = 0;
+  // Fallback estimators to embed on write (finalized; borrowed for the
+  // duration of the call). Null skips the records, as with `speed`.
+  baselines::OdOracle* oracle = nullptr;
+  baselines::LinkMeanEstimator* link_mean = nullptr;
 };
 
 // The deserialised serving bundle. Move-only; `model` references `speed`
@@ -50,6 +66,20 @@ struct ServingModel {
   // time, or — when none was requested — the mode the artifact's records
   // were stored in (kNone for a plain fp64 artifact).
   nn::QuantMode quant = nn::QuantMode::kNone;
+  // Fleet routing id the artifact was written for (0 for v1 artifacts).
+  uint32_t network_id = 0;
+  // Fallback estimators, when the artifact carries them (v2; null
+  // otherwise). Independent of `model` — safe to move out.
+  std::unique_ptr<baselines::OdOracle> oracle;
+  std::unique_ptr<baselines::LinkMeanEstimator> link_mean;
+};
+
+// A model-less fallback bundle: the oracle tier alone, loadable before any
+// trained model exists for the city (serve::FleetRouter's cold-shard path).
+struct OracleBundle {
+  uint32_t network_id = 0;
+  std::unique_ptr<baselines::OdOracle> oracle;
+  std::unique_ptr<baselines::LinkMeanEstimator> link_mean;
 };
 
 // Writes the artifact for `model`, embedding `speed` when non-null (pass
@@ -75,6 +105,15 @@ ServingModel LoadModelArtifact(const std::string& path,
 ServingModel LoadModelArtifact(const std::string& path,
                                const road::RoadNetwork& network,
                                const ArtifactOptions& options);
+
+// Writes / reads a standalone oracle artifact (version + network_id +
+// oracle.* + linkmean.* records, no model). Either estimator may be null on
+// write; absent records load as null. Throws nn::SerializeError like the
+// model-artifact functions.
+void WriteOracleArtifact(const std::string& path, uint32_t network_id,
+                         baselines::OdOracle* oracle,
+                         baselines::LinkMeanEstimator* link_mean);
+OracleBundle LoadOracleArtifact(const std::string& path);
 
 }  // namespace deepod::io
 

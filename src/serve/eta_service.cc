@@ -26,17 +26,19 @@ EtaService::EtaService(std::shared_ptr<ServingState> initial,
                        const EtaServiceOptions& options)
     : options_(options),
       cache_(options.cache_capacity, options.cache_shards),
-      requests_(registry_.counter("serve/requests")),
-      hits_(registry_.counter("serve/cache_hits")),
-      misses_(registry_.counter("serve/cache_misses")),
-      batches_(registry_.counter("serve/batches")),
-      batched_requests_(registry_.counter("serve/batched_requests")),
-      swaps_(registry_.counter("serve/swaps")),
-      queue_depth_(registry_.gauge("serve/queue_depth")),
-      epoch_gauge_(registry_.gauge("serve/epoch")),
-      latency_(registry_.histogram("serve/latency")),
-      queue_wait_(registry_.histogram("serve/queue_wait")),
-      batch_assembly_(registry_.histogram("serve/batch_assembly")),
+      requests_(registry_.counter(options.registry_prefix + "requests")),
+      hits_(registry_.counter(options.registry_prefix + "cache_hits")),
+      misses_(registry_.counter(options.registry_prefix + "cache_misses")),
+      batches_(registry_.counter(options.registry_prefix + "batches")),
+      batched_requests_(
+          registry_.counter(options.registry_prefix + "batched_requests")),
+      swaps_(registry_.counter(options.registry_prefix + "swaps")),
+      queue_depth_(registry_.gauge(options.registry_prefix + "queue_depth")),
+      epoch_gauge_(registry_.gauge(options.registry_prefix + "epoch")),
+      latency_(registry_.histogram(options.registry_prefix + "latency")),
+      queue_wait_(registry_.histogram(options.registry_prefix + "queue_wait")),
+      batch_assembly_(
+          registry_.histogram(options.registry_prefix + "batch_assembly")),
       start_time_(std::chrono::steady_clock::now()) {
   if (!initial || initial->model == nullptr) {
     throw std::invalid_argument("EtaService: null serving state");
@@ -152,18 +154,6 @@ double EtaService::Estimate(const traj::OdInput& od) {
   cache_.Put(key, eta);
   RecordCompletion(start);
   return eta;
-}
-
-std::future<double> EtaService::Submit(const traj::OdInput& od) {
-  // Blocking convenience: retry the bounded enqueue until it succeeds. The
-  // 100ms slice is a liveness bound only — TrySubmit's wait wakes on the
-  // dispatcher's notify as soon as the queue drains, and on shutdown the
-  // ready exception-future breaks the loop.
-  for (;;) {
-    if (auto future = TrySubmit(od, std::chrono::milliseconds(100))) {
-      return std::move(*future);
-    }
-  }
 }
 
 std::optional<std::future<double>> EtaService::TrySubmit(
@@ -351,7 +341,7 @@ std::string EtaService::ExportJson() const {
 }
 
 std::string EtaService::ExportPrometheus() const {
-  return registry_.ExportPrometheus("serve/");
+  return registry_.ExportPrometheus(options_.registry_prefix);
 }
 
 }  // namespace deepod::serve

@@ -88,6 +88,12 @@ struct EtaServiceOptions {
   // golden replay against a quantised service needs a tolerance
   // (deepod_serve --check --tolerance).
   nn::QuantMode quant = nn::QuantMode::kNone;
+
+  // Prefix of every metric name in the service's registry. A fleet gives
+  // each city shard its own prefix ("serve/<city>/") so the merged stats
+  // export stays collision-free; the default keeps the historical
+  // single-service names.
+  std::string registry_prefix = "serve/";
 };
 
 // Counter/latency snapshot, assembled from the service's metrics registry.
@@ -116,7 +122,6 @@ struct EtaServiceStats {
 //  - TrySubmit(): asynchronous with bounded-wait admission; requests are
 //    micro-batched by a dispatcher thread into PredictBatch calls
 //    (amortising per-query overhead) and resolved through the same cache.
-//    Submit() is a thin convenience wrapper that retries TrySubmit forever.
 //
 // Live serving: the service holds its model, speed field and cache
 // generation as one immutable ServingState epoch (serving_state.h). Every
@@ -174,13 +179,6 @@ class EtaService {
   // server's admission layer, load generators) build on.
   std::optional<std::future<double>> TrySubmit(const traj::OdInput& od,
                                                std::chrono::nanoseconds timeout);
-
-  // Convenience wrapper over TrySubmit for callers that prefer blocking
-  // back-pressure: retries the bounded enqueue until it succeeds (so it
-  // blocks only while the request queue is full). Prefer TrySubmit in new
-  // code — unbounded blocking in a producer hides overload instead of
-  // shedding it.
-  std::future<double> Submit(const traj::OdInput& od);
 
   // Synchronous batched estimate on the calling thread, through the same
   // cache and metrics as Estimate(): resolves hits, runs one PredictBatch
@@ -271,7 +269,7 @@ class EtaService {
   obs::Gauge& queue_depth_;
   obs::Gauge& epoch_gauge_;
   obs::Histogram& latency_;         // request completion latency (seconds)
-  obs::Histogram& queue_wait_;      // Submit enqueue -> dispatcher dequeue
+  obs::Histogram& queue_wait_;      // TrySubmit enqueue -> dispatcher dequeue
   obs::Histogram& batch_assembly_;  // cache resolution + miss-batch build
 
   // Bounded request queue (TrySubmit side).

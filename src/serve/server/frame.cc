@@ -68,6 +68,17 @@ const char* StatusName(Status s) {
     case Status::kShedQuota: return "shed_quota";
     case Status::kShedDeadline: return "shed_deadline";
     case Status::kShuttingDown: return "shutting_down";
+    case Status::kUnknownNetwork: return "unknown_network";
+    case Status::kShardCold: return "shard_cold";
+  }
+  return "unknown";
+}
+
+const char* EstimatorName(Estimator e) {
+  switch (e) {
+    case Estimator::kModel: return "model";
+    case Estimator::kOracle: return "oracle";
+    case Estimator::kLinkMean: return "linkmean";
   }
   return "unknown";
 }
@@ -77,6 +88,7 @@ std::vector<uint8_t> EncodeRequestFrame(const RequestFrame& frame) {
   payload.reserve(kRequestPayloadBytes);
   AppendU32(&payload, kRequestMagic);
   AppendU64(&payload, frame.request_id);
+  AppendU32(&payload, frame.network_id);
   AppendU32(&payload, frame.tenant_id);
   payload.push_back(frame.priority);
   AppendU32(&payload, static_cast<uint32_t>(frame.deadline_ms));
@@ -95,6 +107,7 @@ std::vector<uint8_t> EncodeResponseFrame(const ResponseFrame& frame) {
   AppendU32(&payload, kResponseMagic);
   AppendU64(&payload, frame.request_id);
   payload.push_back(static_cast<uint8_t>(frame.status));
+  payload.push_back(static_cast<uint8_t>(frame.estimator));
   AppendU32(&payload, frame.retry_after_ms);
   AppendF64(&payload, frame.eta_seconds);
   return WithLengthPrefix(std::move(payload));
@@ -124,6 +137,7 @@ std::vector<uint8_t> EncodeObserveFrame(const ObserveFrame& frame) {
                   frame.observations.size() * kObservationBytes);
   AppendU32(&payload, kObserveMagic);
   AppendU64(&payload, frame.request_id);
+  AppendU32(&payload, frame.network_id);
   AppendU64(&payload, static_cast<uint64_t>(frame.od.origin_segment));
   AppendU64(&payload, static_cast<uint64_t>(frame.od.dest_segment));
   AppendF64(&payload, frame.od.origin_ratio);
@@ -158,6 +172,8 @@ Status DecodeRequestPayload(const uint8_t* data, size_t size,
   const uint8_t* p = data + 4;
   out->request_id = ReadU64(p);
   p += 8;
+  out->network_id = ReadU32(p);
+  p += 4;
   out->tenant_id = ReadU32(p);
   p += 4;
   out->priority = *p;
@@ -191,6 +207,8 @@ Status DecodeObservePayload(const uint8_t* data, size_t size,
   const uint8_t* p = data + 4;
   out->request_id = ReadU64(p);
   p += 8;
+  out->network_id = ReadU32(p);
+  p += 4;
   out->od.origin_segment = static_cast<size_t>(ReadU64(p));
   p += 8;
   out->od.dest_segment = static_cast<size_t>(ReadU64(p));
@@ -231,6 +249,8 @@ bool DecodeResponsePayload(const uint8_t* data, size_t size,
   out->request_id = ReadU64(p);
   p += 8;
   out->status = static_cast<Status>(*p);
+  p += 1;
+  out->estimator = static_cast<Estimator>(*p);
   p += 1;
   out->retry_after_ms = ReadU32(p);
   p += 4;

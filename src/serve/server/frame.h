@@ -11,21 +11,31 @@
 
 namespace deepod::serve::net {
 
-// Wire protocol of deepod_server (DESIGN.md "Network serving").
+// Wire protocol of deepod_server, version 2 (DESIGN.md "Network serving" /
+// "Fleet serving").
 //
 // Every frame on the wire is a 4-byte little-endian length prefix followed
 // by exactly `length` payload bytes. Payloads are fixed-layout
 // little-endian records identified by a leading 32-bit magic:
 //
 //   request  (client -> server, kRequestPayloadBytes):
-//     magic u32 | request_id u64 | tenant_id u32 | priority u8 |
-//     deadline_ms i32 | origin_segment u64 | dest_segment u64 |
+//     magic u32 | request_id u64 | network_id u32 | tenant_id u32 |
+//     priority u8 | deadline_ms i32 | origin_segment u64 | dest_segment u64 |
 //     origin_ratio f64 | dest_ratio f64 | departure_time f64 | weather i32
 //   response (server -> client, kResponsePayloadBytes):
-//     magic u32 | request_id u64 | status u8 | retry_after_ms u32 | eta f64
+//     magic u32 | request_id u64 | status u8 | estimator u8 |
+//     retry_after_ms u32 | eta f64
 //   stats request  (client -> server): magic u32 alone
 //   stats response (server -> client): magic u32 | the server's obs
 //     registry rendered as BENCH-schema JSON (variable length)
+//
+// v2 added network_id to the request/observe layouts (fleet routing: which
+// city's shard answers; single-network servers accept only id 0 ... their
+// one configured id) and the estimator tag to responses (which tier
+// produced the ETA — the learned model or a fallback estimator). The magics
+// are unchanged: a v1-sized request decodes as kBadFrame — a typed,
+// connection-preserving rejection, not a silent misparse, because every
+// fixed-layout payload is length-checked exactly.
 //
 // deadline_ms is the client's remaining latency budget relative to server
 // receipt: > 0 = budget in milliseconds, 0 = no deadline, < 0 = already
@@ -62,9 +72,21 @@ enum class Status : uint8_t {
   kShedQuota = 8,        // per-tenant token bucket empty
   kShedDeadline = 9,     // estimated queue wait exceeds the deadline
   kShuttingDown = 10,    // server draining; request not admitted
+  kUnknownNetwork = 11,  // network_id not in the fleet manifest
+  kShardCold = 12,       // shard has no model yet and its policy forbids
+                         // the oracle fallback (model | reject)
 };
 
 const char* StatusName(Status s);
+
+// Which estimator tier produced a response's ETA (response frame tag).
+enum class Estimator : uint8_t {
+  kModel = 0,     // the learned DeepOD model
+  kOracle = 1,    // the OD-histogram fallback oracle
+  kLinkMean = 2,  // the link-mean PathTTE fallback
+};
+
+const char* EstimatorName(Estimator e);
 
 // Shed statuses carry a retry_after_ms hint: the client should back off
 // and retry instead of treating the answer as a hard failure.
@@ -75,6 +97,7 @@ inline bool IsShed(Status s) {
 
 struct RequestFrame {
   uint64_t request_id = 0;
+  uint32_t network_id = 0;  // fleet routing id (v2)
   uint32_t tenant_id = 0;
   uint8_t priority = 1;     // 0 = interactive, 1 = normal, 2 = best-effort
   int32_t deadline_ms = 0;  // see header comment
@@ -86,22 +109,24 @@ inline constexpr uint8_t kNumPriorities = 3;
 struct ResponseFrame {
   uint64_t request_id = 0;
   Status status = Status::kOk;
+  Estimator estimator = Estimator::kModel;  // which tier answered (v2)
   uint32_t retry_after_ms = 0;  // only meaningful when IsShed(status)
   double eta_seconds = 0.0;     // only meaningful when status == kOk
 };
 
 inline constexpr size_t kRequestPayloadBytes =
-    4 + 8 + 4 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4;  // = 65
-inline constexpr size_t kResponsePayloadBytes = 4 + 8 + 1 + 4 + 8;  // = 25
+    4 + 8 + 4 + 4 + 1 + 4 + 8 + 8 + 8 + 8 + 8 + 4;  // = 69
+inline constexpr size_t kResponsePayloadBytes = 4 + 8 + 1 + 1 + 4 + 8;  // = 26
 
 // --- ObserveTrip ingest ------------------------------------------------------
 //
 // A completed trip reported back to the server (client -> server):
 //
 //   observe (kObservePayloadHeaderBytes + n_observations * 24):
-//     magic u32 | request_id u64 | origin_segment u64 | dest_segment u64 |
-//     origin_ratio f64 | dest_ratio f64 | departure_time f64 | weather i32 |
-//     actual_seconds f64 | n_observations u32 |
+//     magic u32 | request_id u64 | network_id u32 | origin_segment u64 |
+//     dest_segment u64 | origin_ratio f64 | dest_ratio f64 |
+//     departure_time f64 | weather i32 | actual_seconds f64 |
+//     n_observations u32 |
 //     n_observations x { segment u64 | time f64 | speed_mps f64 }
 //
 // The OD block mirrors the request layout so the server can re-score the
@@ -115,13 +140,14 @@ inline constexpr size_t kResponsePayloadBytes = 4 + 8 + 1 + 4 + 8;  // = 25
 
 struct ObserveFrame {
   uint64_t request_id = 0;
+  uint32_t network_id = 0;       // fleet routing id (v2)
   traj::OdInput od;              // the trip's OD query, as in RequestFrame
   double actual_seconds = 0.0;   // observed door-to-door travel time
   std::vector<sim::TripObservation> observations;
 };
 
 inline constexpr size_t kObservePayloadHeaderBytes =
-    4 + 8 + 8 + 8 + 8 + 8 + 8 + 4 + 8 + 4;  // = 68
+    4 + 8 + 4 + 8 + 8 + 8 + 8 + 8 + 4 + 8 + 4;  // = 72
 inline constexpr size_t kObservationBytes = 8 + 8 + 8;  // = 24
 inline constexpr size_t kMaxObservationsPerFrame =
     (kMaxInboundFrameBytes - kObservePayloadHeaderBytes) / kObservationBytes;

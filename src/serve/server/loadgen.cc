@@ -117,6 +117,7 @@ struct ConnState {
   // Reader-side tallies (reader thread only, read after join).
   uint64_t ok = 0, shed = 0, deadline_expired = 0, errors = 0;
   uint64_t ok_within_slo = 0;
+  uint64_t estimator_ok[3] = {0, 0, 0};  // kModel / kOracle / kLinkMean
   std::vector<double> latencies_ms;  // Ok responses
   uint64_t prio_sent[kNumPriorities] = {0, 0, 0};
   uint64_t prio_ok[kNumPriorities] = {0, 0, 0};
@@ -195,6 +196,8 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
             std::min<uint8_t>(sent_info.priority, kNumPriorities - 1);
         if (response.status == Status::kOk) {
           ++state->ok;
+          ++state->estimator_ok[std::min<uint8_t>(
+              static_cast<uint8_t>(response.estimator), 2)];
           ++state->prio_ok[priority];
           state->latencies_ms.push_back(ms);
           state->prio_latencies_ms[priority].push_back(ms);
@@ -227,6 +230,10 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
         std::this_thread::sleep_until(next_send);
         RequestFrame request;
         request.request_id = next_id++;
+        request.network_id =
+            options.network_ids.empty()
+                ? 0
+                : options.network_ids[state->sent % options.network_ids.size()];
         request.tenant_id = static_cast<uint32_t>(
             options.num_tenants > 0 ? state->sent % options.num_tenants : 0);
         const double pick = unit(rng);
@@ -308,6 +315,9 @@ LoadgenReport RunLoadgen(const LoadgenOptions& options) {
   for (const auto& conn : conns) {
     report.sent += conn->sent;
     report.ok += conn->ok;
+    report.model_ok += conn->estimator_ok[0];
+    report.oracle_ok += conn->estimator_ok[1];
+    report.linkmean_ok += conn->estimator_ok[2];
     report.shed += conn->shed;
     report.deadline_expired += conn->deadline_expired;
     report.errors += conn->errors + conn->send_failures;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/server/frame.h"
 
@@ -51,6 +52,12 @@ struct LoadgenOptions {
   size_t connections = 4;
   uint64_t seed = 1;
 
+  // Fleet routing: each request's wire network_id round-robins over this
+  // list. Empty sends network_id 0 (single-city servers ignore it). For a
+  // mixed-city run against a fleet, num_segments should be the smallest
+  // city's segment count so every OD pair is valid on every shard.
+  std::vector<uint32_t> network_ids;
+
   // Workload shape: uniform OD pairs over [0, num_segments) with
   // `hot_fraction` of queries drawn from a shared `hot_set_size`-entry hot
   // set (cache-friendly skew, mirroring bench_serving's stream).
@@ -90,6 +97,11 @@ struct PriorityLoadStats {
 struct LoadgenReport {
   uint64_t sent = 0;
   uint64_t ok = 0;
+  // Ok responses split by the estimator tag the server answered with:
+  // model forward, OD-histogram oracle, or link-mean fallback.
+  uint64_t model_ok = 0;
+  uint64_t oracle_ok = 0;
+  uint64_t linkmean_ok = 0;
   uint64_t shed = 0;              // IsShed statuses
   uint64_t deadline_expired = 0;  // kDeadlineExpired responses
   uint64_t errors = 0;            // other non-Ok statuses + send failures

@@ -8,11 +8,16 @@
 
 #include <cerrno>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
+
+#include <map>
 
 #include "core/encoders.h"
 #include "serve/drift_monitor.h"
+#include "serve/fleet_router.h"
 #include "serve/model_reloader.h"
 #include "serve/stats.h"
 #include "sim/rolling_speed_field.h"
@@ -28,7 +33,15 @@ double SecondsSince(std::chrono::steady_clock::time_point start,
 }  // namespace
 
 DeepOdServer::DeepOdServer(EtaService& service, const ServerOptions& options)
+    : DeepOdServer(&service, nullptr, options) {}
+
+DeepOdServer::DeepOdServer(FleetRouter& fleet, const ServerOptions& options)
+    : DeepOdServer(nullptr, &fleet, options) {}
+
+DeepOdServer::DeepOdServer(EtaService* service, FleetRouter* fleet,
+                           const ServerOptions& options)
     : service_(service),
+      fleet_(fleet),
       options_(options),
       admission_(options.admission),
       accepted_(registry_.counter("server/accepted_connections")),
@@ -37,6 +50,8 @@ DeepOdServer::DeepOdServer(EtaService& service, const ServerOptions& options)
       bad_frames_(registry_.counter("server/bad_frames")),
       invalid_requests_(registry_.counter("server/invalid_requests")),
       unknown_tenants_(registry_.counter("server/unknown_tenant")),
+      unknown_networks_(registry_.counter("server/unknown_network")),
+      shard_cold_(registry_.counter("server/shard_cold")),
       admitted_(registry_.counter("server/admitted")),
       shed_(registry_.counter("server/shed")),
       shed_queue_full_(registry_.counter("server/shed/queue_full")),
@@ -195,6 +210,12 @@ void DeepOdServer::RespondError(const std::shared_ptr<Connection>& conn,
     case Status::kUnknownTenant:
       unknown_tenants_.Add();
       break;
+    case Status::kUnknownNetwork:
+      unknown_networks_.Add();
+      break;
+    case Status::kShardCold:
+      shard_cold_.Add();
+      break;
     case Status::kDeadlineExpired:
       deadline_missed_.Add();
       break;
@@ -218,6 +239,19 @@ void DeepOdServer::RespondError(const std::shared_ptr<Connection>& conn,
   response.request_id = request_id;
   response.status = status;
   response.retry_after_ms = retry_after_ms;
+  WriteResponse(conn, response);
+}
+
+void DeepOdServer::RespondFallback(
+    const std::shared_ptr<Connection>& conn, uint64_t request_id, double eta,
+    Estimator estimator, std::chrono::steady_clock::time_point arrival) {
+  ResponseFrame response;
+  response.request_id = request_id;
+  response.status = Status::kOk;
+  response.estimator = estimator;
+  response.eta_seconds = eta;
+  latency_.Observe(SecondsSince(arrival, std::chrono::steady_clock::now()));
+  completed_.Add();
   WriteResponse(conn, response);
 }
 
@@ -261,10 +295,20 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
       continue;
     }
     requests_.Add();
+    FleetShard* shard = nullptr;
+    size_t num_segments = options_.num_segments;
+    if (fleet_ != nullptr) {
+      shard = fleet_->Resolve(request.network_id);
+      if (shard == nullptr) {
+        RespondError(conn, request.request_id, Status::kUnknownNetwork, 0);
+        continue;
+      }
+      num_segments = shard->num_segments();
+    }
     const traj::OdInput& od = request.od;
     const bool segments_ok =
-        options_.num_segments == 0 || (od.origin_segment < options_.num_segments &&
-                                       od.dest_segment < options_.num_segments);
+        num_segments == 0 ||
+        (od.origin_segment < num_segments && od.dest_segment < num_segments);
     const bool fields_ok =
         std::isfinite(od.origin_ratio) && std::isfinite(od.dest_ratio) &&
         std::isfinite(od.departure_time) && od.weather_type >= 0 &&
@@ -280,6 +324,41 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
       RespondError(conn, request.request_id, Status::kDeadlineExpired, 0);
       continue;
     }
+    if (shard != nullptr) {
+      const FallbackPolicy policy = shard->policy();
+      if (!shard->InDistribution(od)) {
+        // The city's oracle has never seen this OD cell pair.
+        if (policy == FallbackPolicy::kReject) {
+          shard->CountRejected();
+          RespondError(conn, request.request_id, Status::kInvalidRequest, 0);
+          continue;
+        }
+        if (policy == FallbackPolicy::kOracle) {
+          if (const auto fallback = shard->FallbackEstimate(od)) {
+            shard->CountOodToOracle();
+            shard->CountFallbackAnswer();
+            RespondFallback(conn, request.request_id, fallback->eta,
+                            fallback->estimator, arrival);
+            continue;
+          }
+        }
+        // kModel (or no fallback tier loaded): let the model extrapolate.
+      }
+      if (!shard->warm()) {
+        if (policy == FallbackPolicy::kOracle) {
+          if (const auto fallback = shard->FallbackEstimate(od)) {
+            shard->CountFallbackAnswer();
+            RespondFallback(conn, request.request_id, fallback->eta,
+                            fallback->estimator, arrival);
+            continue;
+          }
+        }
+        shard->CountRejected();
+        RespondError(conn, request.request_id, Status::kShardCold,
+                     /*retry_after_ms=*/1000);
+        continue;
+      }
+    }
     AdmittedRequest admitted;
     admitted.frame = request;
     admitted.arrival = arrival;
@@ -294,6 +373,20 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
     if (decision.status == Status::kOk) {
       admitted_.Add();
       queue_depth_.Set(static_cast<double>(admission_.Depth()));
+    } else if (shard != nullptr &&
+               shard->policy() == FallbackPolicy::kOracle &&
+               IsShed(decision.status)) {
+      // Admission shed, but this city keeps a fallback tier: degrade to the
+      // oracle instead of bouncing the request back to the client.
+      if (const auto fallback = shard->FallbackEstimate(od)) {
+        shard->CountShedToOracle();
+        shard->CountFallbackAnswer();
+        RespondFallback(conn, request.request_id, fallback->eta,
+                        fallback->estimator, arrival);
+      } else {
+        RespondError(conn, request.request_id, decision.status,
+                     decision.retry_after_ms);
+      }
     } else {
       RespondError(conn, request.request_id, decision.status,
                    decision.retry_after_ms);
@@ -303,11 +396,19 @@ void DeepOdServer::ConnectionLoop(std::shared_ptr<Connection> conn) {
 
 void DeepOdServer::HandleObserve(const std::shared_ptr<Connection>& conn,
                                  const ObserveFrame& frame) {
+  size_t num_segments = options_.num_segments;
+  if (fleet_ != nullptr) {
+    const FleetShard* shard = fleet_->Resolve(frame.network_id);
+    if (shard == nullptr) {
+      RespondError(conn, frame.request_id, Status::kUnknownNetwork, 0);
+      return;
+    }
+    num_segments = shard->num_segments();
+  }
   const traj::OdInput& od = frame.od;
   const bool segments_ok =
-      options_.num_segments == 0 ||
-      (od.origin_segment < options_.num_segments &&
-       od.dest_segment < options_.num_segments);
+      num_segments == 0 ||
+      (od.origin_segment < num_segments && od.dest_segment < num_segments);
   const bool fields_ok =
       std::isfinite(od.origin_ratio) && std::isfinite(od.dest_ratio) &&
       std::isfinite(od.departure_time) &&
@@ -320,20 +421,25 @@ void DeepOdServer::HandleObserve(const std::shared_ptr<Connection>& conn,
     return;
   }
   observes_.Add();
-  if (options_.live.rolling_field != nullptr && !frame.observations.empty()) {
-    observations_.Add(
-        options_.live.rolling_field->Ingest(frame.observations));
-  }
   ResponseFrame response;
   response.request_id = frame.request_id;
   response.status = Status::kOk;
-  if (options_.live.drift != nullptr) {
-    // Re-score the finished trip against the model serving RIGHT NOW (one
-    // synchronous forward on the connection thread — ingest traffic is
-    // orders of magnitude rarer than queries) and feed the drift gauge.
-    const double predicted = service_.Estimate(od);
-    options_.live.drift->Observe(predicted, frame.actual_seconds);
-    response.eta_seconds = predicted;
+  // Live hooks are single-city plumbing (one speed field, one drift gauge
+  // against one model); fleet mode validates and acknowledges only.
+  if (fleet_ == nullptr) {
+    if (options_.live.rolling_field != nullptr &&
+        !frame.observations.empty()) {
+      observations_.Add(
+          options_.live.rolling_field->Ingest(frame.observations));
+    }
+    if (options_.live.drift != nullptr) {
+      // Re-score the finished trip against the model serving RIGHT NOW (one
+      // synchronous forward on the connection thread — ingest traffic is
+      // orders of magnitude rarer than queries) and feed the drift gauge.
+      const double predicted = service_->Estimate(od);
+      options_.live.drift->Observe(predicted, frame.actual_seconds);
+      response.eta_seconds = predicted;
+    }
   }
   WriteResponse(conn, response);
 }
@@ -367,15 +473,69 @@ void DeepOdServer::ExecutorLoop(size_t slot) {
     }
     if (ods.empty()) continue;
     batch_fill_.Observe(static_cast<double>(ods.size()));
-    const std::vector<double> etas = service_.EstimateBatch(ods, pool);
+    std::vector<double> etas;
+    std::vector<Estimator> estimators(ods.size(), Estimator::kModel);
+    if (fleet_ == nullptr) {
+      etas = service_->EstimateBatch(ods, pool);
+    } else {
+      // Split the drained batch by city: each group goes through its own
+      // shard's EstimateBatch (one state snapshot per shard per dispatch).
+      // Only warm-shard requests are admitted and activation is one-way,
+      // so the service is expected live; a defensive oracle answer covers
+      // the unexpected.
+      etas.assign(ods.size(), 0.0);
+      std::map<uint32_t, std::vector<size_t>> groups;
+      for (size_t m = 0; m < live.size(); ++m) {
+        groups[batch[live[m]].frame.network_id].push_back(m);
+      }
+      std::vector<traj::OdInput> group_ods;
+      for (const auto& [network_id, members] : groups) {
+        FleetShard* shard = fleet_->Resolve(network_id);
+        std::shared_ptr<EtaService> shard_service =
+            shard != nullptr ? shard->service() : nullptr;
+        if (shard_service != nullptr) {
+          group_ods.clear();
+          for (const size_t m : members) group_ods.push_back(ods[m]);
+          const std::vector<double> group_etas =
+              shard_service->EstimateBatch(group_ods, pool);
+          for (size_t j = 0; j < members.size(); ++j) {
+            etas[members[j]] = group_etas[j];
+            shard->CountModelAnswer();
+          }
+        } else {
+          for (const size_t m : members) {
+            const std::optional<FleetShard::Fallback> fallback =
+                shard != nullptr ? shard->FallbackEstimate(ods[m])
+                                 : std::nullopt;
+            if (fallback) {
+              etas[m] = fallback->eta;
+              estimators[m] = fallback->estimator;
+              shard->CountFallbackAnswer();
+            } else {
+              etas[m] = 0.0;
+              estimators[m] = Estimator::kModel;
+              ResponseFrame response;
+              response.request_id = batch[live[m]].frame.request_id;
+              response.status = Status::kShardCold;
+              response.retry_after_ms = 1000;
+              shard_cold_.Add();
+              batch[live[m]].respond(response);
+              live[m] = SIZE_MAX;  // answered; skip in the Ok loop below
+            }
+          }
+        }
+      }
+    }
     const auto end = std::chrono::steady_clock::now();
     admission_.RecordServiceTime(SecondsSince(start, end) /
                                  static_cast<double>(ods.size()));
     for (size_t m = 0; m < live.size(); ++m) {
+      if (live[m] == SIZE_MAX) continue;
       AdmittedRequest& request = batch[live[m]];
       ResponseFrame response;
       response.request_id = request.frame.request_id;
       response.status = Status::kOk;
+      response.estimator = estimators[m];
       response.eta_seconds = etas[m];
       latency_.Observe(SecondsSince(request.arrival, end));
       completed_.Add();
@@ -387,9 +547,13 @@ void DeepOdServer::ExecutorLoop(size_t slot) {
 std::string DeepOdServer::ExportStatsJson() const {
   StatsSources sources;
   sources.server = &registry_;
-  sources.service = &service_;
-  sources.reloader = options_.live.reloader;
-  sources.drift = options_.live.drift;
+  if (fleet_ != nullptr) {
+    fleet_->AppendStatsSources(&sources);
+  } else {
+    sources.service = service_;
+    sources.reloader = options_.live.reloader;
+    sources.drift = options_.live.drift;
+  }
   return serve::ExportStatsJson(sources);
 }
 

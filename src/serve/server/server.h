@@ -2,6 +2,7 @@
 #define DEEPOD_SERVE_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
@@ -19,6 +20,8 @@
 
 namespace deepod::serve {
 class DriftMonitor;
+class FleetRouter;
+class FleetShard;
 class ModelReloader;
 }  // namespace deepod::serve
 
@@ -61,7 +64,8 @@ struct ServerOptions {
   size_t batch_threads = 1;
 
   // Segment-id bound for request validation (kInvalidRequest). 0 skips
-  // segment validation — only safe when every client is trusted.
+  // segment validation — only safe when every client is trusted. Ignored
+  // in fleet mode, where each shard validates against its own network.
   size_t num_segments = 0;
 
   AdmissionOptions admission;
@@ -91,9 +95,27 @@ struct ServerOptions {
 // Shutdown() is graceful: stop accepting, shed new offers with
 // kShuttingDown, drain and answer every admitted request, then close
 // connections. The destructor calls it.
+//
+// Fleet mode: constructed over a FleetRouter instead of a single
+// EtaService, the server routes each request by its wire network_id
+// (unknown id -> typed kUnknownNetwork rejection) and validates segments
+// against that city's network. Requests a shard's model cannot answer —
+// the shard is cold, the admission queue sheds, or the OD pair is
+// out-of-distribution — are answered inline on the connection thread from
+// the shard's fallback tier (OD-histogram oracle, else link means) when
+// its policy allows, tagged with the estimator that produced the ETA.
+// One AdmissionQueue is shared across cities (a single PopBatch scheduler,
+// per-tenant quotas spanning the fleet); the executor groups each drained
+// batch by network_id and pushes each group through its own shard's
+// EstimateBatch. Live-serving hooks are single-city plumbing and are not
+// consulted in fleet mode (observe frames are validated per shard and
+// acknowledged).
 class DeepOdServer {
  public:
   DeepOdServer(EtaService& service, const ServerOptions& options);
+  // Fleet mode: route by network_id across the router's shards. The
+  // router is borrowed and must outlive the server.
+  DeepOdServer(FleetRouter& fleet, const ServerOptions& options);
   ~DeepOdServer();
 
   DeepOdServer(const DeepOdServer&) = delete;
@@ -118,6 +140,10 @@ class DeepOdServer {
     std::atomic<bool> open{true};
   };
 
+  // Exactly one of `service` / `fleet` is non-null.
+  DeepOdServer(EtaService* service, FleetRouter* fleet,
+               const ServerOptions& options);
+
   void AcceptLoop();
   void ConnectionLoop(std::shared_ptr<Connection> conn);
   // ObserveTrip ingest: validates, feeds the live hooks, answers with the
@@ -131,8 +157,14 @@ class DeepOdServer {
   void RespondError(const std::shared_ptr<Connection>& conn,
                     uint64_t request_id, Status status,
                     uint32_t retry_after_ms);
+  // Answers a request from a shard's fallback tier (kOk, estimator-tagged)
+  // on the connection thread, observing latency and the completed counter.
+  void RespondFallback(const std::shared_ptr<Connection>& conn,
+                       uint64_t request_id, double eta, Estimator estimator,
+                       std::chrono::steady_clock::time_point arrival);
 
-  EtaService& service_;
+  EtaService* service_ = nullptr;  // single mode
+  FleetRouter* fleet_ = nullptr;   // fleet mode
   ServerOptions options_;
   AdmissionQueue admission_;
 
@@ -158,6 +190,8 @@ class DeepOdServer {
   obs::Counter& bad_frames_;
   obs::Counter& invalid_requests_;
   obs::Counter& unknown_tenants_;
+  obs::Counter& unknown_networks_;  // fleet: unresolvable network_id
+  obs::Counter& shard_cold_;        // fleet: cold shard, no fallback tier
   obs::Counter& admitted_;
   obs::Counter& shed_;
   obs::Counter& shed_queue_full_;

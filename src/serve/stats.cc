@@ -27,6 +27,9 @@ std::vector<obs::Record> CollectStats(const StatsSources& sources) {
   AppendRegistry(sources.reloader ? &sources.reloader->registry() : nullptr,
                  out);
   AppendRegistry(sources.drift ? &sources.drift->registry() : nullptr, out);
+  for (const obs::Registry* registry : sources.extra) {
+    AppendRegistry(registry, out);
+  }
   // Each registry exports name-sorted; the merged view must be too, so the
   // stats frame and --stats-json stay byte-comparable however many sources
   // a deployment wires in.
@@ -49,6 +52,9 @@ std::string ExportStatsPrometheus(const StatsSources& sources) {
     out += sources.reloader->registry().ExportPrometheus("");
   }
   if (sources.drift) out += sources.drift->registry().ExportPrometheus("");
+  for (const obs::Registry* registry : sources.extra) {
+    if (registry != nullptr) out += registry->ExportPrometheus("");
+  }
   return out;
 }
 

@@ -23,6 +23,10 @@ struct StatsSources {
   const EtaService* service = nullptr;
   const ModelReloader* reloader = nullptr;
   const DriftMonitor* drift = nullptr;
+  // Additional registries merged into the same export — the fleet router
+  // appends its own registry ("fleet/*") plus every warm shard's service
+  // registry ("serve/<city>/*") here. Borrowed; must outlive the call.
+  std::vector<const obs::Registry*> extra;
 };
 
 // Snapshot of every instrument across the non-null sources, merged and

@@ -3,6 +3,7 @@
 // stores must match the in-memory path bit-for-bit, epoch for epoch.
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,10 @@
 #include "core/trip_feed.h"
 #include "io/sharded_trip_source.h"
 #include "io/trip_store.h"
+#include "road/edge_graph.h"
 #include "sim/trip_gen.h"
 #include "util/rng.h"
+#include "util/weighted_digraph.h"
 
 namespace deepod {
 namespace {
@@ -151,6 +154,50 @@ TEST_F(ShardedTrainingTest, AtOutsideThePrefetchedWindowThrows) {
   sharded.PrefetchWindow(0, 4);
   EXPECT_NO_THROW(sharded.At(3));
   EXPECT_THROW(sharded.At(60), std::logic_error);
+}
+
+TEST_F(ShardedTrainingTest, StreamedInitMatchesInMemoryBitForBit) {
+  // deepod_train's out-of-core path never materialises the train split: the
+  // co-occurrence edge graph and the time scale come from one decode pass
+  // over the shards. Both must match the in-memory constructor bit for bit
+  // — the co-occurrence weights are order-independent sums of 1.0, and the
+  // shards concatenate in dataset.train order so the time-scale summation
+  // order is identical too.
+  core::DeepOdConfig config = core::DeepOdConfig().Scaled(16);
+  config.num_threads = 1;
+  core::DeepOdModel model_mem(config, *dataset_);
+
+  road::EdgeGraphAccumulator edges;
+  double time_sum = 0.0;
+  size_t trips = 0;
+  traj::TripRecord record;
+  for (const std::string& path : *shard_paths_) {
+    const auto reader = io::TripStoreReader::OpenOrThrow(path);
+    for (size_t i = 0; i < reader.size(); ++i) {
+      reader.Decode(i, &record);
+      edges.AddSequence(dataset_->network, record.trajectory.SegmentIds());
+      time_sum += record.travel_time;
+      ++trips;
+    }
+  }
+  ASSERT_EQ(trips, dataset_->train.size());
+  const util::WeightedDigraph edge_graph = edges.Build(dataset_->network);
+  const double time_scale =
+      trips == 0 ? 1.0 : time_sum / static_cast<double>(trips);
+  core::DeepOdModel model_streamed(config, *dataset_, &edge_graph, time_scale);
+
+  EXPECT_EQ(std::bit_cast<uint64_t>(model_mem.time_scale()),
+            std::bit_cast<uint64_t>(model_streamed.time_scale()));
+  const nn::StateDict state_mem = model_mem.State();
+  const nn::StateDict state_str = model_streamed.State();
+  ASSERT_EQ(state_mem.entries().size(), state_str.entries().size());
+  for (size_t e = 0; e < state_mem.entries().size(); ++e) {
+    const auto& a = state_mem.entries()[e];
+    const auto& b = state_str.entries()[e];
+    ASSERT_EQ(a.size, b.size) << a.name;
+    EXPECT_EQ(std::memcmp(a.data, b.data, a.size * sizeof(double)), 0)
+        << a.name;
+  }
 }
 
 TEST_F(ShardedTrainingTest, OutOfCoreTrainingMatchesInMemoryEpochForEpoch) {

@@ -592,6 +592,7 @@ TEST(ObserveFrameCodec, RoundTripsBitForBit) {
   using namespace serve::net;
   ObserveFrame frame;
   frame.request_id = 0xfeedfacecafef00dull;
+  frame.network_id = 9;
   frame.od.origin_segment = 7;
   frame.od.dest_segment = 31;
   frame.od.origin_ratio = 0.25;
@@ -610,6 +611,7 @@ TEST(ObserveFrameCodec, RoundTripsBitForBit) {
   ASSERT_EQ(DecodeObservePayload(wire.data() + 4, wire.size() - 4, &back),
             Status::kOk);
   EXPECT_EQ(back.request_id, frame.request_id);
+  EXPECT_EQ(back.network_id, frame.network_id);
   EXPECT_EQ(back.od.origin_segment, frame.od.origin_segment);
   EXPECT_EQ(back.od.dest_segment, frame.od.dest_segment);
   EXPECT_EQ(back.od.origin_ratio, frame.od.origin_ratio);

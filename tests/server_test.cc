@@ -39,6 +39,7 @@ using namespace serve::net;
 RequestFrame SampleRequest() {
   RequestFrame frame;
   frame.request_id = 0x0123456789abcdefull;
+  frame.network_id = 5;  // ignored by single-city servers, routed by fleets
   frame.tenant_id = 42;
   frame.priority = 2;
   frame.deadline_ms = 1500;
@@ -59,6 +60,7 @@ TEST(FrameCodec, RequestRoundTripsBitForBit) {
   ASSERT_EQ(DecodeRequestPayload(wire.data() + 4, wire.size() - 4, &back),
             Status::kOk);
   EXPECT_EQ(back.request_id, frame.request_id);
+  EXPECT_EQ(back.network_id, frame.network_id);
   EXPECT_EQ(back.tenant_id, frame.tenant_id);
   EXPECT_EQ(back.priority, frame.priority);
   EXPECT_EQ(back.deadline_ms, frame.deadline_ms);
@@ -87,6 +89,7 @@ TEST(FrameCodec, ResponseRoundTripsBitForBit) {
   ResponseFrame frame;
   frame.request_id = 99;
   frame.status = Status::kShedQuota;
+  frame.estimator = Estimator::kLinkMean;
   frame.retry_after_ms = 250;
   frame.eta_seconds = 123.456789;
   const std::vector<uint8_t> wire = EncodeResponseFrame(frame);
@@ -95,9 +98,21 @@ TEST(FrameCodec, ResponseRoundTripsBitForBit) {
   ASSERT_TRUE(DecodeResponsePayload(wire.data() + 4, wire.size() - 4, &back));
   EXPECT_EQ(back.request_id, frame.request_id);
   EXPECT_EQ(back.status, frame.status);
+  EXPECT_EQ(back.estimator, frame.estimator);
   EXPECT_EQ(back.retry_after_ms, frame.retry_after_ms);
   EXPECT_EQ(
       std::memcmp(&back.eta_seconds, &frame.eta_seconds, sizeof(double)), 0);
+}
+
+TEST(FrameCodec, V1SizedRequestPayloadIsBadFrame) {
+  // A v1 client's request is exactly 4 bytes (network_id) shorter; it must
+  // decode as kBadFrame — with the id recovered — not as a garbled request.
+  const std::vector<uint8_t> wire = EncodeRequestFrame(SampleRequest());
+  RequestFrame back;
+  EXPECT_EQ(
+      DecodeRequestPayload(wire.data() + 4, kRequestPayloadBytes - 4, &back),
+      Status::kBadFrame);
+  EXPECT_EQ(back.request_id, SampleRequest().request_id);
 }
 
 TEST(FrameCodec, TruncatedPayloadRecoversRequestId) {

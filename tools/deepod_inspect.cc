@@ -3,7 +3,10 @@
 // per-tensor name, storage dtype, shape, element count, on-disk payload
 // size and the kSimd packed-layout tag, plus the per-row scale range of
 // int8 records — after verifying framing and the trailing checksum. Legacy
-// positional blobs are identified as such. Exit codes: 0 readable,
+// positional blobs are identified as such. For serving artifacts (records
+// under "artifact.") a metadata block follows the table: artifact version,
+// network id, the frozen speed grid's shape, and the OD-oracle fallback
+// tier's grid/slot/bucket geometry when embedded. Exit codes: 0 readable,
 // 1 corrupt/unreadable, 2 usage.
 
 #include <algorithm>
@@ -23,6 +26,27 @@ const char* PackedLayoutTag(const std::vector<size_t>& shape) {
   if (shape.size() == 2) return "panel4";
   if (shape.size() == 4) return "planar";
   return "-";
+}
+
+// First scalar of the named record, or `fallback` when the record is
+// absent/empty (optional artifact metadata).
+double ScalarRecord(const std::vector<uint8_t>& buffer,
+                    const std::vector<deepod::nn::TensorRecord>& records,
+                    const std::string& name, double fallback) {
+  for (const auto& r : records) {
+    if (r.name != name) continue;
+    const std::vector<double> values = deepod::nn::ReadRecordPayload(buffer, r);
+    return values.empty() ? fallback : values.front();
+  }
+  return fallback;
+}
+
+bool HasRecord(const std::vector<deepod::nn::TensorRecord>& records,
+               const std::string& name) {
+  for (const auto& r : records) {
+    if (r.name == name) return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -89,5 +113,67 @@ int main(int argc, char** argv) {
               "quantised; f64 would be %zu bytes)\n",
               total_elements, total_payload, quantised, records.size(),
               total_elements * sizeof(double));
+
+  if (HasRecord(records, "artifact.version")) {
+    // Serving-artifact metadata: what a fleet operator needs to know about
+    // the file without loading it against a network.
+    std::printf("artifact: version %.1f, network_id %u\n",
+                ScalarRecord(buffer, records, "artifact.version", 0.0),
+                static_cast<unsigned>(
+                    ScalarRecord(buffer, records, "artifact.network_id", 0.0)));
+    if (HasRecord(records, "speed.rows")) {
+      std::printf("  speed grid: %zux%zu cells, %.0f s snapshots\n",
+                  static_cast<size_t>(
+                      ScalarRecord(buffer, records, "speed.rows", 0.0)),
+                  static_cast<size_t>(
+                      ScalarRecord(buffer, records, "speed.cols", 0.0)),
+                  ScalarRecord(buffer, records, "speed.snapshot_seconds", 0.0));
+    }
+    if (HasRecord(records, "config.slot_seconds")) {
+      const double slot_seconds =
+          ScalarRecord(buffer, records, "config.slot_seconds", 0.0);
+      if (slot_seconds > 0.0) {
+        std::printf("  time slots: %.0f s (%zu per day)\n", slot_seconds,
+                    static_cast<size_t>(86400.0 / slot_seconds));
+      }
+    }
+    if (HasRecord(records, "oracle.grid_cells")) {
+      const size_t grid_cells = static_cast<size_t>(
+          ScalarRecord(buffer, records, "oracle.grid_cells", 0.0));
+      std::printf(
+          "  oracle: %zux%zu grid, %zu slots/day (%.0f s), "
+          "%zu OD buckets over %zu pairs, global mean %.1f s\n",
+          grid_cells, grid_cells,
+          static_cast<size_t>(
+              ScalarRecord(buffer, records, "oracle.slots_per_day", 0.0)),
+          ScalarRecord(buffer, records, "oracle.slot_seconds", 0.0),
+          [&] {
+            for (const auto& r : records) {
+              if (r.name == "oracle.keys") return r.num_elements;
+            }
+            return size_t{0};
+          }(),
+          [&] {
+            for (const auto& r : records) {
+              if (r.name == "oracle.pair_keys") return r.num_elements;
+            }
+            return size_t{0};
+          }(),
+          ScalarRecord(buffer, records, "oracle.global_mean", 0.0));
+    }
+    if (HasRecord(records, "linkmean.means")) {
+      std::printf("  linkmean: %s, fallback %.1f s\n",
+                  [&]() -> std::string {
+                    for (const auto& r : records) {
+                      if (r.name == "linkmean.means") {
+                        return std::to_string(r.num_elements) + " segments";
+                      }
+                    }
+                    return "0 segments";
+                  }()
+                      .c_str(),
+                  ScalarRecord(buffer, records, "linkmean.fallback", 0.0));
+    }
+  }
   return 0;
 }

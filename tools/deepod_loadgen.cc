@@ -1,13 +1,25 @@
 // deepod_loadgen: open-loop Poisson load generator for deepod_server.
 //
 //   deepod_loadgen --port P [--host H] --network network.csv
-//                  [--qps Q] [--duration S] [--connections N] [--seed S]
+//                  [--network-ids 1,2,3] [--qps Q] [--duration S]
+//                  [--connections N] [--seed S]
 //                  [--deadline-ms D] [--high-fraction F] [--low-fraction F]
 //                  [--tenants N] [--slo-ms X] [--hot-fraction F]
 //                  [--json PATH] [--server-stats]
 //                  [--assert-max-shed-rate X] [--assert-min-shed-rate X]
 //                  [--assert-max-p99-ms X] [--assert-min-goodput X]
+//                  [--assert-min-oracle-frac X] [--assert-min-model-frac X]
 //   deepod_loadgen --port P --golden golden.csv [--tolerance X] [--host H]
+//                  [--network-ids N]
+//
+// Against a fleet server, --network-ids round-robins each request's wire
+// network_id over the list (one id targets a single city; several mix
+// cities — pass the smallest city's network.csv so every OD pair is valid
+// everywhere). The report splits Ok responses by the estimator tag the
+// server answered with (model / oracle / linkmean), and the
+// --assert-min-*-frac gates turn the split into CI checks — e.g. a city
+// whose model never trained must answer 100% from the oracle, with zero
+// errors.
 //
 // Senders never wait for responses (open loop), so the offered rate stays
 // at --qps even when the server sheds or slows — the overload scenario
@@ -40,9 +52,31 @@
 
 namespace {
 
+// Parses "1,2,3" into network ids; false on a malformed list.
+bool ParseNetworkIds(const std::string& value, std::vector<uint32_t>* out) {
+  size_t start = 0;
+  while (start <= value.size()) {
+    size_t comma = value.find(',', start);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string token = value.substr(start, comma - start);
+    if (token.empty()) return false;
+    try {
+      size_t used = 0;
+      const unsigned long id = std::stoul(token, &used);
+      if (used != token.size()) return false;
+      out->push_back(static_cast<uint32_t>(id));
+    } catch (const std::exception&) {
+      return false;
+    }
+    start = comma + 1;
+  }
+  return !out->empty();
+}
+
 // Replays a golden file over one connection; returns the process exit code.
 int RunGoldenReplay(const std::string& host, uint16_t port,
-                    const std::string& golden_path, double tolerance) {
+                    const std::string& golden_path, double tolerance,
+                    uint32_t network_id) {
   using namespace deepod;
   std::vector<tools::GoldenQuery> golden;
   if (!tools::ReadGoldenFile(golden_path, &golden)) {
@@ -66,6 +100,7 @@ int RunGoldenReplay(const std::string& host, uint16_t port,
   for (size_t i = 0; i < golden.size(); ++i) {
     serve::net::RequestFrame request;
     request.request_id = i + 1;
+    request.network_id = network_id;
     request.priority = 0;  // interactive: never shed by deadline estimation
     request.od = golden[i].od;
     serve::net::ResponseFrame response;
@@ -108,18 +143,23 @@ int main(int argc, char** argv) {
   double assert_max_p99_ms = -1.0;
   double assert_min_goodput = -1.0;
   int assert_max_errors = -1;
+  double assert_min_oracle_frac = -1.0;
+  double assert_min_model_frac = -1.0;
   bool print_server_stats = false;
   const auto usage = [&argv] {
     std::fprintf(
         stderr,
-        "usage: %s --port P --network PATH [--host H] [--qps Q]\n"
-        "  [--duration S] [--connections N] [--seed S] [--deadline-ms D]\n"
+        "usage: %s --port P --network PATH [--network-ids 1,2,3] [--host H]\n"
+        "  [--qps Q] [--duration S] [--connections N] [--seed S]\n"
+        "  [--deadline-ms D]\n"
         "  [--high-fraction F] [--low-fraction F] [--tenants N]\n"
         "  [--slo-ms X] [--hot-fraction F] [--json PATH] [--server-stats]\n"
         "  [--assert-max-shed-rate X] [--assert-min-shed-rate X]\n"
         "  [--assert-max-p99-ms X] [--assert-min-goodput X]\n"
         "  [--assert-max-errors N]\n"
-        "or: %s --port P --golden golden.csv [%s] [--host H]\n",
+        "  [--assert-min-oracle-frac X] [--assert-min-model-frac X]\n"
+        "or: %s --port P --golden golden.csv [%s] [--host H]\n"
+        "  [--network-ids N]\n",
         argv[0], argv[0], tools::cli::FlagCursor::ToleranceHelp());
     return 2;
   };
@@ -132,6 +172,14 @@ int main(int argc, char** argv) {
       if (!flags.PortValue(&options.port)) return 2;
     } else if (flag == "--network") {
       if (!flags.StringValue(&network_path)) return 2;
+    } else if (flag == "--network-ids") {
+      std::string ids;
+      if (!flags.StringValue(&ids)) return 2;
+      options.network_ids.clear();
+      if (!ParseNetworkIds(ids, &options.network_ids)) {
+        std::fprintf(stderr, "bad --network-ids '%s'\n", ids.c_str());
+        return 2;
+      }
     } else if (flag == "--qps") {
       if (!flags.DoubleValue(&options.qps)) return 2;
     } else if (flag == "--duration") {
@@ -173,6 +221,10 @@ int main(int argc, char** argv) {
       if (!flags.DoubleValue(&assert_min_goodput)) return 2;
     } else if (flag == "--assert-max-errors") {
       if (!flags.IntValue(&assert_max_errors)) return 2;
+    } else if (flag == "--assert-min-oracle-frac") {
+      if (!flags.DoubleValue(&assert_min_oracle_frac)) return 2;
+    } else if (flag == "--assert-min-model-frac") {
+      if (!flags.DoubleValue(&assert_min_model_frac)) return 2;
     } else {
       return usage();
     }
@@ -184,7 +236,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "--port is required\n");
       return 2;
     }
-    return RunGoldenReplay(options.host, options.port, golden_path, tolerance);
+    return RunGoldenReplay(
+        options.host, options.port, golden_path, tolerance,
+        options.network_ids.empty() ? 0 : options.network_ids.front());
   }
   if (options.port == 0 || network_path.empty()) {
     std::fprintf(stderr, "--port and --network are required\n");
@@ -223,6 +277,13 @@ int main(int argc, char** argv) {
       report.p50_ms, report.p95_ms, report.p99_ms, report.max_ms,
       report.achieved_qps, options.slo_ms, report.goodput_qps,
       report.shed_rate);
+  if (report.oracle_ok > 0 || report.linkmean_ok > 0 ||
+      !options.network_ids.empty()) {
+    std::printf("estimators: model %llu oracle %llu linkmean %llu\n",
+                static_cast<unsigned long long>(report.model_ok),
+                static_cast<unsigned long long>(report.oracle_ok),
+                static_cast<unsigned long long>(report.linkmean_ok));
+  }
   static const char* const kPriorityNames[] = {"interactive", "normal",
                                                "best-effort"};
   for (size_t p = 0; p < serve::net::kNumPriorities; ++p) {
@@ -305,6 +366,24 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ASSERT FAIL: %llu errors > %d\n",
                  static_cast<unsigned long long>(report.errors),
                  assert_max_errors);
+    exit_code = 1;
+  }
+  const double ok_total = static_cast<double>(report.ok);
+  const double oracle_frac =
+      report.ok == 0
+          ? 0.0
+          : static_cast<double>(report.oracle_ok + report.linkmean_ok) /
+                ok_total;
+  const double model_frac =
+      report.ok == 0 ? 0.0 : static_cast<double>(report.model_ok) / ok_total;
+  if (assert_min_oracle_frac >= 0.0 && oracle_frac < assert_min_oracle_frac) {
+    std::fprintf(stderr, "ASSERT FAIL: oracle fraction %.4f < %.4f\n",
+                 oracle_frac, assert_min_oracle_frac);
+    exit_code = 1;
+  }
+  if (assert_min_model_frac >= 0.0 && model_frac < assert_min_model_frac) {
+    std::fprintf(stderr, "ASSERT FAIL: model fraction %.4f < %.4f\n",
+                 model_frac, assert_min_model_frac);
     exit_code = 1;
   }
   if (report.lost > 0) {

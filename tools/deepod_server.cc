@@ -13,6 +13,16 @@
 //                 [--live-speed] [--publish-ms N] [--speed-grid-m X]
 //                 [--speed-window-s X]
 //                 [--drift-window N] [--drift-trigger X]
+//   deepod_server --fleet fleet.csv [shared flags as above]
+//
+// Fleet mode (--fleet, mutually exclusive with --artifact/--network) serves
+// every city in the manifest from one process: requests route by their wire
+// network_id, each warm shard runs its own EtaService + (with --watch) its
+// own per-city hot-swap reloader, and a shard whose artifact is missing or
+// corrupt serves from its OD-oracle fallback tier until a loadable artifact
+// appears ("fleet: activated CITY" is printed on each cold->warm
+// transition). --live-speed and --drift-trigger are single-city plumbing
+// and are rejected with --fleet.
 //
 // Prints "listening on HOST:PORT" once the socket is bound (port 0 binds
 // an ephemeral port; scripts parse the line to discover it). SIGTERM and
@@ -44,6 +54,8 @@
 #include <string>
 #include <thread>
 
+#include <vector>
+
 #include "cli_flags.h"
 #include "io/model_artifact.h"
 #include "io/trip_io.h"
@@ -51,6 +63,7 @@
 #include "nn/serialize.h"
 #include "serve/drift_monitor.h"
 #include "serve/eta_service.h"
+#include "serve/fleet_router.h"
 #include "serve/model_reloader.h"
 #include "serve/server/server.h"
 #include "sim/rolling_speed_field.h"
@@ -64,7 +77,7 @@ void HandleStop(int) { g_stop = 1; }
 
 int main(int argc, char** argv) {
   using namespace deepod;
-  std::string artifact_path, network_path, stats_json_path;
+  std::string artifact_path, network_path, fleet_path, stats_json_path;
   serve::EtaServiceOptions service_options;
   serve::net::ServerOptions server_options;
   bool watch = false;
@@ -78,7 +91,8 @@ int main(int argc, char** argv) {
   const auto usage = [&argv] {
     std::fprintf(
         stderr,
-        "usage: %s --artifact PATH --network PATH [--host H] [--port P]\n"
+        "usage: %s (--artifact PATH --network PATH | --fleet PATH)\n"
+        "  [--host H] [--port P]\n"
         "  [--max-batch N] [--executors N] [--batch-threads N]\n"
         "  [--queue-capacity N] [--tenants N] [--tenant-rate R]\n"
         "  [--tenant-burst B] [--no-deadline-shed]\n"
@@ -98,6 +112,8 @@ int main(int argc, char** argv) {
       if (!flags.StringValue(&artifact_path)) return 2;
     } else if (flag == "--network") {
       if (!flags.StringValue(&network_path)) return 2;
+    } else if (flag == "--fleet") {
+      if (!flags.StringValue(&fleet_path)) return 2;
     } else if (flag == "--host") {
       if (!flags.StringValue(&server_options.host)) return 2;
     } else if (flag == "--port") {
@@ -146,28 +162,77 @@ int main(int argc, char** argv) {
       return usage();
     }
   }
-  if (artifact_path.empty() || network_path.empty()) {
-    std::fprintf(stderr, "--artifact and --network are required\n");
+  const bool fleet_mode = !fleet_path.empty();
+  if (fleet_mode && (!artifact_path.empty() || !network_path.empty())) {
+    std::fprintf(stderr, "--fleet excludes --artifact/--network\n");
+    return 2;
+  }
+  if (!fleet_mode && (artifact_path.empty() || network_path.empty())) {
+    std::fprintf(stderr, "--artifact and --network are required "
+                         "(or --fleet)\n");
+    return 2;
+  }
+  if (fleet_mode && (live_speed || drift_trigger > 0.0)) {
+    std::fprintf(stderr,
+                 "--live-speed/--drift-trigger are single-city only and "
+                 "cannot be combined with --fleet\n");
     return 2;
   }
 
-  const road::RoadNetwork network = io::ReadNetworkCsv(network_path);
+  std::unique_ptr<serve::FleetRouter> fleet;
+  road::RoadNetwork network;  // single mode only
   std::unique_ptr<serve::EtaService> service;
-  try {
-    service = serve::EtaService::FromArtifact(artifact_path, network,
-                                              service_options);
-  } catch (const nn::SerializeError& e) {
-    std::fprintf(stderr, "artifact load failed [%s]: %s\n",
-                 nn::LoadErrorKindName(e.status().kind), e.what());
-    return 1;
-  }
-  server_options.num_segments = network.num_segments();
+  std::shared_ptr<const serve::ServingState> initial_state;
+  if (fleet_mode) {
+    try {
+      std::vector<serve::FleetEntry> entries =
+          serve::ReadFleetManifest(fleet_path);
+      serve::FleetRouterOptions fleet_options;
+      fleet_options.service = service_options;
+      fleet_options.watch = watch;
+      fleet_options.reloader.poll_interval =
+          std::chrono::milliseconds(poll_ms);
+      fleet_options.activation_poll = std::chrono::milliseconds(poll_ms);
+      fleet_options.on_activate = [](const serve::FleetShard& shard) {
+        std::printf("fleet: activated %s (network_id %u)\n",
+                    shard.name().c_str(),
+                    static_cast<unsigned>(shard.network_id()));
+        std::fflush(stdout);
+      };
+      fleet = std::make_unique<serve::FleetRouter>(std::move(entries),
+                                                   fleet_options);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "fleet load failed: %s\n", e.what());
+      return 1;
+    }
+    std::printf("fleet: %zu cities, %zu warm\n", fleet->shards().size(),
+                fleet->WarmCount());
+    for (const auto& shard : fleet->shards()) {
+      std::printf("fleet: %s network_id=%u %s policy=%s\n",
+                  shard->name().c_str(),
+                  static_cast<unsigned>(shard->network_id()),
+                  shard->warm() ? "warm" : "cold",
+                  serve::FallbackPolicyName(shard->policy()));
+    }
+    // Per-shard segment validation; the global bound stays off.
+    server_options.num_segments = 0;
+  } else {
+    network = io::ReadNetworkCsv(network_path);
+    try {
+      service = serve::EtaService::FromArtifact(artifact_path, network,
+                                                service_options);
+    } catch (const nn::SerializeError& e) {
+      std::fprintf(stderr, "artifact load failed [%s]: %s\n",
+                   nn::LoadErrorKindName(e.status().kind), e.what());
+      return 1;
+    }
+    server_options.num_segments = network.num_segments();
 
-  // The construction epoch, pinned for the process lifetime: the rolling
-  // field's baseline points into this bundle's frozen speed field, so the
-  // bundle must survive hot swaps that would otherwise free it.
-  const std::shared_ptr<const serve::ServingState> initial_state =
-      service->state();
+    // The construction epoch, pinned for the process lifetime: the rolling
+    // field's baseline points into this bundle's frozen speed field, so the
+    // bundle must survive hot swaps that would otherwise free it.
+    initial_state = service->state();
+  }
 
   std::unique_ptr<sim::RollingSpeedField> rolling;
   if (live_speed) {
@@ -202,7 +267,7 @@ int main(int argc, char** argv) {
   });
 
   std::unique_ptr<serve::ModelReloader> reloader;
-  if (watch) {
+  if (watch && !fleet_mode) {
     serve::ModelReloaderOptions reloader_options;
     reloader_options.poll_interval = std::chrono::milliseconds(poll_ms);
     reloader_options.artifact.quant = service_options.quant;
@@ -241,15 +306,22 @@ int main(int argc, char** argv) {
   sigaction(SIGTERM, &sa, nullptr);
   sigaction(SIGINT, &sa, nullptr);
 
-  serve::net::DeepOdServer server(*service, server_options);
+  std::unique_ptr<serve::net::DeepOdServer> server;
+  if (fleet_mode) {
+    server = std::make_unique<serve::net::DeepOdServer>(*fleet,
+                                                        server_options);
+  } else {
+    server = std::make_unique<serve::net::DeepOdServer>(*service,
+                                                        server_options);
+  }
   try {
-    server.Start();
+    server->Start();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "server start failed: %s\n", e.what());
     return 1;
   }
   std::printf("listening on %s:%u\n", server_options.host.c_str(),
-              static_cast<unsigned>(server.port()));
+              static_cast<unsigned>(server->port()));
   std::fflush(stdout);
 
   // Publish ticker: fold ingested observations into served matrices and
@@ -288,11 +360,12 @@ int main(int argc, char** argv) {
     publisher.join();
   }
   if (reloader != nullptr) reloader->Stop();
-  server.Shutdown();
+  if (fleet != nullptr) fleet->Stop();
+  server->Shutdown();
   if (!stats_json_path.empty()) {
     std::FILE* f = std::fopen(stats_json_path.c_str(), "w");
     if (f != nullptr) {
-      const std::string json = server.ExportStatsJson();
+      const std::string json = server->ExportStatsJson();
       std::fwrite(json.data(), 1, json.size(), f);
       std::fclose(f);
     }

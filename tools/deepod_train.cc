@@ -18,21 +18,36 @@
 // With --data DIR the dataset comes from a deepod_datagen directory instead
 // of being simulated in-process: the traffic/weather environment is rebuilt
 // deterministically from DIR/manifest.csv and the splits are loaded from
-// the columnar trip stores. --feed sharded trains out-of-core from the
-// mmap'd shards (model initialisation still reads the training split once
-// for the co-occurrence counts); --parity-check trains the sharded and the
-// in-memory grouped-shuffle paths side by side at 1 thread and fails unless
-// their validation curves and final states are bit-identical.
+// the columnar trip stores. --feed sharded trains fully out-of-core: the
+// model-initialisation inputs (co-occurrence counts, time scale) and the
+// fallback estimators stream from the mmap'd shards record by record, the
+// training split is never materialised in memory, and the resulting model
+// is bit-identical to the in-memory path. --parity-check trains the
+// sharded and the in-memory grouped-shuffle paths side by side at 1 thread
+// and fails unless their validation curves and final states are
+// bit-identical.
+//
+// Fleet serving outputs: every run also trains the two serving-time
+// fallback estimators from the training split — an OD-histogram oracle
+// (grid-bucketed OD pairs x time slots) and per-segment link means — and
+// embeds them, plus --network-id, in model.artifact; a standalone
+// <out>/oracle.artifact carries just the fallback tier so deepod_server
+// --fleet can answer for a city whose model never trained. --oracle-only
+// skips model training entirely and emits only oracle.artifact +
+// network.csv.
 
 #include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "baselines/od_oracle.h"
+#include "baselines/path_tte.h"
 #include "cli_flags.h"
 #include "core/deepod_config.h"
 #include "core/deepod_model.h"
@@ -44,8 +59,10 @@
 #include "io/trip_store.h"
 #include "nn/quant.h"
 #include "io/trip_io.h"
+#include "road/edge_graph.h"
 #include "sim/dataset.h"
 #include "sim/snapshot_speed_field.h"
+#include "util/weighted_digraph.h"
 
 namespace {
 
@@ -65,6 +82,12 @@ struct Args {
   std::string data;               // datagen directory (empty = simulate)
   std::string feed = "inmemory";  // inmemory | sharded (needs --data)
   bool parity_check = false;      // sharded vs in-memory bit parity
+  uint64_t network_id = 0;        // stamped into the artifacts (fleet)
+  bool oracle_only = false;       // emit only oracle.artifact + network.csv
+  // OD-oracle grid resolution. The 16-cell default suits city-scale
+  // networks; tiny smoke grids want a coarse oracle (2-4) so OD cell pairs
+  // actually repeat and the fallback tier has in-distribution coverage.
+  size_t oracle_grid = 16;
 };
 
 void Usage(const char* argv0) {
@@ -73,7 +96,8 @@ void Usage(const char* argv0) {
       "usage: %s [--out DIR] [--scale N] [--epochs N] [--grid N]\n"
       "          [--trips-per-day N] [--days N] [--seed N] [--threads N]\n"
       "          [--golden N] [--checkpoint PATH] [--quant fp16|int8]\n"
-      "          [--data DIR] [--feed inmemory|sharded] [--parity-check]\n",
+      "          [--data DIR] [--feed inmemory|sharded] [--parity-check]\n"
+      "          [--network-id N] [--oracle-only] [--oracle-grid N]\n",
       argv0);
 }
 
@@ -114,6 +138,12 @@ bool ParseArgs(int argc, char** argv, Args* args) {
       }
     } else if (flag == "--parity-check") {
       args->parity_check = true;
+    } else if (flag == "--network-id") {
+      if (!flags.U64Value(&args->network_id)) return false;
+    } else if (flag == "--oracle-only") {
+      args->oracle_only = true;
+    } else if (flag == "--oracle-grid") {
+      if (!flags.SizeValue(&args->oracle_grid)) return false;
     } else {
       Usage(argv[0]);
       return false;
@@ -136,6 +166,18 @@ int main(int argc, char** argv) {
   sim::Dataset dataset;
   std::vector<std::string> shard_paths;
   std::vector<size_t> shard_sizes;
+  // --feed sharded keeps the training split on disk end to end: one
+  // streamed pass over the shards computes everything construction-time
+  // code would otherwise read dataset.train for (co-occurrence counts,
+  // time scale, fallback estimators), bit-identically to the in-memory
+  // path. --parity-check needs both feeds and keeps the old behaviour.
+  const bool streamed_init =
+      !args.data.empty() && args.feed == "sharded" && !args.parity_check;
+  road::EdgeGraphAccumulator streamed_edges;
+  double streamed_time_sum = 0.0;
+  size_t streamed_trips = 0;
+  std::unique_ptr<baselines::OdOracle> oracle;
+  baselines::LinkMeanEstimator link_mean;
   if (!args.data.empty()) {
     // Datagen directory: rebuild the environment from the manifest and load
     // the splits from the columnar trip stores (mmap'd, zero projections).
@@ -145,16 +187,31 @@ int main(int argc, char** argv) {
     std::printf("loading dataset from %s (%zu shard(s))...\n",
                 args.data.c_str(), manifest.shards);
     sim::InitDatasetEnvironment(dataset_config, &dataset);
+    baselines::OdOracle::Options oracle_options;
+    oracle_options.grid_cells = args.oracle_grid;
+    oracle = std::make_unique<baselines::OdOracle>(dataset.network,
+                                                   oracle_options);
     shard_paths = tools::ManifestShardPaths(args.data, manifest.shards);
+    traj::TripRecord record;
     for (const auto& path : shard_paths) {
       const auto reader = io::TripStoreReader::OpenOrThrow(path);
       shard_sizes.push_back(reader.size());
-      // Model initialisation (co-occurrence counts, time scale) still walks
-      // the training split in memory; only the trainer feed is out-of-core.
-      auto trips = reader.ReadAll();
-      dataset.train.insert(dataset.train.end(),
-                           std::make_move_iterator(trips.begin()),
-                           std::make_move_iterator(trips.end()));
+      if (streamed_init) {
+        for (size_t i = 0; i < reader.size(); ++i) {
+          reader.Decode(i, &record);
+          streamed_edges.AddSequence(dataset.network,
+                                     record.trajectory.SegmentIds());
+          streamed_time_sum += record.travel_time;
+          ++streamed_trips;
+          oracle->Add(dataset.network, record.od, record.travel_time);
+          link_mean.Add(record.trajectory);
+        }
+      } else {
+        auto trips = reader.ReadAll();
+        dataset.train.insert(dataset.train.end(),
+                             std::make_move_iterator(trips.begin()),
+                             std::make_move_iterator(trips.end()));
+      }
     }
     dataset.validation =
         io::TripStoreReader::OpenOrThrow(args.data + "/val.trips").ReadAll();
@@ -173,8 +230,42 @@ int main(int argc, char** argv) {
     sim::BuildDataset(dataset_config, &dataset);
   }
   std::printf("dataset: %zu train / %zu val / %zu test trips, %zu segments\n",
-              dataset.train.size(), dataset.validation.size(),
-              dataset.test.size(), dataset.network.num_segments());
+              streamed_init ? streamed_trips : dataset.train.size(),
+              dataset.validation.size(), dataset.test.size(),
+              dataset.network.num_segments());
+
+  // The fallback tier for fleet serving: an OD-histogram oracle plus link
+  // means, trained from exactly the split the model trains on.
+  if (oracle == nullptr) {
+    baselines::OdOracle::Options oracle_options;
+    oracle_options.grid_cells = args.oracle_grid;
+    oracle = std::make_unique<baselines::OdOracle>(dataset.network,
+                                                   oracle_options);
+  }
+  if (!streamed_init) {
+    for (const auto& trip : dataset.train) {
+      oracle->Add(dataset.network, trip.od, trip.travel_time);
+      link_mean.Add(trip.trajectory);
+    }
+  }
+  oracle->Finalize();
+  link_mean.Finalize(dataset.network.num_segments());
+  std::printf("oracle: %zu OD buckets over %zu pairs, global mean %.1f s\n",
+              oracle->num_buckets(), oracle->num_pairs(),
+              oracle->global_mean());
+
+  std::filesystem::create_directories(args.out);
+  const std::string oracle_path = args.out + "/oracle.artifact";
+  const std::string network_path = args.out + "/network.csv";
+  io::WriteOracleArtifact(oracle_path,
+                          static_cast<uint32_t>(args.network_id),
+                          oracle.get(), &link_mean);
+  io::WriteNetworkCsv(dataset.network, network_path);
+  if (args.oracle_only) {
+    std::printf("oracle:   %s\nnetwork:  %s\n", oracle_path.c_str(),
+                network_path.c_str());
+    return 0;
+  }
 
   core::DeepOdConfig config = core::DeepOdConfig().Scaled(args.scale);
   config.epochs = args.epochs;
@@ -222,14 +313,29 @@ int main(int argc, char** argv) {
     return ok ? 0 : 1;
   }
 
-  core::DeepOdModel model(config, dataset);
+  std::unique_ptr<core::DeepOdModel> model;
+  if (streamed_init) {
+    // Same RNG order, same co-occurrence sums (order-independent), same
+    // time-scale summation order as the in-memory constructor — the
+    // datagen test pins the resulting state bit-for-bit.
+    const util::WeightedDigraph edge_graph =
+        streamed_edges.Build(dataset.network);
+    const double time_scale =
+        streamed_trips == 0
+            ? 1.0
+            : streamed_time_sum / static_cast<double>(streamed_trips);
+    model = std::make_unique<core::DeepOdModel>(config, dataset, &edge_graph,
+                                                time_scale);
+  } else {
+    model = std::make_unique<core::DeepOdModel>(config, dataset);
+  }
   std::unique_ptr<io::ShardedTripSource> sharded_feed;
   if (args.feed == "sharded") {
     io::ShardedTripSource::Options feed_options;
     sharded_feed =
         std::make_unique<io::ShardedTripSource>(shard_paths, feed_options);
   }
-  core::DeepOdTrainer trainer(model, dataset, sharded_feed.get());
+  core::DeepOdTrainer trainer(*model, dataset, sharded_feed.get());
   const double best_mae = trainer.Train();
   std::printf("trained %d epoch(s), %zu steps, validation MAE %.3f s\n",
               config.epochs, trainer.steps_taken(), best_mae);
@@ -257,20 +363,24 @@ int main(int argc, char** argv) {
   }
 
   const std::string artifact_path = args.out + "/model.artifact";
-  io::WriteModelArtifact(artifact_path, model, speed.get());
+  io::ArtifactOptions artifact_options;
+  artifact_options.network_id = static_cast<uint32_t>(args.network_id);
+  artifact_options.oracle = oracle.get();
+  artifact_options.link_mean = &link_mean;
+  io::WriteModelArtifact(artifact_path, *model, speed.get(),
+                         artifact_options);
   if (args.quant != nn::QuantMode::kNone) {
     // The fp64 artifact above stays the golden-replay source of truth; the
     // quantised sibling is the deployment variant.
     const std::string quant_path = args.out + "/model." +
                                    nn::QuantModeName(args.quant) + ".artifact";
-    io::ArtifactOptions artifact_options;
-    artifact_options.quant = args.quant;
-    io::WriteModelArtifact(quant_path, model, speed.get(), artifact_options);
+    io::ArtifactOptions quant_options = artifact_options;
+    quant_options.quant = args.quant;
+    io::WriteModelArtifact(quant_path, *model, speed.get(), quant_options);
     std::printf("quantised artifact: %s\n", quant_path.c_str());
   }
-  const std::string network_path = args.out + "/network.csv";
-  io::WriteNetworkCsv(dataset.network, network_path);
-  std::printf("artifact: %s\nnetwork:  %s\n", artifact_path.c_str(),
+  std::printf("artifact: %s\noracle:   %s\nnetwork:  %s\n",
+              artifact_path.c_str(), oracle_path.c_str(),
               network_path.c_str());
 
   if (args.golden > 0) {
@@ -285,13 +395,25 @@ int main(int argc, char** argv) {
     std::fprintf(f,
                  "origin_segment,dest_segment,origin_ratio,dest_ratio,"
                  "departure_time,weather,prediction\n");
-    const size_t n = std::min(args.golden, dataset.test.size());
-    for (size_t i = 0; i < n; ++i) {
+    // For fleet-destined artifacts (--network-id set) only in-distribution
+    // test queries are written: under a fleet's oracle fallback policy,
+    // out-of-distribution ODs are answered by the oracle tier, so goldens
+    // over them would not replay bit-identically against the model.
+    // Restricting to covered cell pairs keeps the golden file valid
+    // against every fallback policy. Single-city artifacts keep the full
+    // unfiltered golden set — no OOD redirection exists there.
+    const bool fleet_goldens = args.network_id > 0;
+    size_t n = 0;
+    for (size_t i = 0; i < dataset.test.size() && n < args.golden; ++i) {
       const traj::OdInput& od = dataset.test[i].od;
-      const double prediction = model.Predict(od);
+      if (fleet_goldens && !oracle->InDistribution(dataset.network, od)) {
+        continue;
+      }
+      const double prediction = model->Predict(od);
       std::fprintf(f, "%zu,%zu,%a,%a,%a,%d,%a\n", od.origin_segment,
                    od.dest_segment, od.origin_ratio, od.dest_ratio,
                    od.departure_time, od.weather_type, prediction);
+      ++n;
     }
     std::fclose(f);
     std::printf("golden:   %s (%zu queries)\n", golden_path.c_str(), n);
